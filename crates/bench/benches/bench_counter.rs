@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks: per-operation cost of the counters.
+//!
+//! Complements fig1a (which measures multi-threaded scaling): this
+//! isolates the single-threaded cost of one increment/read for each
+//! counter kind, i.e. the price of the two extra reads + RNG draws the
+//! MultiCounter pays per increment.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlz_core::rng::Xoshiro256;
+use dlz_core::{DChoiceCounter, ExactCounter, MultiCounter, RelaxedCounter, ShardedCounter};
+
+fn bench_increment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_increment");
+
+    let exact = ExactCounter::new();
+    g.bench_function("exact_faa", |b| b.iter(|| exact.increment()));
+
+    let sharded = ShardedCounter::new(8);
+    g.bench_function("sharded_own_stripe", |b| {
+        b.iter(|| sharded.increment_stripe(0))
+    });
+
+    for m in [16usize, 64, 256] {
+        let mc = MultiCounter::new(m);
+        let mut rng = Xoshiro256::new(1);
+        g.bench_function(format!("multicounter_m{m}"), |b| {
+            b.iter(|| mc.increment_with(black_box(&mut rng)))
+        });
+    }
+
+    for d in [1usize, 2, 4] {
+        let dc = DChoiceCounter::new(64, d, 1);
+        let mut rng = Xoshiro256::new(2);
+        g.bench_function(format!("dchoice_d{d}_m64"), |b| {
+            b.iter(|| dc.increment_with(black_box(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_read");
+
+    let exact = ExactCounter::new();
+    for _ in 0..1000 {
+        exact.increment();
+    }
+    g.bench_function("exact_faa", |b| b.iter(|| black_box(exact.read())));
+
+    let mc = MultiCounter::new(64);
+    let mut rng = Xoshiro256::new(3);
+    for _ in 0..1000 {
+        mc.increment_with(&mut rng);
+    }
+    g.bench_function("multicounter_m64_relaxed", |b| {
+        b.iter(|| black_box(mc.read_with(&mut rng)))
+    });
+    g.bench_function("multicounter_m64_exact_sum", |b| {
+        b.iter(|| black_box(mc.read_exact()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(30);
+    targets = bench_increment, bench_read
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks: MultiQueue enqueue/dequeue cost vs the
+//! exact coarse-locked queue, and strict vs try-lock delete modes.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlz_core::rng::Xoshiro256;
+use dlz_core::{DeleteMode, MultiQueue};
+use dlz_pq::{BinaryHeap, CoarsePq, ConcurrentPq};
+
+fn bench_multiqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_insert_dequeue_pair");
+
+    for (name, mode) in [
+        ("strict", DeleteMode::Strict),
+        ("trylock", DeleteMode::TryLock),
+    ] {
+        let mq: MultiQueue<u64> =
+            MultiQueue::with_queues((0..16).map(|_| BinaryHeap::new()).collect(), mode);
+        let mut rng = Xoshiro256::new(1);
+        // Standing population so dequeues always find work.
+        for k in 0..10_000u64 {
+            mq.insert_with(&mut rng, k, k);
+        }
+        let mut next = 10_000u64;
+        g.bench_function(format!("multiqueue_m16_{name}"), |b| {
+            b.iter(|| {
+                mq.insert_with(&mut rng, next, next);
+                next += 1;
+                black_box(mq.dequeue_with(&mut rng));
+            })
+        });
+    }
+
+    let coarse: CoarsePq<u64> = CoarsePq::new();
+    for k in 0..10_000u64 {
+        coarse.insert(k, k);
+    }
+    let mut next = 10_000u64;
+    g.bench_function("coarse_exact", |b| {
+        b.iter(|| {
+            coarse.insert(next, next);
+            next += 1;
+            black_box(coarse.remove_min());
+        })
+    });
+    g.finish();
+}
+
+fn bench_min_hint(c: &mut Criterion) {
+    // The lock-free ReadMin step in isolation.
+    let coarse: CoarsePq<u64> = CoarsePq::new();
+    coarse.insert(1, 1);
+    c.bench_function("min_hint", |b| b.iter(|| black_box(coarse.min_hint())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(30);
+    targets = bench_multiqueue, bench_min_hint
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks: the sequential priority-queue
+//! substrates (binary heap, pairing heap, skip list).
+//!
+//! The MultiQueue's critical sections are one `add` or one
+//! `delete_min`; these benches measure exactly those, at a realistic
+//! standing size.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlz_core::rng::{Rng64, Xoshiro256};
+use dlz_pq::{BinaryHeap, PairingHeap, SeqPriorityQueue, SkipListPq};
+
+const STANDING: usize = 1024;
+
+fn mixed_workload<Q: SeqPriorityQueue<u64, u64>>(q: &mut Q, rng: &mut Xoshiro256) {
+    // One insert + one delete keeps the size stationary.
+    q.add(rng.next_u64() >> 40, 0);
+    black_box(q.delete_min());
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pq_add_delete_pair");
+
+    let mut rng = Xoshiro256::new(1);
+    let mut bh = BinaryHeap::new();
+    for _ in 0..STANDING {
+        bh.add(rng.next_u64() >> 40, 0u64);
+    }
+    g.bench_function("binary_heap", |b| {
+        b.iter(|| mixed_workload(&mut bh, &mut rng))
+    });
+
+    let mut ph = PairingHeap::new();
+    for _ in 0..STANDING {
+        ph.add(rng.next_u64() >> 40, 0u64);
+    }
+    g.bench_function("pairing_heap", |b| {
+        b.iter(|| mixed_workload(&mut ph, &mut rng))
+    });
+
+    let mut sl = SkipListPq::with_seed(7);
+    for _ in 0..STANDING {
+        sl.add(rng.next_u64() >> 40, 0u64);
+    }
+    g.bench_function("skiplist", |b| b.iter(|| mixed_workload(&mut sl, &mut rng)));
+
+    g.finish();
+}
+
+fn bench_read_min(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pq_read_min");
+    let mut rng = Xoshiro256::new(2);
+
+    let mut bh = BinaryHeap::new();
+    let mut ph = PairingHeap::new();
+    let mut sl = SkipListPq::with_seed(9);
+    for _ in 0..STANDING {
+        let p = rng.next_u64() >> 40;
+        bh.add(p, 0u64);
+        ph.add(p, 0u64);
+        sl.add(p, 0u64);
+    }
+    g.bench_function("binary_heap", |b| b.iter(|| black_box(bh.read_min())));
+    g.bench_function("pairing_heap", |b| b.iter(|| black_box(ph.read_min())));
+    g.bench_function("skiplist", |b| b.iter(|| black_box(sl.read_min())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(30);
+    targets = bench_substrates, bench_read_min
+}
+criterion_main!(benches);

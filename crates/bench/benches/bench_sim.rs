@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: simulation step throughput.
+//!
+//! The theorem-validation binaries run millions of process steps; these
+//! benches track the cost of one step for each process so regressions
+//! in the simulators are caught.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlz_sim::{
+    AsyncTwoChoice, BallsProcess, CorruptedTwoChoice, CorruptionPattern, OnePlusBeta, Schedule,
+    SingleChoice, TwoChoice, WeightedTwoChoice,
+};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("process_step");
+    let m = 1024;
+
+    let mut two = TwoChoice::new(m, 1);
+    g.bench_function("two_choice", |b| b.iter(|| two.step()));
+
+    let mut one = SingleChoice::new(m, 1);
+    g.bench_function("single_choice", |b| b.iter(|| one.step()));
+
+    let mut beta = OnePlusBeta::new(m, 0.5, 1);
+    g.bench_function("one_plus_beta", |b| b.iter(|| beta.step()));
+
+    let mut weighted = WeightedTwoChoice::new(m, 1);
+    g.bench_function("weighted_two_choice", |b| b.iter(|| weighted.step()));
+
+    let mut asym = AsyncTwoChoice::new(m, Schedule::BatchStampede { n: 64 }, 1);
+    g.bench_function("async_stampede_n64", |b| b.iter(|| asym.step()));
+
+    let mut corrupted = CorruptedTwoChoice::new(m, CorruptionPattern::Iid { eps: 0.1 }, 1);
+    g.bench_function("corrupted_iid", |b| b.iter(|| corrupted.step()));
+
+    g.finish();
+}
+
+fn bench_potential(c: &mut Criterion) {
+    let mut p = TwoChoice::new(1024, 2);
+    p.run(100_000);
+    c.bench_function("gamma_potential_m1024", |b| b.iter(|| p.bins().gamma(0.5)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(30);
+    targets = bench_steps, bench_potential
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks: TL2 transaction cost by clock strategy.
+//!
+//! Single-threaded commit latency of the paper's 2-increment
+//! transaction, plus read-only transactions — isolating the clock's
+//! per-commit cost (FAA vs MultiCounter increment + sample).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlz_core::rng::{Rng64, Xoshiro256};
+use dlz_core::MultiCounter;
+use dlz_stm::{ExactClock, RelaxedClock, Tl2};
+
+const OBJECTS: usize = 10_000;
+
+fn bench_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tl2_two_increment_txn");
+
+    let exact = Tl2::new(OBJECTS, ExactClock::new());
+    let mut handle = exact.thread();
+    let mut rng = Xoshiro256::new(1);
+    g.bench_function("exact_clock", |b| {
+        b.iter(|| {
+            let i = rng.bounded(OBJECTS as u64) as usize;
+            let j = rng.bounded(OBJECTS as u64) as usize;
+            handle.run(|tx| {
+                tx.add(i, 1)?;
+                tx.add(j, 1)?;
+                Ok(())
+            })
+        })
+    });
+
+    let relaxed = Tl2::new(
+        OBJECTS,
+        RelaxedClock::new(
+            MultiCounter::new(16),
+            RelaxedClock::suggested_delta(16, 4.0),
+        ),
+    );
+    let mut handle = relaxed.thread();
+    let mut rng = Xoshiro256::new(2);
+    g.bench_function("relaxed_clock", |b| {
+        b.iter(|| {
+            let i = rng.bounded(OBJECTS as u64) as usize;
+            let j = rng.bounded(OBJECTS as u64) as usize;
+            handle.run(|tx| {
+                tx.add(i, 1)?;
+                tx.add(j, 1)?;
+                Ok(())
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_read_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tl2_read_only_txn");
+
+    let exact = Tl2::new(OBJECTS, ExactClock::new());
+    let mut handle = exact.thread();
+    let mut rng = Xoshiro256::new(3);
+    g.bench_function("exact_clock_2reads", |b| {
+        b.iter(|| {
+            let i = rng.bounded(OBJECTS as u64) as usize;
+            let j = rng.bounded(OBJECTS as u64) as usize;
+            black_box(handle.run(|tx| Ok(tx.read(i)? + tx.read(j)?)))
+        })
+    });
+
+    let relaxed = Tl2::new(
+        OBJECTS,
+        RelaxedClock::new(
+            MultiCounter::new(16),
+            RelaxedClock::suggested_delta(16, 4.0),
+        ),
+    );
+    let mut handle = relaxed.thread();
+    let mut rng = Xoshiro256::new(4);
+    g.bench_function("relaxed_clock_2reads", |b| {
+        b.iter(|| {
+            let i = rng.bounded(OBJECTS as u64) as usize;
+            let j = rng.bounded(OBJECTS as u64) as usize;
+            black_box(handle.run(|tx| Ok(tx.read(i)? + tx.read(j)?)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(30);
+    targets = bench_commit, bench_read_only
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Theorem 6.1 / Lemma 6.8 validation** — gap and potential of the
+//! asynchronous two-choice process under adversarial schedules.
+//!
+//! For each m and schedule, runs the stale-read process for a long
+//! stretch and reports max gap, the Γ/m ratio (Lemma 6.7 says E\[Γ\] =
+//! O(m)), and the fraction of "wrong-bin" updates the adversary managed
+//! to cause. The paper's claim: with m ≥ C·n, the gap is O(log m) at
+//! any time t, for any oblivious schedule.
+//!
+//! ```text
+//! cargo run -p dlz-bench --release --bin adversary_gap
+//! ```
+
+use dlz_bench::tables::f3;
+use dlz_bench::{Config, Table};
+use dlz_sim::{AsyncTwoChoice, PotentialTrace, Schedule};
+
+fn main() {
+    let cfg = Config::from_args();
+    let steps = cfg.steps(2_000_000);
+    let alpha = 0.5; // potential exponent for reporting (any α works)
+
+    println!("Theorem 6.1: async two-choice under oblivious schedules");
+    println!("steps per cell: {steps}; potential Γ sampled every 10k steps (α = {alpha})\n");
+
+    let mut table = Table::new(&[
+        "m",
+        "n",
+        "schedule",
+        "max_gap",
+        "ln(m)",
+        "gap/ln(m)",
+        "max Γ/m",
+        "wrong-bin %",
+    ]);
+
+    for &m in &[64usize, 256, 1024] {
+        let n = m / 8; // the m ≥ Cn regime with C = 8
+        let schedules = [
+            ("sequential", Schedule::Sequential),
+            ("stampede(n)", Schedule::BatchStampede { n }),
+            ("roundrobin(n)", Schedule::RoundRobin { n }),
+            ("uniform(2n)", Schedule::UniformDelay { max: 2 * n }),
+        ];
+        for (name, sched) in schedules {
+            let mut p = AsyncTwoChoice::new(m, sched, cfg.seed ^ m as u64);
+            let mut trace = PotentialTrace::new(alpha, 10_000);
+            trace.run(&mut p, steps);
+            let lnm = (m as f64).ln();
+            let wrong = 100.0 * p.wrong_choices() as f64 / steps as f64;
+            table.row(vec![
+                m.to_string(),
+                n.to_string(),
+                name.to_string(),
+                f3(trace.max_gap()),
+                f3(lnm),
+                f3(trace.max_gap() / lnm),
+                f3(trace.max_gamma() / m as f64),
+                format!("{wrong:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpected shape (Thm 6.1): gap/ln(m) stays O(1) across schedules and m;");
+    println!("Γ/m stays bounded (Lemma 6.7); staleness induces some wrong-bin updates");
+    println!("but the m >= Cn regime keeps their effect bounded.");
+}

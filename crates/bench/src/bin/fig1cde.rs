@@ -1,0 +1,121 @@
+//! **Figures 1(c), 1(d), 1(e)** — the TL2 benchmark: commit throughput
+//! vs threads for M transactional objects (1M / 100K / 10K in the
+//! paper), baseline TL2 (FAA clock) vs TL2 with MultiCounter relaxed
+//! clock and Δ future-writing.
+//!
+//! Workload (verbatim from Section 8): transactions pick 2 array
+//! locations uniformly at random, increment both, commit. Correctness
+//! is verified after every run by checking the array sum equals
+//! 2 × committed transactions — the same check the paper used.
+//!
+//! ```text
+//! cargo run -p dlz-bench --release --bin fig1cde -- --objects 1000000
+//! cargo run -p dlz-bench --release --bin fig1cde            # all three sizes
+//! ```
+
+use std::sync::atomic::AtomicBool;
+
+use dlz_bench::tables::f3;
+use dlz_bench::{run_throughput, Config, Table};
+use dlz_core::rng::{Rng64, Xoshiro256};
+use dlz_core::MultiCounter;
+use dlz_stm::{ClockStrategy, ExactClock, RelaxedClock, Tl2};
+
+/// One timed run; returns (commits/s in M/s, abort rate, safety ok).
+fn run_tl2<C: ClockStrategy>(stm: &Tl2<C>, threads: usize, cfg: &Config) -> (f64, f64, bool) {
+    use std::sync::Mutex;
+    let stats_pool = Mutex::new(Vec::new());
+    let objects = stm.array().len() as u64;
+    let before_sum = stm.array().sum_quiescent();
+
+    let t = run_throughput(threads, cfg.duration, |tid| {
+        let stm = &stm;
+        let stats_pool = &stats_pool;
+        let mut rng = Xoshiro256::new(cfg.seed ^ ((tid as u64) << 24));
+        move |stop: &AtomicBool| {
+            let mut handle = stm.thread();
+            let mut n = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let i = rng.bounded(objects) as usize;
+                let j = rng.bounded(objects) as usize;
+                handle.run(|tx| {
+                    tx.add(i, 1)?;
+                    tx.add(j, 1)?;
+                    Ok(())
+                });
+                n += 1;
+            }
+            stats_pool.lock().unwrap().push(handle.stats());
+            n
+        }
+    });
+
+    let mut merged = dlz_stm::TxStats::default();
+    for s in stats_pool.into_inner().unwrap() {
+        merged.merge(&s);
+    }
+    let after_sum = stm.array().sum_quiescent();
+    // Each committed transaction adds exactly 2 (i == j adds 2 to one slot).
+    let safety_ok = after_sum - before_sum == 2 * merged.commits as u128
+        && merged.commits == t.total_ops
+        && !stm.array().any_locked();
+    (t.mops(), merged.abort_rate(), safety_ok)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!("Figures 1(c)-(e): TL2 array benchmark — 2 random increments per txn");
+    println!(
+        "duration per point: {:?}; objects sweep: {:?}\n",
+        cfg.duration, cfg.objects
+    );
+
+    for &objects in &cfg.objects {
+        let fig = match objects {
+            1_000_000 => "Figure 1(c), 1M objects",
+            100_000 => "Figure 1(d), 100K objects",
+            10_000 => "Figure 1(e), 10K objects",
+            _ => "custom object count",
+        };
+        println!("== {fig} (M = {objects}) ==");
+        let mut table = Table::new(&[
+            "threads",
+            "tl2-exact Mtx/s",
+            "abort%",
+            "tl2-relaxed Mtx/s",
+            "abort%",
+            "relaxed/exact",
+            "verified",
+        ]);
+        for &n in &cfg.threads {
+            // Fresh STM per point so version clocks/arrays start clean.
+            let exact = Tl2::new(objects, ExactClock::new());
+            let (ex_mops, ex_abort, ex_ok) = run_tl2(&exact, n, &cfg);
+
+            // Clock sizing: m = 2·n cells with a κ = 3 margin. Larger
+            // m/κ inflate Δ and with it the future-window abort cost
+            // quadratically — see the clock_tuning ablation binary.
+            let m = (2 * n).max(4);
+            let delta = RelaxedClock::suggested_delta(m, 3.0);
+            let relaxed = Tl2::new(objects, RelaxedClock::new(MultiCounter::new(m), delta));
+            let (rx_mops, rx_abort, rx_ok) = run_tl2(&relaxed, n, &cfg);
+
+            table.row(vec![
+                n.to_string(),
+                f3(ex_mops),
+                format!("{:.1}", ex_abort * 100.0),
+                f3(rx_mops),
+                format!("{:.1}", rx_abort * 100.0),
+                f3(rx_mops / ex_mops),
+                format!("{}", ex_ok && rx_ok),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("Expected shape (paper): at 1M/100K objects the relaxed clock scales ~linearly");
+    println!("(up to >3x the baseline at high thread counts); at 10K objects writes are frequent");
+    println!(
+        "enough that future-stamped objects trigger heavy aborts and the advantage collapses."
+    );
+}

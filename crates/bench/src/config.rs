@@ -1,0 +1,179 @@
+//! Minimal CLI/env configuration shared by the figure binaries.
+//!
+//! No external argument parser: the binaries take a handful of
+//! `--key value` pairs plus environment fallbacks, so `cargo run` with
+//! no arguments always produces a sensible laptop-scale run.
+//!
+//! | flag | env | meaning |
+//! |---|---|---|
+//! | `--threads 1,2,4` | `DLZ_THREADS` | thread counts to sweep |
+//! | `--duration-ms 300` | `DLZ_DURATION_MS` | per-point duration |
+//! | `--objects N` | `DLZ_OBJECTS` | TL2 array size(s) |
+//! | `--quick` | `DLZ_QUICK=1` | shrink everything for CI smoke |
+//! | `--seed S` | `DLZ_SEED` | base RNG seed |
+
+use std::time::Duration;
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Per-measurement duration.
+    pub duration: Duration,
+    /// TL2 object counts (fig1cde only).
+    pub objects: Vec<usize>,
+    /// Quick mode: shrink runs for smoke-testing.
+    pub quick: bool,
+    /// Base seed for deterministic components.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        // Sweep 1..=2·hw in powers of two (oversubscription shows the
+        // contention cliff even on small boxes).
+        let mut threads = vec![1usize];
+        while *threads.last().expect("non-empty") < 2 * hw {
+            let next = threads.last().unwrap() * 2;
+            threads.push(next);
+        }
+        Config {
+            threads,
+            duration: Duration::from_millis(300),
+            objects: vec![10_000, 100_000, 1_000_000],
+            quick: false,
+            seed: 0xd15f1e1d,
+        }
+    }
+}
+
+impl Config {
+    /// Parses `std::env::args` plus environment fallbacks.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (tests).
+    pub fn parse(args: Vec<String>) -> Self {
+        let mut cfg = Config::default();
+        // Environment first, flags override.
+        if let Ok(v) = std::env::var("DLZ_THREADS") {
+            cfg.threads = parse_list(&v);
+        }
+        if let Ok(v) = std::env::var("DLZ_DURATION_MS") {
+            if let Ok(ms) = v.parse::<u64>() {
+                cfg.duration = Duration::from_millis(ms);
+            }
+        }
+        if let Ok(v) = std::env::var("DLZ_OBJECTS") {
+            cfg.objects = parse_list(&v);
+        }
+        if std::env::var("DLZ_QUICK").as_deref() == Ok("1") {
+            cfg.quick = true;
+        }
+        if let Ok(v) = std::env::var("DLZ_SEED") {
+            if let Ok(s) = v.parse::<u64>() {
+                cfg.seed = s;
+            }
+        }
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    cfg.threads = parse_list(&v);
+                }
+                "--duration-ms" => {
+                    let v = it.next().expect("--duration-ms needs a value");
+                    cfg.duration = Duration::from_millis(v.parse().expect("ms"));
+                }
+                "--objects" => {
+                    let v = it.next().expect("--objects needs a value");
+                    cfg.objects = parse_list(&v);
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    cfg.seed = v.parse().expect("seed");
+                }
+                "--quick" => cfg.quick = true,
+                other => panic!("unknown flag {other}; see crates/bench/src/config.rs"),
+            }
+        }
+        if cfg.quick {
+            cfg.duration = cfg.duration.min(Duration::from_millis(50));
+            cfg.threads.truncate(2);
+            cfg.objects = cfg.objects.iter().map(|&o| o.min(10_000)).collect();
+        }
+        cfg
+    }
+
+    /// Scales a step count down in quick mode.
+    pub fn steps(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 50).max(1_000)
+        } else {
+            full
+        }
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Vec<T>
+where
+    T::Err: std::fmt::Debug,
+{
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse().expect("list element"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(!c.threads.is_empty());
+        assert_eq!(c.threads[0], 1);
+        assert!(c.duration >= Duration::from_millis(1));
+        assert_eq!(c.objects.len(), 3);
+    }
+
+    #[test]
+    fn flags_override() {
+        let c = Config::parse(vec![
+            "--threads".into(),
+            "1,3,5".into(),
+            "--duration-ms".into(),
+            "42".into(),
+            "--objects".into(),
+            "100".into(),
+            "--seed".into(),
+            "7".into(),
+        ]);
+        assert_eq!(c.threads, vec![1, 3, 5]);
+        assert_eq!(c.duration, Duration::from_millis(42));
+        assert_eq!(c.objects, vec![100]);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        let c = Config::parse(vec!["--quick".into()]);
+        assert!(c.quick);
+        assert!(c.duration <= Duration::from_millis(50));
+        assert!(c.threads.len() <= 2);
+        assert_eq!(c.steps(1_000_000), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = Config::parse(vec!["--bogus".into()]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dlz-bench — figure regeneration harness
+//!
+//! Shared machinery for the binaries that regenerate every figure of
+//! the paper (see `src/bin/`) and for the criterion micro-benchmarks
+//! (see `benches/`):
+//!
+//! * [`harness`] — multi-threaded timed throughput runs (barrier start,
+//!   stop flag, per-thread op counts).
+//! * [`tables`] — aligned-column table / CSV output.
+//! * [`config`] — tiny CLI/env configuration shared by all binaries
+//!   (`--threads 1,2,4`, `--duration-ms 300`, `--quick`, ...).
+//!
+//! Every binary runs with laptop-scale defaults and prints the same
+//! series the corresponding figure in the paper plots:
+//!
+//! ```text
+//! cargo run -p dlz-bench --release --bin fig1a -- --threads 1,2,4 --duration-ms 500
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod harness;
+pub mod tables;
+
+pub use config::Config;
+pub use harness::{count_until_stopped, run_throughput, Throughput};
+pub use tables::Table;

@@ -1,0 +1,104 @@
+//! Cache-line padding to prevent false sharing.
+//!
+//! The MultiCounter's whole point is to spread contention over `m`
+//! independent atomic words. If those words shared cache lines, hardware
+//! would re-serialize them: every increment would invalidate its
+//! neighbours' lines and the structure would scale no better than a
+//! single counter. `Padded<T>` aligns each value to 128 bytes — two
+//! 64-byte lines — because Intel's adjacent-line prefetcher pairs lines,
+//! so 64-byte alignment alone still exhibits false sharing in practice.
+
+use std::ops::{Deref, DerefMut};
+
+/// Aligns (and pads) `T` to 128 bytes.
+///
+/// # Example
+/// ```
+/// use dlz_core::padded::Padded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// let cell = Padded::new(AtomicU64::new(0));
+/// assert_eq!(std::mem::align_of_val(&cell), 128);
+/// assert!(std::mem::size_of_val(&cell) >= 128);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct Padded<T> {
+    value: T,
+}
+
+impl<T> Padded<T> {
+    /// Wraps `value` in a padded cell.
+    pub const fn new(value: T) -> Self {
+        Padded { value }
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for Padded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for Padded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for Padded<T> {
+    fn from(value: T) -> Self {
+        Padded::new(value)
+    }
+}
+
+impl<T: Clone> Clone for Padded<T> {
+    fn clone(&self) -> Self {
+        Padded::new(self.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn alignment_and_size() {
+        assert_eq!(std::mem::align_of::<Padded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<Padded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<Padded<[u8; 200]>>(), 256);
+    }
+
+    #[test]
+    fn adjacent_array_cells_do_not_share_lines() {
+        let cells: Vec<Padded<AtomicU64>> =
+            (0..4).map(|_| Padded::new(AtomicU64::new(0))).collect();
+        let a = &*cells[0] as *const AtomicU64 as usize;
+        let b = &*cells[1] as *const AtomicU64 as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut p = Padded::new(5u64);
+        *p += 1;
+        assert_eq!(*p, 6);
+        assert_eq!(p.into_inner(), 6);
+    }
+
+    #[test]
+    fn atomic_through_padding() {
+        let p = Padded::new(AtomicU64::new(0));
+        p.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(p.load(Ordering::Relaxed), 3);
+    }
+}

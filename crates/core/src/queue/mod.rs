@@ -1,0 +1,14 @@
+//! Relaxed concurrent queues (Section 7 of the paper).
+//!
+//! * [`MultiQueue`] — Algorithm 2: `m` lock-protected sequential
+//!   priority queues; enqueue to one random queue, dequeue from the
+//!   apparently-better of two random queues.
+//! * [`RelaxedFifo`] — the queue-like façade: priorities are timestamps
+//!   drawn from a [`Clock`](crate::clock::Clock), so dequeues return an
+//!   element among the roughly O(m log m) oldest (Theorem 7.1).
+
+mod multiqueue;
+mod relaxed_fifo;
+
+pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder};
+pub use relaxed_fifo::RelaxedFifo;

@@ -1,0 +1,685 @@
+//! The MultiQueue — Algorithm 2 of the paper.
+//!
+//! ```text
+//! function Enqueue(e)
+//!     p <- Clock.Read(); i <- random(1, m); PQs[i].Add(e, p)
+//!
+//! function Dequeue()
+//!     i <- random(1, m); j <- random(1, m)
+//!     (ei, pi) <- PQs[i].ReadMin(); (ej, pj) <- PQs[j].ReadMin()
+//!     if pi > pj: i = j
+//!     return PQs[i].DeleteMin()
+//! ```
+//!
+//! This module implements the priority-queue core (explicit `u64`
+//! priorities); [`RelaxedFifo`](crate::queue::RelaxedFifo) adds the
+//! timestamping of the paper's queue semantics on top.
+//!
+//! The `ReadMin` step uses the lock-free hint published by
+//! [`LockedPq`] — by the time the chosen queue is locked, its minimum
+//! may have changed. That is not a bug: the rank analysis (Theorem 7.1)
+//! is precisely about surviving such staleness, and the hint-based
+//! implementation matches the practical MultiQueues the paper cites
+//! (\[27\], \[3\]).
+
+use std::sync::atomic::AtomicU64;
+
+use dlz_pq::locked::EMPTY_HINT;
+use dlz_pq::{BinaryHeap, ConcurrentPq, LockedPq, SeqPriorityQueue};
+
+use crate::rng::{with_thread_rng, Rng64, Xoshiro256};
+
+/// What a dequeue does when its chosen queue is contended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeleteMode {
+    /// Lock the chosen queue unconditionally (Algorithm 2 as written).
+    #[default]
+    Strict,
+    /// If the chosen queue's lock is taken, redraw two fresh queues
+    /// instead of waiting (the Rihani-et-al. practical variant).
+    TryLock,
+}
+
+/// A relaxed concurrent priority queue over `m` locked sequential queues.
+///
+/// # Example
+/// ```
+/// use dlz_core::{MultiQueue, DeleteMode};
+/// use dlz_core::rng::Xoshiro256;
+///
+/// let mq: MultiQueue<&str> = MultiQueue::<&str>::builder().queues(4).build();
+/// let mut rng = Xoshiro256::new(1);
+/// mq.insert_with(&mut rng, 30, "c");
+/// mq.insert_with(&mut rng, 10, "a");
+/// mq.insert_with(&mut rng, 20, "b");
+/// // Dequeues come out in *approximately* ascending priority order;
+/// // every element is eventually returned exactly once.
+/// let mut got: Vec<_> = (0..3).map(|_| mq.dequeue_with(&mut rng).unwrap()).collect();
+/// got.sort();
+/// assert_eq!(got, vec![(10, "a"), (20, "b"), (30, "c")]);
+/// assert_eq!(mq.dequeue_with(&mut rng), None);
+/// ```
+#[derive(Debug)]
+pub struct MultiQueue<V, Q = BinaryHeap<u64, V>>
+where
+    Q: SeqPriorityQueue<u64, V> + Send,
+    V: Send,
+{
+    queues: Box<[LockedPq<V, Q>]>,
+    mode: DeleteMode,
+}
+
+impl<V: Send> MultiQueue<V> {
+    /// Starts building a binary-heap-backed MultiQueue.
+    pub fn builder() -> MultiQueueBuilder {
+        MultiQueueBuilder::default()
+    }
+
+    /// Creates a MultiQueue with `m` binary-heap queues, strict deletes.
+    pub fn new(m: usize) -> Self {
+        Self::with_queues(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::Strict,
+        )
+    }
+}
+
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
+    /// Builds from explicit sequential queues (any substrate) and mode.
+    ///
+    /// # Panics
+    /// If `queues` is empty.
+    pub fn with_queues(queues: Vec<Q>, mode: DeleteMode) -> Self {
+        assert!(!queues.is_empty(), "MultiQueue needs at least one queue");
+        MultiQueue {
+            queues: queues.into_iter().map(LockedPq::new).collect(),
+            mode,
+        }
+    }
+
+    /// Number of internal queues (the paper's `m`).
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The configured delete mode.
+    pub fn mode(&self) -> DeleteMode {
+        self.mode
+    }
+
+    /// Total entries across queues. Exact when quiescent.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.approx_len()).sum()
+    }
+
+    /// `true` if no entries are observed. Exact when quiescent.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue with an explicit generator (Algorithm 2's Enqueue, with
+    /// the priority supplied by the caller).
+    pub fn insert_with(&self, rng: &mut impl Rng64, priority: u64, value: V) {
+        let m = self.queues.len() as u64;
+        match self.mode {
+            DeleteMode::Strict => {
+                let i = rng.bounded(m) as usize;
+                self.queues[i].insert(priority, value);
+            }
+            DeleteMode::TryLock => {
+                let mut p = priority;
+                let mut v = value;
+                loop {
+                    let i = rng.bounded(m) as usize;
+                    match self.queues[i].try_insert(p, v) {
+                        Ok(()) => return,
+                        Err((rp, rv)) => {
+                            p = rp;
+                            v = rv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dequeue with an explicit generator (Algorithm 2's Dequeue).
+    ///
+    /// Returns `None` only after observing a globally empty structure;
+    /// with concurrent enqueuers a `None` means "empty at some sample
+    /// point", the strongest statement a relaxed queue can make.
+    pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
+        let m = self.queues.len() as u64;
+        let recheck_period = (self.queues.len()).max(8);
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+                return None;
+            }
+            let i = rng.bounded(m) as usize;
+            let j = rng.bounded(m) as usize;
+            // ReadMin via published hints (no locks).
+            let hi = self.queues[i].min_hint();
+            let hj = self.queues[j].min_hint();
+            if hi == EMPTY_HINT && hj == EMPTY_HINT {
+                continue;
+            }
+            // `if pi > pj: i = j` — ties stay with i.
+            let k = if hi <= hj { i } else { j };
+            match self.mode {
+                DeleteMode::Strict => {
+                    if let Some(out) = self.queues[k].remove_min() {
+                        return Some(out);
+                    }
+                    // Hint was stale and the queue is now empty: retry.
+                }
+                DeleteMode::TryLock => {
+                    match self.queues[k].try_remove_min() {
+                        Ok(Some(out)) => return Some(out),
+                        Ok(None) => {}                       // stale hint; retry
+                        Err(dlz_pq::locked::Contended) => {} // contended; redraw
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dequeue sampling the best of `k` queues instead of 2 — the
+    /// d-choice generalization from the MultiQueue literature. `k = 1`
+    /// removes from a single random queue (rank relaxation degrades to
+    /// the divergent single-choice regime); `k = 2` is Algorithm 2;
+    /// larger `k` tightens the rank distribution at the price of `k`
+    /// hint reads per dequeue.
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn dequeue_k_with(&self, rng: &mut impl Rng64, k: usize) -> Option<(u64, V)> {
+        assert!(k >= 1, "need at least one choice");
+        let m = self.queues.len() as u64;
+        let recheck_period = (self.queues.len()).max(8);
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+                return None;
+            }
+            // Best hint among k samples (ties keep the earlier draw).
+            let mut best = rng.bounded(m) as usize;
+            let mut best_hint = self.queues[best].min_hint();
+            for _ in 1..k {
+                let c = rng.bounded(m) as usize;
+                let h = self.queues[c].min_hint();
+                if h < best_hint {
+                    best = c;
+                    best_hint = h;
+                }
+            }
+            if best_hint == EMPTY_HINT {
+                continue;
+            }
+            match self.mode {
+                DeleteMode::Strict => {
+                    if let Some(out) = self.queues[best].remove_min() {
+                        return Some(out);
+                    }
+                }
+                DeleteMode::TryLock => match self.queues[best].try_remove_min() {
+                    Ok(Some(out)) => return Some(out),
+                    Ok(None) => {}
+                    Err(dlz_pq::locked::Contended) => {}
+                },
+            }
+        }
+    }
+
+    /// Enqueue, stamping the operation's update point.
+    ///
+    /// The stamp is drawn from `stamper` *inside the queue's critical
+    /// section*, i.e. at the operation's linearization point in the
+    /// underlying linearizable queue. The distributional-linearizability
+    /// checker replays histories in stamp order (Definition 5.2's
+    /// mapping).
+    pub fn insert_stamped(
+        &self,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+        stamper: &AtomicU64,
+    ) -> u64 {
+        let m = self.queues.len() as u64;
+        let i = rng.bounded(m) as usize;
+        self.queues[i].with_locked(|q| {
+            q.add(priority, value);
+            stamper.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+        })
+    }
+
+    /// Dequeue, stamping the operation's update point (see
+    /// [`insert_stamped`](Self::insert_stamped)).
+    pub fn dequeue_stamped(
+        &self,
+        rng: &mut impl Rng64,
+        stamper: &AtomicU64,
+    ) -> Option<(u64, V, u64)> {
+        let m = self.queues.len() as u64;
+        let recheck_period = (self.queues.len()).max(8);
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+                return None;
+            }
+            let i = rng.bounded(m) as usize;
+            let j = rng.bounded(m) as usize;
+            let hi = self.queues[i].min_hint();
+            let hj = self.queues[j].min_hint();
+            if hi == EMPTY_HINT && hj == EMPTY_HINT {
+                continue;
+            }
+            let k = if hi <= hj { i } else { j };
+            let out = self.queues[k].with_locked(|q| {
+                q.delete_min().map(|(p, v)| {
+                    let s = stamper.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                    (p, v, s)
+                })
+            });
+            if out.is_some() {
+                return out;
+            }
+        }
+    }
+
+    /// Drains everything into a sorted vector (sequential; for tests).
+    pub fn drain_sorted(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for q in self.queues.iter() {
+            q.with_locked(|inner| {
+                while let Some(e) = inner.delete_min() {
+                    out.push(e);
+                }
+            });
+        }
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Convenience enqueue using the thread-local generator.
+    pub fn insert(&self, priority: u64, value: V) {
+        with_thread_rng(|rng| self.insert_with(rng, priority, value));
+    }
+
+    /// Convenience dequeue using the thread-local generator.
+    pub fn dequeue(&self) -> Option<(u64, V)> {
+        with_thread_rng(|rng| self.dequeue_with(rng))
+    }
+}
+
+/// MultiQueues are themselves concurrent priority queues, so they slot
+/// into any code written against [`ConcurrentPq`] (e.g. the SSSP
+/// example uses the exact [`CoarsePq`](dlz_pq::CoarsePq) and the
+/// MultiQueue interchangeably). Randomness comes from the thread-local
+/// generator.
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for MultiQueue<V, Q> {
+    fn insert(&self, priority: u64, value: V) {
+        MultiQueue::insert(self, priority, value);
+    }
+
+    fn remove_min(&self) -> Option<(u64, V)> {
+        self.dequeue()
+    }
+
+    fn min_hint(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.min_hint())
+            .min()
+            .unwrap_or(EMPTY_HINT)
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Builder for binary-heap-backed [`MultiQueue`]s.
+#[derive(Debug, Clone, Default)]
+pub struct MultiQueueBuilder {
+    queues: Option<usize>,
+    ratio: Option<usize>,
+    threads: Option<usize>,
+    mode: DeleteMode,
+    seed: Option<u64>,
+}
+
+impl MultiQueueBuilder {
+    /// Sets the number of internal queues `m` explicitly.
+    pub fn queues(mut self, m: usize) -> Self {
+        self.queues = Some(m);
+        self
+    }
+
+    /// Sets the ratio `C = m / n`; combine with [`threads`](Self::threads).
+    pub fn ratio(mut self, c: usize) -> Self {
+        self.ratio = Some(c);
+        self
+    }
+
+    /// Sets the thread count `n` used with [`ratio`](Self::ratio).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the delete mode (default [`DeleteMode::Strict`]).
+    pub fn delete_mode(mut self, mode: DeleteMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Reseeds the calling thread's convenience RNG (see
+    /// [`MultiCounterBuilder::seed`](crate::counter::MultiCounterBuilder::seed)).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Builds the MultiQueue.
+    ///
+    /// # Panics
+    /// If neither `queues` nor (`ratio` and `threads`) was given.
+    pub fn build<V: Send>(self) -> MultiQueue<V> {
+        let m = match (self.queues, self.ratio, self.threads) {
+            (Some(m), _, _) => m,
+            (None, Some(c), Some(n)) => c * n,
+            _ => panic!("MultiQueueBuilder: set .queues(m) or .ratio(c).threads(n)"),
+        };
+        if let Some(seed) = self.seed {
+            crate::rng::reseed_thread_rng(seed);
+        }
+        MultiQueue::with_queues((0..m).map(|_| BinaryHeap::new()).collect(), self.mode)
+    }
+}
+
+/// A deterministic handle: a MultiQueue reference plus a private RNG.
+/// Convenient for per-thread use in benchmarks.
+pub struct MqHandle<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send = BinaryHeap<u64, V>> {
+    mq: &'a MultiQueue<V, Q>,
+    rng: Xoshiro256,
+}
+
+impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q> {
+    /// Creates a handle with its own seeded generator.
+    pub fn new(mq: &'a MultiQueue<V, Q>, seed: u64) -> Self {
+        MqHandle {
+            mq,
+            rng: Xoshiro256::new(seed),
+        }
+    }
+
+    /// Enqueue through the handle.
+    pub fn insert(&mut self, priority: u64, value: V) {
+        self.mq.insert_with(&mut self.rng, priority, value);
+    }
+
+    /// Dequeue through the handle.
+    pub fn dequeue(&mut self) -> Option<(u64, V)> {
+        self.mq.dequeue_with(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mq: MultiQueue<u32> = MultiQueue::new(4);
+        let mut rng = Xoshiro256::new(1);
+        assert_eq!(mq.dequeue_with(&mut rng), None);
+        assert!(mq.is_empty());
+    }
+
+    #[test]
+    fn conservation_sequential() {
+        let mq: MultiQueue<u64> = MultiQueue::new(8);
+        let mut rng = Xoshiro256::new(2);
+        for p in 0..1000u64 {
+            mq.insert_with(&mut rng, p, p * 10);
+        }
+        assert_eq!(mq.len(), 1000);
+        let mut out = Vec::new();
+        while let Some((p, v)) = mq.dequeue_with(&mut rng) {
+            assert_eq!(v, p * 10);
+            out.push(p);
+        }
+        assert_eq!(out.len(), 1000);
+        out.sort_unstable();
+        assert_eq!(out, (0..1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_queue_is_exact() {
+        // m = 1: both choices are the same queue, so dequeues are the
+        // true minimum — the structure degenerates to an exact PQ.
+        let mq: MultiQueue<()> = MultiQueue::new(1);
+        let mut rng = Xoshiro256::new(3);
+        for p in [5u64, 2, 9, 1, 7] {
+            mq.insert_with(&mut rng, p, ());
+        }
+        let drained: Vec<u64> =
+            std::iter::from_fn(|| mq.dequeue_with(&mut rng).map(|(p, _)| p)).collect();
+        assert_eq!(drained, vec![1, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn rank_error_is_bounded_in_practice() {
+        // Sequential use: dequeue rank should be O(m); test a generous
+        // multiple. (Statistical, deterministic seed.)
+        let m = 8usize;
+        let mq: MultiQueue<()> = MultiQueue::new(m);
+        let mut rng = Xoshiro256::new(4);
+        let n = 10_000u64;
+        for p in 0..n {
+            mq.insert_with(&mut rng, p, ());
+        }
+        use std::collections::BTreeSet;
+        let mut present: BTreeSet<u64> = (0..n).collect();
+        let mut max_rank = 0usize;
+        for _ in 0..n {
+            let (p, ()) = mq.dequeue_with(&mut rng).unwrap();
+            let rank = present.range(..p).count();
+            max_rank = max_rank.max(rank);
+            present.remove(&p);
+        }
+        // Theory: expected rank O(m), max over n steps O(m log n)-ish.
+        assert!(max_rank <= 30 * m, "max rank {max_rank} too large");
+    }
+
+    #[test]
+    fn trylock_mode_conserves() {
+        let mq: MultiQueue<u64> = MultiQueue::with_queues(
+            (0..4).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::TryLock,
+        );
+        let mut rng = Xoshiro256::new(5);
+        for p in 0..500u64 {
+            mq.insert_with(&mut rng, p, p);
+        }
+        let mut n = 0;
+        while mq.dequeue_with(&mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: u64 = 10_000;
+        let mq: Arc<MultiQueue<u64>> = Arc::new(MultiQueue::new(16));
+        let consumed: Vec<u64> = std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let mq = Arc::clone(&mq);
+                s.spawn(move || {
+                    let mut rng = Xoshiro256::new(100 + t as u64);
+                    for i in 0..PER {
+                        let p = (t as u64) * PER + i;
+                        mq.insert_with(&mut rng, p, p);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..CONSUMERS)
+                .map(|t| {
+                    let mq = Arc::clone(&mq);
+                    s.spawn(move || {
+                        let mut rng = Xoshiro256::new(200 + t as u64);
+                        let mut got = Vec::new();
+                        let target = PRODUCERS as u64 * PER / CONSUMERS as u64;
+                        while (got.len() as u64) < target {
+                            if let Some((_, v)) = mq.dequeue_with(&mut rng) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all = consumed;
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS as u64 * PER).collect::<Vec<_>>());
+        assert!(mq.is_empty());
+    }
+
+    #[test]
+    fn works_with_skiplist_substrate() {
+        use dlz_pq::SkipListPq;
+        let mq: MultiQueue<u64, SkipListPq<u64, u64>> = MultiQueue::with_queues(
+            (0..4).map(|i| SkipListPq::with_seed(i as u64)).collect(),
+            DeleteMode::Strict,
+        );
+        let mut rng = Xoshiro256::new(6);
+        for p in 0..200u64 {
+            mq.insert_with(&mut rng, p, p);
+        }
+        let mut n = 0;
+        while mq.dequeue_with(&mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn stamped_ops_produce_unique_ordered_stamps() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let stamper = AtomicU64::new(0);
+        let mut rng = Xoshiro256::new(7);
+        let mut stamps = Vec::new();
+        for p in 0..100u64 {
+            stamps.push(mq.insert_stamped(&mut rng, p, p, &stamper));
+        }
+        while let Some((_, _, s)) = mq.dequeue_stamped(&mut rng, &stamper) {
+            stamps.push(s);
+        }
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200, "stamps must be unique");
+    }
+
+    #[test]
+    fn k_choice_dequeue_conserves_for_all_k() {
+        for k in [1usize, 2, 4] {
+            let mq: MultiQueue<u64> = MultiQueue::new(8);
+            let mut rng = Xoshiro256::new(40 + k as u64);
+            for p in 0..500u64 {
+                mq.insert_with(&mut rng, p, p);
+            }
+            let mut n = 0;
+            while mq.dequeue_k_with(&mut rng, k).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 500, "k={k}");
+        }
+    }
+
+    #[test]
+    fn more_choices_tighten_rank_distribution() {
+        use std::collections::BTreeSet;
+        let rank_sum = |k: usize| {
+            let m = 16;
+            let mq: MultiQueue<u64> = MultiQueue::new(m);
+            let mut rng = Xoshiro256::new(77);
+            let n = 4_000u64;
+            for p in 0..n {
+                mq.insert_with(&mut rng, p, p);
+            }
+            let mut present: BTreeSet<u64> = (0..n).collect();
+            let mut sum = 0usize;
+            for _ in 0..n {
+                let (p, _) = mq.dequeue_k_with(&mut rng, k).unwrap();
+                sum += present.range(..p).count();
+                present.remove(&p);
+            }
+            sum
+        };
+        let one = rank_sum(1);
+        let two = rank_sum(2);
+        let four = rank_sum(4);
+        assert!(one > two, "k=1 total rank {one} should exceed k=2 {two}");
+        assert!(two >= four, "k=2 total rank {two} should be >= k=4 {four}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn zero_choice_dequeue_rejected() {
+        let mq: MultiQueue<u64> = MultiQueue::new(2);
+        let mut rng = Xoshiro256::new(1);
+        let _ = mq.dequeue_k_with(&mut rng, 0);
+    }
+
+    #[test]
+    fn drain_sorted_collects_everything() {
+        let mq: MultiQueue<char> = MultiQueue::new(4);
+        let mut rng = Xoshiro256::new(8);
+        mq.insert_with(&mut rng, 3, 'c');
+        mq.insert_with(&mut rng, 1, 'a');
+        mq.insert_with(&mut rng, 2, 'b');
+        assert_eq!(mq.drain_sorted(), vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        assert!(mq.is_empty());
+    }
+
+    #[test]
+    fn builder_forms() {
+        let a: MultiQueue<()> = MultiQueue::<()>::builder().queues(6).build();
+        assert_eq!(a.num_queues(), 6);
+        let b: MultiQueue<()> = MultiQueue::<()>::builder()
+            .ratio(2)
+            .threads(3)
+            .delete_mode(DeleteMode::TryLock)
+            .build();
+        assert_eq!(b.num_queues(), 6);
+        assert_eq!(b.mode(), DeleteMode::TryLock);
+    }
+
+    #[test]
+    fn handle_wraps_rng() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let mut h = MqHandle::new(&mq, 9);
+        for p in 0..50 {
+            h.insert(p, p);
+        }
+        let mut n = 0;
+        while h.dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+}

@@ -1,0 +1,224 @@
+//! The queue-like façade over the MultiQueue: timestamp priorities.
+//!
+//! Section 7.1: "to enqueue, a thread reads the wall clock, chooses a
+//! random priority queue, and adds the element to that priority queue
+//! with priority given by the time." This wrapper does exactly that,
+//! generic over the [`Clock`]. With an exact clock every element has a
+//! unique, insertion-ordered timestamp, so dequeue rank error equals
+//! "how far from FIFO" the structure is — the quantity Theorem 7.1
+//! bounds by O(m) in expectation.
+
+use dlz_pq::{BinaryHeap, SeqPriorityQueue};
+
+use crate::clock::{Clock, FaaClock};
+use crate::queue::{DeleteMode, MultiQueue};
+use crate::rng::{with_thread_rng, Rng64};
+
+/// A relaxed FIFO queue: MultiQueue + clock-assigned priorities.
+///
+/// # Example
+/// ```
+/// use dlz_core::{RelaxedFifo, clock::FaaClock};
+/// use dlz_core::rng::Xoshiro256;
+///
+/// let q: RelaxedFifo<&str> = RelaxedFifo::new(4, FaaClock::new());
+/// let mut rng = Xoshiro256::new(1);
+/// q.enqueue_with(&mut rng, "first");
+/// q.enqueue_with(&mut rng, "second");
+/// // Dequeues return *approximately* oldest-first; both come out.
+/// let a = q.dequeue_with(&mut rng).unwrap();
+/// let b = q.dequeue_with(&mut rng).unwrap();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug)]
+pub struct RelaxedFifo<V, C = FaaClock, Q = BinaryHeap<u64, V>>
+where
+    V: Send,
+    C: Clock,
+    Q: SeqPriorityQueue<u64, V> + Send,
+{
+    mq: MultiQueue<V, Q>,
+    clock: C,
+}
+
+impl<V: Send, C: Clock> RelaxedFifo<V, C> {
+    /// Creates a relaxed FIFO with `m` internal binary-heap queues.
+    pub fn new(m: usize, clock: C) -> Self {
+        RelaxedFifo {
+            mq: MultiQueue::with_queues(
+                (0..m).map(|_| BinaryHeap::new()).collect(),
+                DeleteMode::Strict,
+            ),
+            clock,
+        }
+    }
+}
+
+impl<V: Send, C: Clock, Q: SeqPriorityQueue<u64, V> + Send> RelaxedFifo<V, C, Q> {
+    /// Builds from explicit internal queues.
+    pub fn with_queues(queues: Vec<Q>, mode: DeleteMode, clock: C) -> Self {
+        RelaxedFifo {
+            mq: MultiQueue::with_queues(queues, mode),
+            clock,
+        }
+    }
+
+    /// Enqueue with an explicit generator; the timestamp comes from the
+    /// clock at call time (Algorithm 2's `Clock.Read()`).
+    pub fn enqueue_with(&self, rng: &mut impl Rng64, value: V) {
+        let ts = self.clock.tick();
+        self.mq.insert_with(rng, ts, value);
+    }
+
+    /// Dequeue with an explicit generator: an approximately-oldest
+    /// element, or `None` if observed empty.
+    pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<V> {
+        self.mq.dequeue_with(rng).map(|(_, v)| v)
+    }
+
+    /// Dequeue returning the element's enqueue timestamp too.
+    pub fn dequeue_with_timestamp(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
+        self.mq.dequeue_with(rng)
+    }
+
+    /// Convenience enqueue using the thread-local generator.
+    pub fn enqueue(&self, value: V) {
+        with_thread_rng(|rng| self.enqueue_with(rng, value));
+    }
+
+    /// Convenience dequeue using the thread-local generator.
+    pub fn dequeue(&self) -> Option<V> {
+        with_thread_rng(|rng| self.dequeue_with(rng))
+    }
+
+    /// Observed number of queued elements. Exact when quiescent.
+    pub fn len(&self) -> usize {
+        self.mq.len()
+    }
+
+    /// `true` if observed empty. Exact when quiescent.
+    pub fn is_empty(&self) -> bool {
+        self.mq.is_empty()
+    }
+
+    /// The underlying MultiQueue (for checkers and diagnostics).
+    pub fn multiqueue(&self) -> &MultiQueue<V, Q> {
+        &self.mq
+    }
+
+    /// The clock used for timestamps.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{FaaClock, MonotonicNanoClock};
+    use crate::rng::Xoshiro256;
+    use std::sync::Arc;
+
+    #[test]
+    fn everything_enqueued_is_dequeued_once() {
+        let q: RelaxedFifo<u64> = RelaxedFifo::new(8, FaaClock::new());
+        let mut rng = Xoshiro256::new(1);
+        for v in 0..2_000u64 {
+            q.enqueue_with(&mut rng, v);
+        }
+        let mut out: Vec<u64> = std::iter::from_fn(|| q.dequeue_with(&mut rng)).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..2_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dequeue_order_is_near_fifo() {
+        // Sequential execution, m = 8: the dequeue rank (how many older
+        // elements were still present) must stay O(m)-ish.
+        let m = 8;
+        let q: RelaxedFifo<u64> = RelaxedFifo::new(m, FaaClock::new());
+        let mut rng = Xoshiro256::new(2);
+        let n = 5_000u64;
+        for v in 0..n {
+            q.enqueue_with(&mut rng, v);
+        }
+        use std::collections::BTreeSet;
+        let mut present: BTreeSet<u64> = (0..n).collect();
+        let mut max_rank = 0;
+        while let Some(v) = q.dequeue_with(&mut rng) {
+            let rank = present.range(..v).count();
+            max_rank = max_rank.max(rank);
+            present.remove(&v);
+        }
+        assert!(present.is_empty());
+        assert!(max_rank <= 30 * m, "max FIFO violation {max_rank}");
+    }
+
+    #[test]
+    fn wall_clock_timestamps_are_monotone_per_thread() {
+        let q: RelaxedFifo<u64, MonotonicNanoClock> =
+            RelaxedFifo::new(4, MonotonicNanoClock::new());
+        let mut rng = Xoshiro256::new(3);
+        for v in 0..100u64 {
+            q.enqueue_with(&mut rng, v);
+        }
+        // Timestamps seen at dequeue reflect enqueue order: element v's
+        // timestamp <= element (v+1)'s (single-threaded enqueues).
+        let mut ts_by_value = vec![0u64; 100];
+        while let Some((ts, v)) = q.dequeue_with_timestamp(&mut rng) {
+            ts_by_value[v as usize] = ts;
+        }
+        for w in ts_by_value.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_conserves() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: u64 = 5_000;
+        let q: Arc<RelaxedFifo<u64>> = Arc::new(RelaxedFifo::new(8, FaaClock::new()));
+        let got: Vec<u64> = std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut rng = Xoshiro256::new(50 + t as u64);
+                    for i in 0..PER {
+                        q.enqueue_with(&mut rng, t as u64 * PER + i);
+                    }
+                });
+            }
+            let hs: Vec<_> = (0..CONSUMERS)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut rng = Xoshiro256::new(80 + t as u64);
+                        let mut got = Vec::new();
+                        let target = PRODUCERS as u64 * PER / CONSUMERS as u64;
+                        while (got.len() as u64) < target {
+                            if let Some(v) = q.dequeue_with(&mut rng) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            hs.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut all = got;
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS as u64 * PER).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn accessors() {
+        let q: RelaxedFifo<u8> = RelaxedFifo::new(3, FaaClock::new());
+        assert!(q.is_empty());
+        assert_eq!(q.multiqueue().num_queues(), 3);
+        q.enqueue(9);
+        assert_eq!(q.len(), 1);
+        assert!(q.clock().now() >= 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Fast, seedable pseudo-random number generation for the hot paths.
+//!
+//! Every MultiCounter increment and every MultiQueue dequeue draws two
+//! uniform indices. Routing those draws through a general-purpose RNG
+//! crate would dominate the cost of the `fetch_add` itself, so we use
+//! xoshiro256\*\* (Blackman & Vigna), seeded via SplitMix64 — the
+//! standard pairing, with 256 bits of state and sub-nanosecond output.
+//!
+//! Two usage styles are supported:
+//!
+//! * **Deterministic**: construct a [`Xoshiro256`] from a seed and thread
+//!   it through `*_with` methods — what the simulators and tests do.
+//! * **Convenient**: [`with_thread_rng`] hands each OS thread its own
+//!   lazily-seeded generator (unique seed per thread from a global
+//!   counter), used by the no-argument `increment()`/`dequeue()` APIs.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimal interface the data structures need from a generator.
+pub trait Rng64 {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform index in `0..n` (n > 0), via Lemire's multiply-shift.
+    /// Bias is at most `n / 2^64` — immaterial for `n` up to billions.
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli(p) draw.
+    #[inline]
+    fn coin(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+}
+
+/// SplitMix64: the recommended seeder for xoshiro state.
+///
+/// Also a perfectly fine (if statistically weaker) generator on its own;
+/// we expose it because some simulators only need stream splitting.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from any 64-bit seed (0 is fine).
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* — the workhorse generator.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the 256-bit state from a 64-bit seed through SplitMix64,
+    /// as the xoshiro authors prescribe.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // All-zero state is the one forbidden fixed point; SplitMix64
+        // cannot produce four consecutive zeros, but belt and braces:
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Xoshiro256 { s }
+    }
+
+    /// Derives an independent generator (for a new thread or a forked
+    /// simulation branch) by drawing a fresh seed from this one.
+    pub fn fork(&mut self) -> Self {
+        Xoshiro256::new(self.next_u64())
+    }
+}
+
+impl Rng64 for Xoshiro256 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Global source of distinct per-thread seeds.
+static THREAD_SEED: AtomicU64 = AtomicU64::new(0x6a09e667f3bcc908);
+
+thread_local! {
+    static THREAD_RNG: UnsafeCell<Xoshiro256> = UnsafeCell::new(Xoshiro256::new(
+        THREAD_SEED.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed),
+    ));
+}
+
+/// Runs `f` with this thread's private generator.
+///
+/// The closure must not call `with_thread_rng` reentrantly (it cannot,
+/// short of deliberately smuggling the call into `f` — doing so would be
+/// a bug, and the `UnsafeCell` access below relies on its absence).
+#[inline]
+pub fn with_thread_rng<R>(f: impl FnOnce(&mut Xoshiro256) -> R) -> R {
+    THREAD_RNG.with(|cell| {
+        // SAFETY: thread-local, non-reentrant (documented contract); no
+        // other reference to the cell can exist while `f` runs.
+        f(unsafe { &mut *cell.get() })
+    })
+}
+
+/// Overrides this thread's generator seed — lets tests that exercise the
+/// convenience (thread-rng) APIs run deterministically.
+pub fn reseed_thread_rng(seed: u64) {
+    THREAD_RNG.with(|cell| {
+        // SAFETY: same contract as `with_thread_rng`.
+        unsafe { *cell.get() = Xoshiro256::new(seed) }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output of SplitMix64 with seed 1234567,
+        // cross-checked against the public-domain C implementation.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256::new(99);
+        let mut b = Xoshiro256::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_stays_in_range_and_covers() {
+        let mut rng = Xoshiro256::new(7);
+        let n = 10u64;
+        let mut seen = [0u32; 10];
+        for _ in 0..10_000 {
+            let v = rng.bounded(n);
+            assert!(v < n);
+            seen[v as usize] += 1;
+        }
+        // Every bucket hit; uniform would be 1000 per bucket.
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "bucket {i} too light: {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::new(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn coin_respects_probability() {
+        let mut rng = Xoshiro256::new(11);
+        let hits = (0..10_000).filter(|_| rng.coin(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fork_produces_divergent_streams() {
+        let mut a = Xoshiro256::new(5);
+        let mut b = a.fork();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn thread_rngs_are_distinct_across_threads() {
+        let here = with_thread_rng(|r| r.next_u64());
+        let there = std::thread::spawn(|| with_thread_rng(|r| r.next_u64()))
+            .join()
+            .unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn reseed_makes_thread_rng_deterministic() {
+        reseed_thread_rng(42);
+        let a = with_thread_rng(|r| r.next_u64());
+        reseed_thread_rng(42);
+        let b = with_thread_rng(|r| r.next_u64());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Replaying recorded histories through a quantitative relaxation.
+//!
+//! This is the executable side of Definition 5.2: given a history of a
+//! concurrent structure `D` (with update-point stamps) and the relaxed
+//! sequential process `R` (a [`QuantitativeRelaxation`]), construct the
+//! mapping — replay in stamp order — and report the empirical cost
+//! distribution. If the mapping fails (an infinite-cost transition, a
+//! malformed stamp discipline, a real-time violation), the outcome says
+//! so and where.
+
+use crate::spec::history::History;
+use crate::spec::relaxation::{CostDistribution, QuantitativeRelaxation};
+
+/// Result of replaying a history against a relaxation.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Per-step costs, in replay (update-stamp) order.
+    pub costs: CostDistribution,
+    /// `true` iff the stamp discipline held (`invoke ≤ update ≤
+    /// response`, unique stamps).
+    pub well_formed: bool,
+    /// `true` iff update order respected real-time order of
+    /// non-overlapping operations.
+    pub real_time_ok: bool,
+    /// Indices (in replay order) of transitions with infinite cost —
+    /// places where the concurrent output cannot be mapped onto the
+    /// relaxed process at all (e.g. dequeue of an absent element).
+    pub unmappable: Vec<usize>,
+}
+
+impl ReplayOutcome {
+    /// The structure is distributionally linearizable *on this
+    /// execution* with the measured cost distribution: every operation
+    /// mapped, stamps were sound, real time respected.
+    pub fn is_linearizable(&self) -> bool {
+        self.well_formed && self.real_time_ok && self.unmappable.is_empty()
+    }
+}
+
+/// Replays `history` through `relaxation` in update-stamp order.
+///
+/// The caller does *not* need to pre-sort the history.
+pub fn check_distributional<R>(relaxation: &R, history: &History<R::Label>) -> ReplayOutcome
+where
+    R: QuantitativeRelaxation,
+    R::Label: Clone,
+{
+    let well_formed = history.well_formed();
+    let real_time_ok = history.respects_real_time();
+    let labels = history.labels_in_update_order();
+
+    let mut state = relaxation.initial();
+    let mut costs = CostDistribution::new();
+    let mut unmappable = Vec::new();
+    for (idx, label) in labels.iter().enumerate() {
+        let cost = relaxation.apply_mut(&mut state, label);
+        if cost.is_infinite() {
+            unmappable.push(idx);
+        } else {
+            costs.push(cost);
+        }
+    }
+
+    ReplayOutcome {
+        costs,
+        well_formed,
+        real_time_ok,
+        unmappable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::history::{Event, History, StampClock, ThreadLog};
+    use crate::spec::specs::{CounterOp, CounterSpec, PqOp, PqSpec};
+
+    fn ev<L>(label: L, stamp: u64) -> Event<L> {
+        Event {
+            thread: 0,
+            label,
+            invoke: stamp * 10,
+            update: stamp * 10 + 1,
+            response: stamp * 10 + 2,
+        }
+    }
+
+    #[test]
+    fn exact_counter_history_has_zero_costs() {
+        let h = History {
+            events: vec![
+                ev(CounterOp::Inc, 0),
+                ev(CounterOp::Read { returned: 1 }, 1),
+                ev(CounterOp::Inc, 2),
+                ev(CounterOp::Read { returned: 2 }, 3),
+            ],
+        };
+        let out = check_distributional(&CounterSpec, &h);
+        assert!(out.is_linearizable());
+        assert_eq!(out.costs.max(), 0.0);
+        assert_eq!(out.costs.len(), 4);
+    }
+
+    #[test]
+    fn relaxed_counter_reads_cost_their_deviation() {
+        let h = History {
+            events: vec![
+                ev(CounterOp::Inc, 0),
+                ev(CounterOp::Inc, 1),
+                ev(CounterOp::Read { returned: 6 }, 2), // true 2, cost 4
+            ],
+        };
+        let out = check_distributional(&CounterSpec, &h);
+        assert!(out.is_linearizable());
+        assert_eq!(out.costs.max(), 4.0);
+    }
+
+    #[test]
+    fn unsorted_history_is_sorted_by_checker() {
+        // Same history, events supplied out of order.
+        let h = History {
+            events: vec![
+                ev(CounterOp::Read { returned: 2 }, 3),
+                ev(CounterOp::Inc, 0),
+                ev(CounterOp::Inc, 2),
+                ev(CounterOp::Read { returned: 1 }, 1),
+            ],
+        };
+        let out = check_distributional(&CounterSpec, &h);
+        assert!(out.is_linearizable());
+        assert_eq!(out.costs.max(), 0.0);
+    }
+
+    #[test]
+    fn unmappable_operations_are_flagged() {
+        let h = History {
+            events: vec![
+                ev(PqOp::Insert { priority: 1 }, 0),
+                ev(PqOp::DeleteMin { removed: 99 }, 1), // never inserted
+            ],
+        };
+        let out = check_distributional(&PqSpec, &h);
+        assert!(!out.is_linearizable());
+        assert_eq!(out.unmappable, vec![1]);
+    }
+
+    #[test]
+    fn malformed_stamps_are_flagged() {
+        let h = History {
+            events: vec![Event {
+                thread: 0,
+                label: CounterOp::Inc,
+                invoke: 10,
+                update: 5, // before invoke
+                response: 20,
+            }],
+        };
+        let out = check_distributional(&CounterSpec, &h);
+        assert!(!out.well_formed);
+        assert!(!out.is_linearizable());
+    }
+
+    #[test]
+    fn end_to_end_with_recorder_and_multicounter() {
+        use crate::counter::MultiCounter;
+        use crate::rng::Xoshiro256;
+
+        // Record a single-threaded MultiCounter execution and verify it
+        // maps onto the relaxed counter with bounded costs.
+        let mc = MultiCounter::new(8);
+        let clock = StampClock::new();
+        let mut log = ThreadLog::new(0);
+        let mut rng = Xoshiro256::new(7);
+        for _ in 0..500 {
+            log.record(&clock, || {
+                mc.increment_with(&mut rng);
+                (CounterOp::Inc, clock.stamp())
+            });
+        }
+        // A few relaxed reads interleaved at the end.
+        for _ in 0..20 {
+            log.record(&clock, || {
+                let v = mc.read_with(&mut rng);
+                (CounterOp::Read { returned: v }, clock.stamp())
+            });
+        }
+        let h = History::from_logs(vec![log]);
+        let out = check_distributional(&CounterSpec, &h);
+        assert!(out.is_linearizable());
+        // Read deviation is at most m * max_gap ≤ generous bound.
+        assert!(out.costs.max() <= (8 * 8 * 8) as f64);
+    }
+}

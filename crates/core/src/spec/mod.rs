@@ -1,0 +1,39 @@
+//! Distributional linearizability, executable (Section 5 of the paper).
+//!
+//! The paper defines a randomized quantitative relaxation of a sequential
+//! specification `S` in four steps:
+//!
+//! 1. **Completion** — extend `LTS(S)` with transitions from any state by
+//!    any method ([`lts`], [`relaxation`]).
+//! 2. **Cost function** — `cost(q, m, q') = 0` iff the transition is
+//!    legal in `LTS(S)` ([`relaxation::QuantitativeRelaxation::apply`]).
+//! 3. **Path cost** — a monotone accumulation of step costs
+//!    ([`relaxation::PathCost`]).
+//! 4. **Probability distribution** — a distribution over the costs
+//!    incurred at each step. We *measure* it instead of assuming it:
+//!    the [`checker`] replays recorded concurrent histories through the
+//!    completed LTS and reports the empirical [`relaxation::CostDistribution`].
+//!
+//! A concurrent structure `D` is *distributionally linearizable* to the
+//! relaxed process `R` (Definition 5.2) if every concurrent schedule
+//! admits a mapping of completed operations of `D` onto transitions of
+//! `R` preserving outputs and the order of non-overlapping operations.
+//! Our recorded histories construct that mapping explicitly: each
+//! operation carries an *update stamp* drawn inside its atomic update
+//! step, so stamp order is a legal linearization order (stamps lie
+//! within operation intervals), and replaying in stamp order yields the
+//! sequential path whose costs Definition 5.2 talks about.
+
+pub mod checker;
+pub mod exact;
+pub mod history;
+pub mod lts;
+pub mod relaxation;
+pub mod specs;
+
+pub use checker::{check_distributional, ReplayOutcome};
+pub use exact::{check_linearizable, Linearizability};
+pub use history::{Event, History, StampClock, ThreadLog};
+pub use lts::{Lts, SequentialSpec};
+pub use relaxation::{CostDistribution, PathCost, QuantitativeRelaxation};
+pub use specs::{CounterOp, CounterSpec, FifoOp, FifoSpec, PqOp, PqSpec};

@@ -1,0 +1,323 @@
+//! Quantitative relaxations: the completed LTS with transition costs.
+//!
+//! Steps 1–3 of the paper's construction (Section 5): complete the LTS
+//! so every method is enabled in every state, attach a cost that is zero
+//! exactly on the legal transitions, and accumulate path costs
+//! monotonically. Step 4 (the probability distribution on costs) is
+//! *empirical* in this crate: see [`CostDistribution`] and the
+//! [`checker`](crate::spec::checker).
+
+use crate::spec::lts::SequentialSpec;
+
+/// A completed, cost-annotated LTS (`LTSc(S)` plus `cost`).
+///
+/// Laws (checked by the property tests in this module and relied on by
+/// the checker):
+///
+/// * `apply` is total — completion means every label is enabled.
+/// * `apply(q, l).1 == 0.0` **iff** the underlying spec allows `q →l`.
+/// * Costs are non-negative.
+pub trait QuantitativeRelaxation {
+    /// Abstract state, as in [`SequentialSpec`].
+    type State: Clone;
+    /// Method labels, as in [`SequentialSpec`].
+    type Label: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `label` unconditionally, returning the successor state
+    /// and the transition cost (0 iff legal in the base specification).
+    fn apply(&self, state: &Self::State, label: &Self::Label) -> (Self::State, f64);
+
+    /// In-place variant of [`apply`](Self::apply), used by the checker
+    /// on long histories. The default delegates to `apply` (one state
+    /// clone per step); implementations with large states (multisets,
+    /// queues) should override it with a true in-place update.
+    fn apply_mut(&self, state: &mut Self::State, label: &Self::Label) -> f64 {
+        let (next, cost) = self.apply(state, label);
+        *state = next;
+        cost
+    }
+}
+
+/// How per-step costs combine into a path cost. Both are monotone with
+/// respect to prefix order, as the paper requires of `pcost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathCost {
+    /// Total accumulated cost.
+    Sum,
+    /// Worst single step.
+    Max,
+}
+
+impl PathCost {
+    /// Folds a cost sequence.
+    pub fn fold(self, costs: &[f64]) -> f64 {
+        match self {
+            PathCost::Sum => costs.iter().sum(),
+            PathCost::Max => costs.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Runs a quantitative path `q1 →(m1,k1) q2 →(m2,k2) ...` and returns
+/// the final state plus the quantitative trace's costs `(k1, k2, ...)`.
+pub fn quantitative_path<R: QuantitativeRelaxation>(
+    rel: &R,
+    labels: &[R::Label],
+) -> (R::State, Vec<f64>) {
+    let mut state = rel.initial();
+    let mut costs = Vec::with_capacity(labels.len());
+    for l in labels {
+        let (next, cost) = rel.apply(&state, l);
+        costs.push(cost);
+        state = next;
+    }
+    (state, costs)
+}
+
+/// Canonical way to obtain a relaxation from a spec plus a cost rule.
+///
+/// Wraps a [`SequentialSpec`] `S` together with a *completion function*
+/// that says how to transition (and at what cost) when the base spec
+/// forbids the move. The blanket cost law "0 iff legal" holds as long as
+/// the completion function never returns cost 0.
+pub struct Completed<S, F> {
+    spec: S,
+    complete: F,
+}
+
+impl<S, F> Completed<S, F>
+where
+    S: SequentialSpec,
+    F: Fn(&S::State, &S::Label) -> (S::State, f64),
+{
+    /// Builds a completed LTS from `spec` and the completion rule.
+    pub fn new(spec: S, complete: F) -> Self {
+        Completed { spec, complete }
+    }
+
+    /// The wrapped base specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+}
+
+impl<S, F> QuantitativeRelaxation for Completed<S, F>
+where
+    S: SequentialSpec,
+    F: Fn(&S::State, &S::Label) -> (S::State, f64),
+{
+    type State = S::State;
+    type Label = S::Label;
+
+    fn initial(&self) -> S::State {
+        self.spec.initial()
+    }
+
+    fn apply(&self, state: &S::State, label: &S::Label) -> (S::State, f64) {
+        match self.spec.step(state, label) {
+            Some(next) => (next, 0.0),
+            None => (self.complete)(state, label),
+        }
+    }
+}
+
+/// Empirical distribution of per-step costs (step 4 of the paper's
+/// construction, measured on a concrete execution).
+#[derive(Debug, Clone, Default)]
+pub struct CostDistribution {
+    samples: Vec<f64>,
+}
+
+impl CostDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from raw samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        CostDistribution { samples }
+    }
+
+    /// Records one cost sample.
+    pub fn push(&mut self, cost: f64) {
+        self.samples.push(cost);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Fraction of samples strictly above `threshold` — the empirical
+    /// tail `P(cost > threshold)` that the paper's w.h.p. bounds cap.
+    pub fn tail_mass(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&c| c > threshold).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Raw samples (read-only).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &CostDistribution) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::lts::SequentialSpec;
+
+    struct Exact;
+
+    #[derive(Clone)]
+    enum Op {
+        Put(u64),
+        Get(u64),
+    }
+
+    impl SequentialSpec for Exact {
+        type State = Vec<u64>;
+        type Label = Op;
+
+        fn initial(&self) -> Vec<u64> {
+            Vec::new()
+        }
+
+        fn step(&self, s: &Vec<u64>, l: &Op) -> Option<Vec<u64>> {
+            match l {
+                Op::Put(v) => {
+                    let mut s = s.clone();
+                    s.push(*v);
+                    Some(s)
+                }
+                Op::Get(v) => {
+                    // exact: must return the first element
+                    let first = *s.first()?;
+                    if first == *v {
+                        Some(s[1..].to_vec())
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn relaxed() -> Completed<Exact, impl Fn(&Vec<u64>, &Op) -> (Vec<u64>, f64)> {
+        Completed::new(Exact, |s: &Vec<u64>, l: &Op| match l {
+            Op::Put(_) => unreachable!("puts are always legal"),
+            Op::Get(v) => {
+                // cost = how deep in the queue the returned element was
+                let pos = s.iter().position(|x| x == v);
+                match pos {
+                    Some(p) => {
+                        let mut s = s.clone();
+                        s.remove(p);
+                        (s, p as f64)
+                    }
+                    None => (s.clone(), f64::INFINITY),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn legal_transitions_cost_zero() {
+        let rel = relaxed();
+        let (_, costs) = quantitative_path(&rel, &[Op::Put(1), Op::Put(2), Op::Get(1), Op::Get(2)]);
+        assert_eq!(costs, vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn illegal_transitions_cost_positive() {
+        let rel = relaxed();
+        let (_, costs) = quantitative_path(&rel, &[Op::Put(1), Op::Put(2), Op::Get(2)]);
+        assert_eq!(costs, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn path_cost_modes() {
+        let costs = [0.0, 2.0, 1.0, 3.0];
+        assert_eq!(PathCost::Sum.fold(&costs), 6.0);
+        assert_eq!(PathCost::Max.fold(&costs), 3.0);
+    }
+
+    #[test]
+    fn path_cost_is_monotone_in_prefix() {
+        let costs = [1.0, 0.5, 2.0, 0.0, 4.0];
+        for mode in [PathCost::Sum, PathCost::Max] {
+            let mut last = 0.0;
+            for k in 0..=costs.len() {
+                let c = mode.fold(&costs[..k]);
+                assert!(c >= last, "{mode:?} not monotone at {k}");
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let d = CostDistribution::from_samples(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.len(), 5);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(d.max(), 4.0);
+        assert_eq!(d.quantile(0.5), 2.0);
+        assert_eq!(d.quantile(1.0), 4.0);
+        assert!((d.tail_mass(2.5) - 0.4).abs() < 1e-12);
+        assert_eq!(d.tail_mass(100.0), 0.0);
+    }
+
+    #[test]
+    fn distribution_edge_cases() {
+        let d = CostDistribution::new();
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.max(), 0.0);
+        assert_eq!(d.quantile(0.9), 0.0);
+        let mut a = CostDistribution::from_samples(vec![1.0]);
+        a.merge(&CostDistribution::from_samples(vec![3.0]));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), 3.0);
+    }
+}

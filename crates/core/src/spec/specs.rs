@@ -1,0 +1,412 @@
+//! Concrete specifications and their canonical relaxations: counter,
+//! priority queue, FIFO queue.
+//!
+//! Each type implements both [`SequentialSpec`] (the exact structure)
+//! and [`QuantitativeRelaxation`] (the completed LTS with the cost
+//! function the paper uses for it):
+//!
+//! | structure | cost of a relaxed step |
+//! |---|---|
+//! | counter read | `\|returned − true count\|` |
+//! | pq delete-min | rank of the removed priority among those present |
+//! | fifo dequeue | queue position of the removed element |
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::spec::lts::SequentialSpec;
+use crate::spec::relaxation::QuantitativeRelaxation;
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+/// Labels of the counter specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterOp {
+    /// An increment (always exact: the fetch-and-add really happened).
+    Inc,
+    /// A read that returned `returned`.
+    Read {
+        /// The value the concurrent read returned.
+        returned: u64,
+    },
+}
+
+/// The counter specification: state = number of increments so far.
+///
+/// As a [`QuantitativeRelaxation`], a read costs `|returned − count|` —
+/// the deviation Lemma 6.8 bounds by `O(m log m)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSpec;
+
+impl SequentialSpec for CounterSpec {
+    type State = u64;
+    type Label = CounterOp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn step(&self, state: &u64, label: &CounterOp) -> Option<u64> {
+        match label {
+            CounterOp::Inc => Some(state + 1),
+            CounterOp::Read { returned } if returned == state => Some(*state),
+            CounterOp::Read { .. } => None,
+        }
+    }
+}
+
+impl QuantitativeRelaxation for CounterSpec {
+    type State = u64;
+    type Label = CounterOp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, label: &CounterOp) -> (u64, f64) {
+        match label {
+            CounterOp::Inc => (state + 1, 0.0),
+            CounterOp::Read { returned } => (*state, returned.abs_diff(*state) as f64),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Priority queue
+// ---------------------------------------------------------------------
+
+/// Labels of the priority-queue specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqOp {
+    /// Insert of priority `priority`.
+    Insert {
+        /// The inserted priority.
+        priority: u64,
+    },
+    /// A delete-min that removed `removed`.
+    DeleteMin {
+        /// The priority the concurrent delete-min returned.
+        removed: u64,
+    },
+}
+
+/// Priority-queue specification: state = multiset of priorities.
+///
+/// As a [`QuantitativeRelaxation`], a delete-min costs the *rank* of the
+/// removed priority (number of strictly smaller priorities present) —
+/// the quantity Theorem 7.1 bounds by O(m) in expectation. Removing a
+/// priority that is not present costs `+∞` (the mapping of Definition
+/// 5.2 fails; the checker flags it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PqSpec;
+
+/// Multiset of priorities with counts.
+pub type PqState = BTreeMap<u64, usize>;
+
+fn pq_insert(state: &PqState, p: u64) -> PqState {
+    let mut s = state.clone();
+    *s.entry(p).or_insert(0) += 1;
+    s
+}
+
+fn pq_remove(state: &PqState, p: u64) -> Option<PqState> {
+    let mut s = state.clone();
+    match s.get_mut(&p) {
+        Some(c) if *c > 1 => {
+            *c -= 1;
+            Some(s)
+        }
+        Some(_) => {
+            s.remove(&p);
+            Some(s)
+        }
+        None => None,
+    }
+}
+
+impl SequentialSpec for PqSpec {
+    type State = PqState;
+    type Label = PqOp;
+
+    fn initial(&self) -> PqState {
+        BTreeMap::new()
+    }
+
+    fn step(&self, state: &PqState, label: &PqOp) -> Option<PqState> {
+        match label {
+            PqOp::Insert { priority } => Some(pq_insert(state, *priority)),
+            PqOp::DeleteMin { removed } => {
+                // Exact spec: only the true minimum may be removed.
+                let (&min, _) = state.iter().next()?;
+                if min == *removed {
+                    pq_remove(state, *removed)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl QuantitativeRelaxation for PqSpec {
+    type State = PqState;
+    type Label = PqOp;
+
+    fn initial(&self) -> PqState {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &PqState, label: &PqOp) -> (PqState, f64) {
+        let mut next = state.clone();
+        let cost = self.apply_mut(&mut next, label);
+        (next, cost)
+    }
+
+    fn apply_mut(&self, state: &mut PqState, label: &PqOp) -> f64 {
+        match label {
+            PqOp::Insert { priority } => {
+                *state.entry(*priority).or_insert(0) += 1;
+                0.0
+            }
+            PqOp::DeleteMin { removed } => {
+                // Rank before removal: elements strictly smaller.
+                // (O(rank-range) via the ordered map; far cheaper than
+                // cloning the multiset.)
+                match state.get_mut(removed) {
+                    None => f64::INFINITY,
+                    Some(c) => {
+                        if *c > 1 {
+                            *c -= 1;
+                        } else {
+                            state.remove(removed);
+                        }
+                        let rank: usize = state.range(..*removed).map(|(_, c)| *c).sum();
+                        rank as f64
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO queue
+// ---------------------------------------------------------------------
+
+/// Labels of the FIFO-queue specification. Elements are identified by a
+/// caller-chosen id (e.g. the enqueue timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoOp {
+    /// Enqueue of element `id`.
+    Enqueue {
+        /// Unique element identity.
+        id: u64,
+    },
+    /// A dequeue that returned element `id`.
+    Dequeue {
+        /// The identity the concurrent dequeue returned.
+        id: u64,
+    },
+}
+
+/// FIFO specification: state = the queue contents in order.
+///
+/// As a [`QuantitativeRelaxation`], a dequeue costs the position of the
+/// removed element (0 = head = exact FIFO).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoSpec;
+
+impl SequentialSpec for FifoSpec {
+    type State = VecDeque<u64>;
+    type Label = FifoOp;
+
+    fn initial(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+
+    fn step(&self, state: &VecDeque<u64>, label: &FifoOp) -> Option<VecDeque<u64>> {
+        match label {
+            FifoOp::Enqueue { id } => {
+                let mut s = state.clone();
+                s.push_back(*id);
+                Some(s)
+            }
+            FifoOp::Dequeue { id } => {
+                if *state.front()? == *id {
+                    let mut s = state.clone();
+                    s.pop_front();
+                    Some(s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl QuantitativeRelaxation for FifoSpec {
+    type State = VecDeque<u64>;
+    type Label = FifoOp;
+
+    fn initial(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &VecDeque<u64>, label: &FifoOp) -> (VecDeque<u64>, f64) {
+        let mut next = state.clone();
+        let cost = self.apply_mut(&mut next, label);
+        (next, cost)
+    }
+
+    fn apply_mut(&self, state: &mut VecDeque<u64>, label: &FifoOp) -> f64 {
+        match label {
+            FifoOp::Enqueue { id } => {
+                state.push_back(*id);
+                0.0
+            }
+            FifoOp::Dequeue { id } => match state.iter().position(|x| x == id) {
+                Some(pos) => {
+                    state.remove(pos);
+                    pos as f64
+                }
+                None => f64::INFINITY,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::lts::Lts;
+    use crate::spec::relaxation::quantitative_path;
+
+    #[test]
+    fn counter_exact_spec() {
+        let lts = Lts::new(&CounterSpec);
+        assert!(lts.accepts(&[
+            CounterOp::Inc,
+            CounterOp::Read { returned: 1 },
+            CounterOp::Inc,
+            CounterOp::Read { returned: 2 },
+        ]));
+        assert!(!lts.accepts(&[CounterOp::Read { returned: 1 }]));
+    }
+
+    #[test]
+    fn counter_relaxation_costs_deviation() {
+        let (_, costs) = quantitative_path(
+            &CounterSpec,
+            &[
+                CounterOp::Inc,
+                CounterOp::Inc,
+                CounterOp::Read { returned: 5 }, // true count 2 → cost 3
+                CounterOp::Read { returned: 2 }, // exact → cost 0
+            ],
+        );
+        assert_eq!(costs, vec![0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn pq_exact_spec_only_removes_min() {
+        let lts = Lts::new(&PqSpec);
+        assert!(lts.accepts(&[
+            PqOp::Insert { priority: 5 },
+            PqOp::Insert { priority: 3 },
+            PqOp::DeleteMin { removed: 3 },
+            PqOp::DeleteMin { removed: 5 },
+        ]));
+        assert!(!lts.accepts(&[
+            PqOp::Insert { priority: 5 },
+            PqOp::Insert { priority: 3 },
+            PqOp::DeleteMin { removed: 5 },
+        ]));
+        assert!(!lts.accepts(&[PqOp::DeleteMin { removed: 1 }]));
+    }
+
+    #[test]
+    fn pq_relaxation_costs_rank() {
+        let (_, costs) = quantitative_path(
+            &PqSpec,
+            &[
+                PqOp::Insert { priority: 10 },
+                PqOp::Insert { priority: 20 },
+                PqOp::Insert { priority: 30 },
+                PqOp::DeleteMin { removed: 30 }, // rank 2
+                PqOp::DeleteMin { removed: 10 }, // rank 0
+                PqOp::DeleteMin { removed: 20 }, // rank 0
+            ],
+        );
+        assert_eq!(costs, vec![0.0, 0.0, 0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pq_relaxation_duplicates_and_absent() {
+        let (_, costs) = quantitative_path(
+            &PqSpec,
+            &[
+                PqOp::Insert { priority: 7 },
+                PqOp::Insert { priority: 7 },
+                PqOp::DeleteMin { removed: 7 },
+                PqOp::DeleteMin { removed: 7 },
+                PqOp::DeleteMin { removed: 7 }, // absent → ∞
+            ],
+        );
+        assert_eq!(&costs[..4], &[0.0, 0.0, 0.0, 0.0]);
+        assert!(costs[4].is_infinite());
+    }
+
+    #[test]
+    fn fifo_relaxation_costs_position() {
+        let (_, costs) = quantitative_path(
+            &FifoSpec,
+            &[
+                FifoOp::Enqueue { id: 1 },
+                FifoOp::Enqueue { id: 2 },
+                FifoOp::Enqueue { id: 3 },
+                FifoOp::Dequeue { id: 2 }, // position 1
+                FifoOp::Dequeue { id: 1 }, // position 0
+                FifoOp::Dequeue { id: 3 }, // position 0
+            ],
+        );
+        assert_eq!(costs, vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fifo_exact_spec_is_fifo() {
+        let lts = Lts::new(&FifoSpec);
+        assert!(lts.accepts(&[
+            FifoOp::Enqueue { id: 1 },
+            FifoOp::Enqueue { id: 2 },
+            FifoOp::Dequeue { id: 1 },
+            FifoOp::Dequeue { id: 2 },
+        ]));
+        assert!(!lts.accepts(&[
+            FifoOp::Enqueue { id: 1 },
+            FifoOp::Enqueue { id: 2 },
+            FifoOp::Dequeue { id: 2 },
+        ]));
+    }
+
+    #[test]
+    fn relaxation_cost_zero_iff_legal() {
+        // The fundamental cost law, checked on the PQ spec across a
+        // deterministic workload.
+        let spec = PqSpec;
+        let mut state = <PqSpec as QuantitativeRelaxation>::initial(&spec);
+        let labels = [
+            PqOp::Insert { priority: 4 },
+            PqOp::Insert { priority: 2 },
+            PqOp::DeleteMin { removed: 4 },
+            PqOp::DeleteMin { removed: 2 },
+        ];
+        for l in labels {
+            let legal = SequentialSpec::step(&spec, &state, &l).is_some();
+            let (next, cost) = QuantitativeRelaxation::apply(&spec, &state, &l);
+            assert_eq!(legal, cost == 0.0, "law violated at {l:?}");
+            state = next;
+        }
+    }
+}

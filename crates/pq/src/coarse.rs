@@ -1,0 +1,125 @@
+//! The exact (non-relaxed) concurrent priority queue baseline.
+//!
+//! A single global lock around one binary heap. Every `remove_min`
+//! returns the true global minimum — rank error is always zero — but all
+//! threads serialize on one lock and one cache line, which is exactly the
+//! scalability wall the MultiQueue is designed to break. Benchmarks pit
+//! the two against each other on both throughput and quality.
+
+use crate::binary_heap::BinaryHeap;
+use crate::locked::LockedPq;
+use crate::traits::ConcurrentPq;
+
+/// An exact concurrent min-priority queue (global lock + binary heap).
+///
+/// # Example
+/// ```
+/// use dlz_pq::{CoarsePq, ConcurrentPq};
+/// let q = CoarsePq::new();
+/// q.insert(3, "c");
+/// q.insert(1, "a");
+/// assert_eq!(q.remove_min(), Some((1, "a"))); // always the true min
+/// ```
+#[derive(Debug, Default)]
+pub struct CoarsePq<V> {
+    inner: LockedPq<V, BinaryHeap<u64, V>>,
+}
+
+impl<V> CoarsePq<V> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CoarsePq {
+            inner: LockedPq::new(BinaryHeap::new()),
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        CoarsePq {
+            inner: LockedPq::new(BinaryHeap::with_capacity(cap)),
+        }
+    }
+
+    /// Exact length (takes the lock).
+    pub fn len(&self) -> usize {
+        self.inner.with_locked(|q| {
+            use crate::traits::SeqPriorityQueue;
+            q.len()
+        })
+    }
+
+    /// `true` if empty (takes the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Send> ConcurrentPq<V> for CoarsePq<V> {
+    fn insert(&self, priority: u64, value: V) {
+        self.inner.insert(priority, value);
+    }
+
+    fn remove_min(&self) -> Option<(u64, V)> {
+        self.inner.remove_min()
+    }
+
+    fn min_hint(&self) -> u64 {
+        self.inner.min_hint()
+    }
+
+    fn approx_len(&self) -> usize {
+        self.inner.approx_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn always_returns_global_min() {
+        let q = CoarsePq::new();
+        for p in [5u64, 1, 9, 3, 7] {
+            q.insert(p, p);
+        }
+        let mut out = Vec::new();
+        while let Some((p, _)) = q.remove_min() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn concurrent_producers_single_consumer() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 2_000;
+        let q = Arc::new(CoarsePq::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.insert(t * PER + i, ());
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), (THREADS * PER) as usize);
+        let mut last = 0;
+        let mut n = 0u64;
+        while let Some((p, ())) = q.remove_min() {
+            assert!(p >= last);
+            last = p;
+            n += 1;
+        }
+        assert_eq!(n, THREADS * PER);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let q: CoarsePq<u8> = CoarsePq::with_capacity(1024);
+        assert!(q.is_empty());
+        assert_eq!(q.min_hint(), crate::locked::EMPTY_HINT);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dlz-pq — priority-queue substrates
+//!
+//! Sequential priority queues and the locking machinery used to turn them
+//! into the "m linearizable priority queues" assumed by Algorithm 2 of
+//! *Distributionally Linearizable Data Structures* (SPAA 2018).
+//!
+//! The crate provides:
+//!
+//! * [`SeqPriorityQueue`] — the sequential interface (`add`, `delete_min`,
+//!   `read_min`) that the paper's MultiQueue builds on.
+//! * Three interchangeable implementations with different constant-factor
+//!   trade-offs: [`BinaryHeap`], [`PairingHeap`] and [`SkipListPq`]. All of
+//!   them break priority ties in FIFO order using an internal sequence
+//!   number, which is what gives the MultiQueue its queue-like semantics
+//!   when priorities are timestamps.
+//! * [`SpinLock`] — a test-and-test-and-set lock with exponential backoff,
+//!   plus the [`Backoff`] helper it is built from.
+//! * [`LockedPq`] — a linearizable concurrent priority queue (spinlock +
+//!   sequential queue) that additionally publishes its current minimum
+//!   priority in an atomic word so that readers can perform the *ReadMin*
+//!   step of Algorithm 2 without taking the lock.
+//! * [`CoarsePq`] — an exact concurrent priority queue (one global lock),
+//!   used as the non-relaxed baseline in benchmarks.
+//!
+//! Everything in this crate is deterministic given its seeds: there is no
+//! global RNG and no dependence on wall-clock time.
+
+#![warn(missing_docs)]
+
+pub mod binary_heap;
+pub mod coarse;
+pub mod locked;
+pub mod pairing_heap;
+pub mod skiplist;
+pub mod spinlock;
+pub mod traits;
+
+pub use binary_heap::BinaryHeap;
+pub use coarse::CoarsePq;
+pub use locked::{Contended, LockedPq, ParkingLotPq};
+pub use pairing_heap::PairingHeap;
+pub use skiplist::SkipListPq;
+pub use spinlock::{Backoff, SpinGuard, SpinLock};
+pub use traits::{ConcurrentPq, SeqPriorityQueue};

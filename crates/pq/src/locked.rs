@@ -1,0 +1,329 @@
+//! Linearizable concurrent priority queues built from a lock plus a
+//! sequential queue, with a lock-free `ReadMin` hint.
+//!
+//! Algorithm 2 in the paper assumes `m` *linearizable* priority queues
+//! supporting `Add`, `DeleteMin` and `ReadMin`. [`LockedPq`] provides
+//! exactly that: a TATAS spinlock around any [`SeqPriorityQueue`], plus a
+//! cache-padded atomic word that publishes the current minimum priority.
+//! The MultiQueue's dequeue reads two of these hints *without locking*
+//! (the `ReadMin` step), then locks only the queue it chose. The hint may
+//! be stale by the time the lock is taken — that staleness is precisely
+//! the relaxation the paper analyzes, so it is allowed by construction.
+//!
+//! [`ParkingLotPq`] is the same structure over `parking_lot::Mutex`, used
+//! by the lock-substrate ablation benchmark.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::binary_heap::BinaryHeap;
+use crate::spinlock::{SpinGuard, SpinLock};
+use crate::traits::{ConcurrentPq, SeqPriorityQueue};
+
+/// Value published in the hint word when the queue is (believed) empty.
+pub const EMPTY_HINT: u64 = u64::MAX;
+
+/// Error of the `try_*` operations: the lock was held by someone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contended;
+
+/// A lock-based linearizable priority queue with a published min hint.
+///
+/// # Example
+/// ```
+/// use dlz_pq::{LockedPq, BinaryHeap, ConcurrentPq};
+/// let q: LockedPq<&str> = LockedPq::new(BinaryHeap::new());
+/// q.insert(4, "four");
+/// q.insert(2, "two");
+/// assert_eq!(q.min_hint(), 2);
+/// assert_eq!(q.remove_min(), Some((2, "two")));
+/// ```
+#[derive(Debug)]
+pub struct LockedPq<V, Q = BinaryHeap<u64, V>>
+where
+    Q: SeqPriorityQueue<u64, V>,
+{
+    inner: SpinLock<Q>,
+    /// Current minimum priority, or [`EMPTY_HINT`]. Updated while the
+    /// lock is held; read without the lock (that is the point).
+    top: AtomicU64,
+    /// Entry count, maintained alongside the hint for cheap `approx_len`.
+    count: AtomicUsize,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
+    /// Wraps a sequential queue. Any pre-existing entries are reflected
+    /// in the hint.
+    pub fn new(queue: Q) -> Self {
+        let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        let count = queue.len();
+        LockedPq {
+            inner: SpinLock::new(queue),
+            top: AtomicU64::new(top),
+            count: AtomicUsize::new(count),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Refreshes the published hint from the locked queue.
+    ///
+    /// The `Release` store pairs with the `Acquire` load in
+    /// [`ConcurrentPq::min_hint`]; because it happens before the guard's
+    /// own release-store on unlock, a reader that sees the new hint sees
+    /// a value that was genuinely the minimum at some point inside the
+    /// critical section.
+    #[inline]
+    fn publish(&self, guard: &SpinGuard<'_, Q>) {
+        let top = guard.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        self.top.store(top, Ordering::Release);
+        self.count.store(guard.len(), Ordering::Release);
+    }
+
+    /// Locks the queue and runs `f` on it, then refreshes the hint.
+    /// Escape hatch for multi-operation critical sections.
+    pub fn with_locked<R>(&self, f: impl FnOnce(&mut Q) -> R) -> R {
+        let mut guard = self.inner.lock();
+        let r = f(&mut guard);
+        self.publish(&guard);
+        r
+    }
+
+    /// Non-blocking `remove_min`: `Err(Contended)` if the lock is held.
+    /// This is the Rihani-et-al. "retry elsewhere" building block.
+    pub fn try_remove_min(&self) -> Result<Option<(u64, V)>, Contended> {
+        match self.inner.try_lock() {
+            Some(mut guard) => {
+                let out = guard.delete_min();
+                self.publish(&guard);
+                Ok(out)
+            }
+            None => Err(Contended),
+        }
+    }
+
+    /// Non-blocking insert: `Err(())` if the lock is contended.
+    pub fn try_insert(&self, priority: u64, value: V) -> Result<(), (u64, V)> {
+        match self.inner.try_lock() {
+            Some(mut guard) => {
+                guard.add(priority, value);
+                self.publish(&guard);
+                Ok(())
+            }
+            None => Err((priority, value)),
+        }
+    }
+
+    /// `true` if the lock is currently held. Snapshot only.
+    pub fn is_locked(&self) -> bool {
+        self.inner.is_locked()
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V> + Default> Default for LockedPq<V, Q> {
+    fn default() -> Self {
+        Self::new(Q::default())
+    }
+}
+
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for LockedPq<V, Q> {
+    fn insert(&self, priority: u64, value: V) {
+        let mut guard = self.inner.lock();
+        guard.add(priority, value);
+        self.publish(&guard);
+    }
+
+    fn remove_min(&self) -> Option<(u64, V)> {
+        let mut guard = self.inner.lock();
+        let out = guard.delete_min();
+        self.publish(&guard);
+        out
+    }
+
+    #[inline]
+    fn min_hint(&self) -> u64 {
+        self.top.load(Ordering::Acquire)
+    }
+
+    fn approx_len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+}
+
+/// [`LockedPq`]'s twin over `parking_lot::Mutex`, for the lock ablation.
+///
+/// Under heavy contention an OS-assisted lock parks waiting threads
+/// instead of burning cycles; the ablation benchmark quantifies what that
+/// costs on the short critical sections of a MultiQueue.
+#[derive(Debug)]
+pub struct ParkingLotPq<V, Q = BinaryHeap<u64, V>>
+where
+    Q: SeqPriorityQueue<u64, V>,
+{
+    inner: parking_lot::Mutex<Q>,
+    top: AtomicU64,
+    count: AtomicUsize,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> ParkingLotPq<V, Q> {
+    /// Wraps a sequential queue.
+    pub fn new(queue: Q) -> Self {
+        let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        let count = queue.len();
+        ParkingLotPq {
+            inner: parking_lot::Mutex::new(queue),
+            top: AtomicU64::new(top),
+            count: AtomicUsize::new(count),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn publish(&self, guard: &parking_lot::MutexGuard<'_, Q>) {
+        let top = guard.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        self.top.store(top, Ordering::Release);
+        self.count.store(guard.len(), Ordering::Release);
+    }
+
+    /// Non-blocking `remove_min`: `Err(Contended)` if the lock is held.
+    pub fn try_remove_min(&self) -> Result<Option<(u64, V)>, Contended> {
+        match self.inner.try_lock() {
+            Some(mut guard) => {
+                let out = guard.delete_min();
+                self.publish(&guard);
+                Ok(out)
+            }
+            None => Err(Contended),
+        }
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V> + Default> Default for ParkingLotPq<V, Q> {
+    fn default() -> Self {
+        Self::new(Q::default())
+    }
+}
+
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for ParkingLotPq<V, Q> {
+    fn insert(&self, priority: u64, value: V) {
+        let mut guard = self.inner.lock();
+        guard.add(priority, value);
+        self.publish(&guard);
+    }
+
+    fn remove_min(&self) -> Option<(u64, V)> {
+        let mut guard = self.inner.lock();
+        let out = guard.delete_min();
+        self.publish(&guard);
+        out
+    }
+
+    #[inline]
+    fn min_hint(&self) -> u64 {
+        self.top.load(Ordering::Acquire)
+    }
+
+    fn approx_len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hint_tracks_min() {
+        let q: LockedPq<u32> = LockedPq::default();
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+        q.insert(10, 1);
+        assert_eq!(q.min_hint(), 10);
+        q.insert(3, 2);
+        assert_eq!(q.min_hint(), 3);
+        q.remove_min();
+        assert_eq!(q.min_hint(), 10);
+        q.remove_min();
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn new_reflects_preexisting_entries() {
+        let mut h = BinaryHeap::new();
+        h.add(5u64, 'a');
+        h.add(2, 'b');
+        let q = LockedPq::new(h);
+        assert_eq!(q.min_hint(), 2);
+        assert_eq!(q.approx_len(), 2);
+    }
+
+    #[test]
+    fn try_remove_fails_while_locked() {
+        let q: Arc<LockedPq<u32>> = Arc::new(LockedPq::default());
+        q.insert(1, 1);
+        q.with_locked(|_inner| {
+            assert_eq!(q.try_remove_min(), Err(Contended));
+        });
+        assert_eq!(q.try_remove_min(), Ok(Some((1, 1))));
+        assert_eq!(q.try_remove_min(), Ok(None));
+    }
+
+    #[test]
+    fn try_insert_returns_value_on_contention() {
+        let q: LockedPq<u32> = LockedPq::default();
+        q.with_locked(|_inner| {
+            assert_eq!(q.try_insert(9, 99), Err((9, 99)));
+        });
+        assert_eq!(q.try_insert(9, 99), Ok(()));
+        assert_eq!(q.min_hint(), 9);
+    }
+
+    #[test]
+    fn concurrent_inserts_conserve_entries() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 5_000;
+        let q: Arc<LockedPq<u64>> = Arc::new(LockedPq::default());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.insert(t * PER + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.approx_len(), (THREADS * PER) as usize);
+        let mut drained = 0;
+        let mut last = 0;
+        while let Some((p, _)) = q.remove_min() {
+            assert!(p >= last, "priority order violated");
+            last = p;
+            drained += 1;
+        }
+        assert_eq!(drained, THREADS * PER);
+    }
+
+    #[test]
+    fn parking_lot_variant_basics() {
+        let q: ParkingLotPq<char> = ParkingLotPq::default();
+        q.insert(2, 'b');
+        q.insert(1, 'a');
+        assert_eq!(q.min_hint(), 1);
+        assert_eq!(q.remove_min(), Some((1, 'a')));
+        assert_eq!(q.remove_min(), Some((2, 'b')));
+        assert_eq!(q.remove_min(), None);
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn works_with_skiplist_substrate() {
+        use crate::skiplist::SkipListPq;
+        let q: LockedPq<u64, SkipListPq<u64, u64>> = LockedPq::new(SkipListPq::with_seed(3));
+        for i in (0..100u64).rev() {
+            q.insert(i, i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.remove_min(), Some((i, i)));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A pairing heap: O(1) insert and meld, amortized O(log n) delete-min.
+//!
+//! Provided as an alternative internal queue for the MultiQueue ablation:
+//! pairing heaps have cheaper inserts than binary heaps (no sift-up) at
+//! the cost of pointer-chasing on delete-min. The MultiQueue's enqueue
+//! path is insert-heavy, which is exactly the trade this heap makes.
+
+use crate::traits::SeqPriorityQueue;
+
+#[derive(Debug)]
+struct Node<P, V> {
+    priority: P,
+    seq: u64,
+    value: V,
+    /// Children in reverse insertion order (cheap push).
+    children: Vec<Node<P, V>>,
+}
+
+impl<P: Ord, V> Node<P, V> {
+    #[inline]
+    fn key(&self) -> (&P, u64) {
+        (&self.priority, self.seq)
+    }
+}
+
+/// A pairing heap with FIFO tie-breaking (see [`BinaryHeap`] for why).
+///
+/// [`BinaryHeap`]: crate::BinaryHeap
+///
+/// # Example
+/// ```
+/// use dlz_pq::{PairingHeap, SeqPriorityQueue};
+/// let mut h = PairingHeap::new();
+/// h.add(2u64, "b");
+/// h.add(1, "a");
+/// assert_eq!(h.read_min(), Some((&1, &"a")));
+/// assert_eq!(h.delete_min(), Some((1, "a")));
+/// ```
+#[derive(Debug)]
+pub struct PairingHeap<P, V> {
+    root: Option<Box<Node<P, V>>>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<P: Ord, V> Default for PairingHeap<P, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Ord, V> PairingHeap<P, V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        PairingHeap {
+            root: None,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Melds two trees, returning the new root (smaller key wins; the
+    /// loser becomes a child of the winner).
+    fn meld(mut a: Box<Node<P, V>>, mut b: Box<Node<P, V>>) -> Box<Node<P, V>> {
+        if b.key() < a.key() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a.children.push(*b);
+        a
+    }
+
+    /// Two-pass pairing of a child list after the root is removed.
+    fn merge_pairs(children: Vec<Node<P, V>>) -> Option<Box<Node<P, V>>> {
+        // First pass: meld adjacent pairs left to right.
+        let mut pass: Vec<Box<Node<P, V>>> = Vec::with_capacity(children.len() / 2 + 1);
+        let mut iter = children.into_iter();
+        while let Some(first) = iter.next() {
+            match iter.next() {
+                Some(second) => pass.push(Self::meld(Box::new(first), Box::new(second))),
+                None => pass.push(Box::new(first)),
+            }
+        }
+        // Second pass: meld right to left.
+        let mut acc: Option<Box<Node<P, V>>> = None;
+        while let Some(tree) = pass.pop() {
+            acc = Some(match acc {
+                None => tree,
+                Some(a) => Self::meld(tree, a),
+            });
+        }
+        acc
+    }
+
+    /// Melds another heap into this one in O(1). The other heap's
+    /// sequence numbers are preserved, so FIFO tie-breaking across melds
+    /// reflects each heap's own insertion order.
+    pub fn meld_with(&mut self, mut other: PairingHeap<P, V>) {
+        self.len += other.len;
+        // Keep sequence numbers distinct after the meld.
+        self.next_seq = self.next_seq.max(other.next_seq);
+        self.root = match (self.root.take(), other.root.take()) {
+            (None, r) | (r, None) => r,
+            (Some(a), Some(b)) => Some(Self::meld(a, b)),
+        };
+        other.len = 0;
+    }
+}
+
+impl<P: Ord, V> SeqPriorityQueue<P, V> for PairingHeap<P, V> {
+    fn add(&mut self, priority: P, value: V) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let node = Box::new(Node {
+            priority,
+            seq,
+            value,
+            children: Vec::new(),
+        });
+        self.root = Some(match self.root.take() {
+            None => node,
+            Some(r) => Self::meld(r, node),
+        });
+        self.len += 1;
+    }
+
+    fn delete_min(&mut self) -> Option<(P, V)> {
+        let root = self.root.take()?;
+        self.len -= 1;
+        let Node {
+            priority,
+            value,
+            children,
+            ..
+        } = *root;
+        self.root = Self::merge_pairs(children);
+        Some((priority, value))
+    }
+
+    fn read_min(&self) -> Option<(&P, &V)> {
+        self.root.as_ref().map(|n| (&n.priority, &n.value))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        // Drop iteratively (see Drop impl) by replacing self.
+        self.root = None;
+        self.len = 0;
+        self.next_seq = 0;
+    }
+}
+
+impl<P, V> Drop for PairingHeap<P, V> {
+    fn drop(&mut self) {
+        // Adversarial insert orders can create O(n)-deep child chains;
+        // the default recursive drop glue would overflow the stack, so we
+        // flatten iteratively.
+        let mut stack: Vec<Node<P, V>> = Vec::new();
+        if let Some(root) = self.root.take() {
+            stack.push(*root);
+        }
+        while let Some(mut node) = stack.pop() {
+            stack.append(&mut node.children);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaviour() {
+        let mut h: PairingHeap<u64, ()> = PairingHeap::new();
+        assert_eq!(h.delete_min(), None);
+        assert_eq!(h.read_min(), None);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut h = PairingHeap::new();
+        let mut x: u64 = 12345;
+        let mut inserted = Vec::new();
+        for i in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.add(x % 500, i);
+            inserted.push(x % 500);
+        }
+        inserted.sort_unstable();
+        let drained: Vec<u64> = std::iter::from_fn(|| h.delete_min().map(|(p, _)| p)).collect();
+        assert_eq!(drained, inserted);
+    }
+
+    #[test]
+    fn fifo_tie_break() {
+        let mut h = PairingHeap::new();
+        for i in 0..100 {
+            h.add(7u64, i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.delete_min(), Some((7, i)), "tie {i} out of order");
+        }
+    }
+
+    #[test]
+    fn meld_preserves_all_elements() {
+        let mut a = PairingHeap::new();
+        let mut b = PairingHeap::new();
+        for i in 0..50u64 {
+            a.add(i * 2, i);
+            b.add(i * 2 + 1, i);
+        }
+        a.meld_with(b);
+        assert_eq!(a.len(), 100);
+        let drained: Vec<u64> = std::iter::from_fn(|| a.delete_min().map(|(p, _)| p)).collect();
+        assert_eq!(drained, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deep_chain_drop_does_not_overflow() {
+        // Decreasing inserts make each new node the root with the old
+        // root as its only child: an n-deep chain.
+        let mut h = PairingHeap::new();
+        for i in (0..200_000u64).rev() {
+            h.add(i, ());
+        }
+        drop(h); // must not overflow the stack
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut h = PairingHeap::new();
+        for i in 0..10u64 {
+            h.add(i, i);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        h.add(3, 3);
+        assert_eq!(h.delete_min(), Some((3, 3)));
+    }
+
+    #[test]
+    fn interleaved_matches_reference() {
+        use std::collections::BTreeMap;
+        let mut h = PairingHeap::new();
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut seq = 0u64;
+        let mut x: u64 = 99;
+        for step in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x.is_multiple_of(4) {
+                let got = h.delete_min();
+                let want = model.keys().next().cloned().map(|k| {
+                    let v = model.remove(&k).unwrap();
+                    (k.0, v)
+                });
+                assert_eq!(got, want, "mismatch at step {step}");
+            } else {
+                let p = x % 64;
+                h.add(p, step);
+                model.insert((p, seq), step);
+                seq += 1;
+            }
+        }
+    }
+}

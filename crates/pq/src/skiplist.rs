@@ -1,0 +1,343 @@
+//! A sequential skip-list priority queue.
+//!
+//! Third internal-queue substrate for the MultiQueue ablation. Compared
+//! to the heaps it has O(1) `read_min`/`delete_min` at the head and keeps
+//! entries fully sorted, at the cost of per-node allocation and a random
+//! tower height per insert. Tower heights come from a deterministic
+//! xorshift generator seeded at construction, so runs are reproducible.
+
+use crate::traits::SeqPriorityQueue;
+
+/// Maximum tower height. 2^32 expected elements at p = 1/2 — far beyond
+/// anything a single internal queue will hold.
+const MAX_LEVEL: usize = 32;
+
+struct Node<P, V> {
+    /// `None` only for the head sentinel.
+    data: Option<(P, u64, V)>,
+    /// Forward pointers; length = tower height (head: MAX_LEVEL).
+    next: Vec<*mut Node<P, V>>,
+}
+
+/// A skip-list-backed min-priority queue with FIFO tie-breaking.
+///
+/// # Example
+/// ```
+/// use dlz_pq::{SkipListPq, SeqPriorityQueue};
+/// let mut s = SkipListPq::with_seed(7);
+/// s.add(10u64, "x");
+/// s.add(3, "y");
+/// assert_eq!(s.delete_min(), Some((3, "y")));
+/// ```
+pub struct SkipListPq<P, V> {
+    head: Box<Node<P, V>>,
+    /// Number of levels currently in use (≥ 1).
+    level: usize,
+    len: usize,
+    next_seq: u64,
+    /// xorshift64 state for tower heights.
+    rng: u64,
+}
+
+// SAFETY: the raw pointers form a uniquely-owned linked structure; no
+// aliasing escapes the struct, so moving it across threads is sound when
+// the payload types are Send.
+unsafe impl<P: Send, V: Send> Send for SkipListPq<P, V> {}
+
+impl<P: Ord, V> SkipListPq<P, V> {
+    /// Creates an empty skip list with a default seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x853c49e6748fea9b)
+    }
+
+    /// Creates an empty skip list whose tower heights are drawn from a
+    /// xorshift64 generator seeded with `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        SkipListPq {
+            head: Box::new(Node {
+                data: None,
+                next: vec![std::ptr::null_mut(); MAX_LEVEL],
+            }),
+            level: 1,
+            len: 0,
+            next_seq: 0,
+            rng: seed | 1, // xorshift must not start at 0
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Geometric(1/2) tower height in 1..=MAX_LEVEL.
+    #[inline]
+    fn random_height(&mut self) -> usize {
+        let h = (self.next_u64().trailing_ones() as usize) + 1;
+        h.min(MAX_LEVEL)
+    }
+
+    /// Walks the list and returns, for each level below `self.level`, the
+    /// last node whose key is `< key` (the head sentinel counts as less
+    /// than everything).
+    ///
+    /// # Safety
+    /// All pointers reachable from `head` are valid (structure invariant).
+    unsafe fn find_preds(&mut self, key: (&P, u64)) -> Vec<*mut Node<P, V>> {
+        let head_ptr: *mut Node<P, V> = &mut *self.head;
+        let mut preds = vec![head_ptr; self.level];
+        let mut pred = head_ptr;
+        for i in (0..self.level).rev() {
+            loop {
+                let nxt = (&(*pred).next)[i];
+                if nxt.is_null() {
+                    break;
+                }
+                let (p, s, _) = (*nxt).data.as_ref().expect("non-head node has data");
+                if (p, *s) < key {
+                    pred = nxt;
+                } else {
+                    break;
+                }
+            }
+            preds[i] = pred;
+        }
+        preds
+    }
+
+    /// Verifies sortedness and tower consistency; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariant(&self) -> bool {
+        unsafe {
+            // Level 0 must be sorted and contain exactly `len` nodes.
+            let mut count = 0;
+            let mut cur = self.head.next[0];
+            let mut prev_key: Option<(&P, u64)> = None;
+            while !cur.is_null() {
+                let (p, s, _) = (*cur).data.as_ref().expect("data");
+                if let Some(pk) = prev_key {
+                    if pk >= (p, *s) {
+                        return false;
+                    }
+                }
+                prev_key = Some((p, *s));
+                count += 1;
+                cur = (&(*cur).next)[0];
+            }
+            count == self.len
+        }
+    }
+}
+
+impl<P: Ord, V> Default for SkipListPq<P, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Ord, V> SeqPriorityQueue<P, V> for SkipListPq<P, V> {
+    fn add(&mut self, priority: P, value: V) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let height = self.random_height();
+        if height > self.level {
+            self.level = height;
+        }
+        // SAFETY: find_preds only follows valid pointers.
+        let preds = unsafe { self.find_preds((&priority, seq)) };
+        let node = Box::into_raw(Box::new(Node {
+            data: Some((priority, seq, value)),
+            next: vec![std::ptr::null_mut(); height],
+        }));
+        let head_ptr: *mut Node<P, V> = &mut *self.head;
+        for i in 0..height {
+            // Levels above the old self.level hang off the head directly.
+            let pred = if i < preds.len() { preds[i] } else { head_ptr };
+            // SAFETY: pred and node are valid; we splice node in at level i.
+            unsafe {
+                (&mut (*node).next)[i] = (&(*pred).next)[i];
+                (&mut (*pred).next)[i] = node;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn delete_min(&mut self) -> Option<(P, V)> {
+        let first = self.head.next[0];
+        if first.is_null() {
+            return None;
+        }
+        // SAFETY: `first` is a valid node; we unlink every head pointer
+        // that targets it (it is the global minimum, so only head can
+        // point at it), then reclaim the box.
+        unsafe {
+            for i in 0..self.level {
+                if self.head.next[i] == first {
+                    self.head.next[i] = (&(*first).next)[i];
+                }
+            }
+            let boxed = Box::from_raw(first);
+            while self.level > 1 && self.head.next[self.level - 1].is_null() {
+                self.level -= 1;
+            }
+            self.len -= 1;
+            let (p, _, v) = boxed.data.expect("non-head node has data");
+            Some((p, v))
+        }
+    }
+
+    fn read_min(&self) -> Option<(&P, &V)> {
+        let first = self.head.next[0];
+        if first.is_null() {
+            return None;
+        }
+        // SAFETY: `first` is valid and borrowed for &self's lifetime.
+        unsafe {
+            let (p, _, v) = (*first).data.as_ref().expect("data");
+            Some((p, v))
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        // Reclaim every node along level 0.
+        let mut cur = self.head.next[0];
+        while !cur.is_null() {
+            // SAFETY: unique ownership; each node freed exactly once.
+            let next = unsafe { (&(*cur).next)[0] };
+            drop(unsafe { Box::from_raw(cur) });
+            cur = next;
+        }
+        for slot in self.head.next.iter_mut() {
+            *slot = std::ptr::null_mut();
+        }
+        self.level = 1;
+        self.len = 0;
+        self.next_seq = 0;
+    }
+}
+
+impl<P, V> Drop for SkipListPq<P, V> {
+    fn drop(&mut self) {
+        let mut cur = self.head.next[0];
+        while !cur.is_null() {
+            // SAFETY: unique ownership; each node freed exactly once.
+            let next = unsafe { (&(*cur).next)[0] };
+            drop(unsafe { Box::from_raw(cur) });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaviour() {
+        let mut s: SkipListPq<u64, ()> = SkipListPq::new();
+        assert_eq!(s.delete_min(), None);
+        assert_eq!(s.read_min(), None);
+        assert_eq!(s.len(), 0);
+        assert!(s.check_invariant());
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut s = SkipListPq::with_seed(42);
+        let mut x: u64 = 7;
+        let mut inserted = Vec::new();
+        for i in 0..3_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.add(x % 777, i);
+            inserted.push(x % 777);
+        }
+        assert!(s.check_invariant());
+        inserted.sort_unstable();
+        let drained: Vec<u64> = std::iter::from_fn(|| s.delete_min().map(|(p, _)| p)).collect();
+        assert_eq!(drained, inserted);
+    }
+
+    #[test]
+    fn fifo_tie_break() {
+        let mut s = SkipListPq::with_seed(1);
+        for i in 0..64 {
+            s.add(9u64, i);
+        }
+        for i in 0..64 {
+            assert_eq!(s.delete_min(), Some((9, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_reference() {
+        use std::collections::BTreeMap;
+        let mut s = SkipListPq::with_seed(1234);
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut seq = 0u64;
+        let mut x: u64 = 31337;
+        for step in 0..8_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x.is_multiple_of(3) {
+                let got = s.delete_min();
+                let want = model.keys().next().cloned().map(|k| {
+                    let v = model.remove(&k).unwrap();
+                    (k.0, v)
+                });
+                assert_eq!(got, want, "mismatch at step {step}");
+            } else {
+                let p = x % 128;
+                s.add(p, step);
+                model.insert((p, seq), step);
+                seq += 1;
+            }
+        }
+        assert!(s.check_invariant());
+    }
+
+    #[test]
+    fn clear_reclaims_and_resets() {
+        let mut s = SkipListPq::with_seed(5);
+        for i in 0..1000u64 {
+            s.add(i, i);
+        }
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(s.check_invariant());
+        s.add(1, 1);
+        assert_eq!(s.delete_min(), Some((1, 1)));
+    }
+
+    #[test]
+    fn large_run_no_leak_on_drop() {
+        let mut s = SkipListPq::with_seed(9);
+        for i in 0..100_000u64 {
+            s.add(i ^ 0x5555, i);
+        }
+        drop(s); // Drop must walk the chain without issue
+    }
+
+    #[test]
+    fn read_min_matches_delete_min() {
+        let mut s = SkipListPq::with_seed(11);
+        for i in [5u64, 3, 8, 1, 9, 1] {
+            s.add(i, i);
+        }
+        while let Some((p_peek, v_peek)) = s.read_min().map(|(p, v)| (*p, *v)) {
+            let (p, v) = s.delete_min().unwrap();
+            assert_eq!((p, v), (p_peek, v_peek));
+        }
+    }
+}

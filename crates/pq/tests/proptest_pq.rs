@@ -1,0 +1,129 @@
+//! Property-based tests: every priority-queue substrate behaves
+//! identically to a reference model (a `BTreeMap` keyed by
+//! `(priority, insertion sequence)`) under arbitrary operation
+//! sequences.
+
+use std::collections::BTreeMap;
+
+use dlz_pq::{BinaryHeap, PairingHeap, SeqPriorityQueue, SkipListPq};
+use proptest::prelude::*;
+
+/// An operation in a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u64),
+    DeleteMin,
+    ReadMin,
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..512).prop_map(Op::Add),
+        3 => Just(Op::DeleteMin),
+        2 => Just(Op::ReadMin),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Drives a queue and the model through the same ops, asserting
+/// identical observable behaviour at every step.
+fn check_against_model<Q: SeqPriorityQueue<u64, u64>>(mut q: Q, ops: &[Op]) {
+    let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut seq = 0u64;
+    let mut value = 0u64;
+    for op in ops {
+        match op {
+            Op::Add(p) => {
+                q.add(*p, value);
+                model.insert((*p, seq), value);
+                seq += 1;
+                value += 1;
+            }
+            Op::DeleteMin => {
+                let got = q.delete_min();
+                let want = model.keys().next().cloned().map(|k| {
+                    let v = model.remove(&k).unwrap();
+                    (k.0, v)
+                });
+                assert_eq!(got, want);
+            }
+            Op::ReadMin => {
+                let got = q.read_min().map(|(p, v)| (*p, *v));
+                let want = model.iter().next().map(|(k, v)| (k.0, *v));
+                assert_eq!(got, want);
+            }
+            Op::Clear => {
+                q.clear();
+                model.clear();
+                // FIFO sequence restarts after clear in all substrates.
+                seq = 0;
+            }
+        }
+        assert_eq!(q.len(), model.len());
+        assert_eq!(q.is_empty(), model.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_heap_matches_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        check_against_model(BinaryHeap::new(), &ops);
+    }
+
+    #[test]
+    fn pairing_heap_matches_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        check_against_model(PairingHeap::new(), &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        check_against_model(SkipListPq::with_seed(seed), &ops);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_complete(priorities in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut h = BinaryHeap::new();
+        for (i, &p) in priorities.iter().enumerate() {
+            h.add(p, i as u64);
+        }
+        let drained = h.into_sorted_vec();
+        prop_assert_eq!(drained.len(), priorities.len());
+        // Sorted by priority, FIFO among equal priorities.
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated among ties");
+            }
+        }
+        // Multiset equality.
+        let mut got: Vec<u64> = drained.iter().map(|(p, _)| *p).collect();
+        let mut want = priorities.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skiplist_invariant_survives_any_workload(
+        ops in proptest::collection::vec(op_strategy(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let mut s = SkipListPq::with_seed(seed);
+        let mut v = 0u64;
+        for op in &ops {
+            match op {
+                Op::Add(p) => { s.add(*p, v); v += 1; }
+                Op::DeleteMin => { s.delete_min(); }
+                Op::ReadMin => { s.read_min(); }
+                Op::Clear => s.clear(),
+            }
+            prop_assert!(s.check_invariant());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Bin-weight state shared by every load-balancing process.
+//!
+//! Weights are `f64` because the weighted process (Theorem 7.1) adds
+//! exponential increments; the unit-increment processes stay exact
+//! (integers below 2^53 are exact in `f64`).
+
+/// The weights of `m` bins plus a running total.
+#[derive(Debug, Clone)]
+pub struct BinState {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl BinState {
+    /// `m` empty bins.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "need at least one bin");
+        BinState {
+            weights: vec![0.0; m],
+            total: 0.0,
+        }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if there is a single bin (degenerate but legal).
+    pub fn is_empty(&self) -> bool {
+        false // constructed non-empty; method exists for API symmetry
+    }
+
+    /// Weight of bin `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// All weights (read-only).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Adds `w` to bin `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, w: f64) {
+        self.weights[i] += w;
+        self.total += w;
+    }
+
+    /// Total weight inserted so far.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Average weight μ = total / m.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.total / self.weights.len() as f64
+    }
+
+    /// Normalized weight y_i = x_i − μ.
+    #[inline]
+    pub fn y(&self, i: usize) -> f64 {
+        self.weights[i] - self.mu()
+    }
+
+    /// Maximum weight over bins.
+    pub fn max(&self) -> f64 {
+        self.weights.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    /// Minimum weight over bins.
+    pub fn min(&self) -> f64 {
+        self.weights.iter().cloned().fold(f64::MAX, f64::min)
+    }
+
+    /// The gap max − min that Theorem 6.1 bounds by O(log m).
+    pub fn gap(&self) -> f64 {
+        self.max() - self.min()
+    }
+
+    /// max − μ (the one-sided gap bounded via Φ).
+    pub fn gap_above(&self) -> f64 {
+        self.max() - self.mu()
+    }
+
+    /// μ − min (the one-sided gap bounded via Ψ).
+    pub fn gap_below(&self) -> f64 {
+        self.mu() - self.min()
+    }
+
+    /// Φ(t) = Σ exp(α·y_i).
+    pub fn phi(&self, alpha: f64) -> f64 {
+        let mu = self.mu();
+        self.weights.iter().map(|&x| (alpha * (x - mu)).exp()).sum()
+    }
+
+    /// Ψ(t) = Σ exp(−α·y_i).
+    pub fn psi(&self, alpha: f64) -> f64 {
+        let mu = self.mu();
+        self.weights
+            .iter()
+            .map(|&x| (-alpha * (x - mu)).exp())
+            .sum()
+    }
+
+    /// Γ(t) = Φ(t) + Ψ(t) — the paper's potential.
+    pub fn gamma(&self, alpha: f64) -> f64 {
+        self.phi(alpha) + self.psi(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bins_are_flat() {
+        let b = BinState::new(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.mu(), 0.0);
+        assert_eq!(b.gap(), 0.0);
+        // Flat state: Γ = 2m (each exponent is 0).
+        assert!((b.gamma(0.5) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_updates_everything() {
+        let mut b = BinState::new(4);
+        b.add(0, 3.0);
+        b.add(1, 1.0);
+        assert_eq!(b.total(), 4.0);
+        assert_eq!(b.mu(), 1.0);
+        assert_eq!(b.weight(0), 3.0);
+        assert_eq!(b.max(), 3.0);
+        assert_eq!(b.min(), 0.0);
+        assert_eq!(b.gap(), 3.0);
+        assert_eq!(b.y(0), 2.0);
+        assert_eq!(b.gap_above() + b.gap_below(), b.gap());
+    }
+
+    #[test]
+    fn potential_grows_with_imbalance() {
+        let mut flat = BinState::new(4);
+        let mut skew = BinState::new(4);
+        for i in 0..4 {
+            flat.add(i, 1.0);
+        }
+        skew.add(0, 4.0);
+        assert!(skew.gamma(0.5) > flat.gamma(0.5));
+    }
+
+    #[test]
+    fn gamma_lower_bounds_exp_gap() {
+        // Γ ≥ Φ ≥ exp(α (max − μ)): the inequality the whp bound uses.
+        let mut b = BinState::new(8);
+        for k in 0..8 {
+            b.add(k % 3, 2.0);
+        }
+        let alpha = 0.3;
+        assert!(b.gamma(alpha) >= (alpha * b.gap_above()).exp());
+        assert!(b.gamma(alpha) >= (alpha * b.gap_below()).exp());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = BinState::new(0);
+    }
+}

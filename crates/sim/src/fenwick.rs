@@ -1,0 +1,131 @@
+//! A Fenwick (binary indexed) tree over integer counts.
+//!
+//! The queue process needs, after every deletion, the *rank* of the
+//! removed label among all labels still present — a prefix-sum query
+//! over a presence bitmap that changes on every step. A Fenwick tree
+//! does both operations in O(log n).
+
+/// Fenwick tree over `n` slots of `i64` counts.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over slots `0..n`, all zero.
+    pub fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// `true` if the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.tree.len() == 1
+    }
+
+    /// Adds `delta` to slot `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        assert!(i < self.len(), "index {i} out of bounds {}", self.len());
+        let mut k = i + 1;
+        while k < self.tree.len() {
+            self.tree[k] += delta;
+            k += k & k.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..i` (exclusive). `prefix(0) == 0`.
+    pub fn prefix(&self, i: usize) -> i64 {
+        let mut k = i.min(self.len());
+        let mut s = 0;
+        while k > 0 {
+            s += self.tree[k];
+            k -= k & k.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the whole array.
+    pub fn total(&self) -> i64 {
+        self.prefix(self.len())
+    }
+
+    /// Value of a single slot (O(log n)).
+    pub fn get(&self, i: usize) -> i64 {
+        self.prefix(i + 1) - self.prefix(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let n = 200;
+        let mut f = Fenwick::new(n);
+        let mut naive = vec![0i64; n];
+        let mut x: u64 = 88172645463325252;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % n as u64) as usize;
+            let delta = ((x >> 32) % 7) as i64 - 3;
+            f.add(i, delta);
+            naive[i] += delta;
+        }
+        for i in 0..=n {
+            let expect: i64 = naive[..i].iter().sum();
+            assert_eq!(f.prefix(i), expect, "prefix({i})");
+        }
+        assert_eq!(f.total(), naive.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn get_reads_single_slot() {
+        let mut f = Fenwick::new(10);
+        f.add(3, 5);
+        f.add(3, 2);
+        f.add(4, 1);
+        assert_eq!(f.get(3), 7);
+        assert_eq!(f.get(4), 1);
+        assert_eq!(f.get(5), 0);
+    }
+
+    #[test]
+    fn presence_bitmap_rank_usage() {
+        // The exact pattern the queue process uses: presence bits and
+        // rank = prefix(label).
+        let mut f = Fenwick::new(100);
+        for label in [10usize, 20, 30, 40] {
+            f.add(label, 1);
+        }
+        assert_eq!(f.prefix(30), 2); // labels 10, 20 smaller than 30
+        f.add(10, -1); // remove 10
+        assert_eq!(f.prefix(30), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_add_panics() {
+        let mut f = Fenwick::new(4);
+        f.add(4, 1);
+    }
+}

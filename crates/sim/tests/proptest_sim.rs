@@ -1,0 +1,149 @@
+//! Property-based tests for dlz-sim: Fenwick correctness, conservation
+//! laws of every process, majorization algebra, and stale-value
+//! reconstruction.
+
+use dlz_sim::process::{good_op_probabilities, majorizes, one_plus_beta_probabilities};
+use dlz_sim::{
+    AsyncTwoChoice, BallsProcess, BinState, CorruptedTwoChoice, CorruptionPattern, DChoice,
+    Fenwick, OnePlusBeta, QueueProcess, Schedule, SingleChoice, Summary, TwoChoice,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fenwick_matches_naive(
+        n in 1usize..128,
+        ops in proptest::collection::vec((any::<prop::sample::Index>(), -3i64..4), 0..200),
+    ) {
+        let mut f = Fenwick::new(n);
+        let mut naive = vec![0i64; n];
+        for (idx, delta) in ops {
+            let i = idx.index(n);
+            f.add(i, delta);
+            naive[i] += delta;
+        }
+        for i in 0..=n {
+            prop_assert_eq!(f.prefix(i), naive[..i].iter().sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn processes_conserve_total(steps in 1u64..5_000, m in 1usize..64, seed in any::<u64>()) {
+        // Every unit-increment process must put exactly `steps` balls in.
+        let mut procs: Vec<Box<dyn BallsProcess>> = vec![
+            Box::new(TwoChoice::new(m, seed)),
+            Box::new(SingleChoice::new(m, seed)),
+            Box::new(DChoice::new(m, 3, seed)),
+            Box::new(OnePlusBeta::new(m, 0.5, seed)),
+            Box::new(AsyncTwoChoice::new(m, Schedule::BatchStampede { n: 4 }, seed)),
+            Box::new(CorruptedTwoChoice::new(m, CorruptionPattern::Iid { eps: 0.3 }, seed)),
+        ];
+        for p in procs.iter_mut() {
+            p.run(steps);
+            prop_assert_eq!(p.bins().total(), steps as f64);
+            prop_assert_eq!(p.steps_done(), steps);
+        }
+    }
+
+    #[test]
+    fn bin_state_identities(weights in proptest::collection::vec(0u32..1000, 1..64)) {
+        let mut b = BinState::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            b.add(i, w as f64);
+        }
+        // gap decomposition and potential positivity.
+        prop_assert!((b.gap_above() + b.gap_below() - b.gap()).abs() < 1e-9);
+        prop_assert!(b.gamma(0.37) >= 2.0); // each term ≥ something positive
+        // Σ y_i = 0.
+        let sum_y: f64 = (0..b.len()).map(|i| b.y(i)).sum();
+        prop_assert!(sum_y.abs() < 1e-6);
+        // Γ lower-bounds the exponential of the one-sided gaps.
+        let alpha = 0.11;
+        prop_assert!(b.gamma(alpha) + 1e-9 >= (alpha * b.gap_above()).exp());
+        prop_assert!(b.gamma(alpha) + 1e-9 >= (alpha * b.gap_below()).exp());
+    }
+
+    #[test]
+    fn majorization_is_reflexive_and_monotone_in_gamma(
+        m in 2usize..128,
+        g1 in 0.01f64..0.49,
+        g2 in 0.01f64..0.49,
+    ) {
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let p_hi = good_op_probabilities(m, 0.5 + hi);
+        let p_lo = good_op_probabilities(m, 0.5 + lo);
+        // Reflexivity.
+        prop_assert!(majorizes(&p_hi, &p_hi));
+        // A more-biased good op majorizes a less-biased one.
+        prop_assert!(majorizes(&p_hi, &p_lo));
+        // And each majorizes its (1+2γ) counterpart (Lemma 6.4).
+        prop_assert!(majorizes(&p_hi, &one_plus_beta_probabilities(m, 2.0 * hi)));
+    }
+
+    #[test]
+    fn async_process_wrong_choices_zero_when_sequential(
+        steps in 1u64..3_000,
+        m in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut p = AsyncTwoChoice::new(m, Schedule::Sequential, seed);
+        p.run(steps);
+        prop_assert_eq!(p.wrong_choices(), 0);
+    }
+
+    #[test]
+    fn queue_process_conservation(
+        m in 1usize..16,
+        inserts in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let mut p = QueueProcess::new(m, inserts, 4, seed);
+        for _ in 0..inserts {
+            p.insert();
+        }
+        prop_assert_eq!(p.live(), inserts);
+        let mut removed = Vec::new();
+        while let Some((label, rank)) = p.remove_retrying(0) {
+            // Rank is always within the live count at removal time.
+            prop_assert!(rank <= inserts);
+            removed.push(label);
+        }
+        removed.sort_unstable();
+        prop_assert_eq!(removed, (0..inserts as u64).collect::<Vec<_>>());
+        prop_assert_eq!(p.live(), 0);
+    }
+
+    #[test]
+    fn queue_process_rank_zero_when_single_bin(
+        inserts in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut p = QueueProcess::new(1, inserts, 0, seed);
+        for _ in 0..inserts {
+            p.insert();
+        }
+        while let Some((_, rank)) = p.remove_retrying(0) {
+            prop_assert_eq!(rank, 0);
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_are_order_statistics(
+        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let s = Summary::from_samples(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(s.min(), xs[0]);
+        prop_assert_eq!(s.max(), *xs.last().unwrap());
+        prop_assert_eq!(s.quantile(1.0), *xs.last().unwrap());
+        // Quantiles are monotone.
+        let q25 = s.quantile(0.25);
+        let q50 = s.quantile(0.5);
+        let q75 = s.quantile(0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        // Tail mass at min is < 1 iff more than... at max it is 0.
+        prop_assert_eq!(s.tail_mass(*xs.last().unwrap()), 0.0);
+    }
+}

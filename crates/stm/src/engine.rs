@@ -1,0 +1,566 @@
+//! The TL2 engine: begin / speculative execute / commit, with retries.
+//!
+//! The commit protocol follows Dice–Shalev–Shavit (DISC 2006) §3:
+//!
+//! 1. Acquire write-set locks in ascending index order with `try_lock`
+//!    (abort on contention — no deadlock, bounded waiting).
+//! 2. Obtain the write version `wv` from the clock strategy.
+//! 3. Validate the read set against `rv` (skippable when the exact
+//!    clock yields `wv == rv + 1`: nothing can have committed between).
+//! 4. Write back buffered values, then release each lock installing
+//!    `wv` (the `Release` store publishes value and version together).
+//!
+//! On abort every acquired lock is restored to its pre-lock word and
+//! the transaction retries with exponential backoff.
+
+use dlz_pq::Backoff;
+
+use crate::clock::ClockStrategy;
+use crate::stats::TxStats;
+use crate::tarray::TArray;
+use crate::tx::{Abort, AbortReason, Tx};
+use crate::vlock::{is_locked, version_of};
+
+/// A TL2 software transactional memory over a [`TArray`].
+///
+/// Generic over the [`ClockStrategy`]: [`ExactClock`] gives classical
+/// TL2, [`RelaxedClock`] gives the paper's Section-8 variant.
+///
+/// [`ExactClock`]: crate::clock::ExactClock
+/// [`RelaxedClock`]: crate::clock::RelaxedClock
+///
+/// # Example
+/// ```
+/// use dlz_stm::{Tl2, ExactClock};
+///
+/// let stm = Tl2::new(16, ExactClock::new());
+/// let mut thread = stm.thread();
+/// // Transfer 10 units from cell 0 to cell 1, atomically.
+/// thread.run(|tx| {
+///     let a = tx.read(0)?;
+///     let b = tx.read(1)?;
+///     tx.write(0, a.wrapping_sub(10));
+///     tx.write(1, b.wrapping_add(10));
+///     Ok(())
+/// });
+/// assert_eq!(stm.array().read_quiescent(1), 10);
+/// ```
+#[derive(Debug)]
+pub struct Tl2<C: ClockStrategy> {
+    array: TArray,
+    clock: C,
+}
+
+impl<C: ClockStrategy> Tl2<C> {
+    /// `len` zeroed transactional cells under `clock`.
+    pub fn new(len: usize, clock: C) -> Self {
+        Tl2 {
+            array: TArray::new(len),
+            clock,
+        }
+    }
+
+    /// Builds from initial values.
+    pub fn from_values(values: &[u64], clock: C) -> Self {
+        Tl2 {
+            array: TArray::from_values(values),
+            clock,
+        }
+    }
+
+    /// The underlying array (quiescent reads, correctness checks).
+    pub fn array(&self) -> &TArray {
+        &self.array
+    }
+
+    /// The clock strategy.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Creates a per-thread execution handle. Each OS thread should own
+    /// exactly one (it carries the thread's `tmax` and statistics).
+    pub fn thread(&self) -> TxThread<'_, C> {
+        TxThread {
+            stm: self,
+            tmax: 0,
+            stats: TxStats::default(),
+        }
+    }
+}
+
+/// Per-thread transaction executor.
+#[derive(Debug)]
+pub struct TxThread<'a, C: ClockStrategy> {
+    stm: &'a Tl2<C>,
+    /// Largest timestamp encountered (drives the relaxed clock's
+    /// future-writing; unused by the exact clock).
+    tmax: u64,
+    stats: TxStats,
+}
+
+impl<'a, C: ClockStrategy> TxThread<'a, C> {
+    /// Runs `body` as a transaction, retrying until it commits, and
+    /// returns its result.
+    ///
+    /// The body may be re-executed many times; it must be side-effect
+    /// free apart from `Tx` operations. Return `Err(abort)` (e.g. by
+    /// `?`-propagating a failed [`Tx::read`]) to request a retry.
+    pub fn run<R>(&mut self, mut body: impl FnMut(&mut Tx<'_>) -> Result<R, Abort>) -> R {
+        let mut backoff = Backoff::new();
+        loop {
+            let rv = self.stm.clock.read_version(self.tmax);
+            self.tmax = self.tmax.max(rv);
+            let mut tx = Tx::new(&self.stm.array, rv);
+            match body(&mut tx) {
+                Err(Abort(reason)) => {
+                    self.stats.record_abort(reason);
+                    self.stm.clock.on_abort(reason);
+                    backoff.snooze();
+                }
+                Ok(result) => match self.try_commit(tx) {
+                    Ok(()) => {
+                        self.stats.commits += 1;
+                        return result;
+                    }
+                    Err(reason) => {
+                        self.stats.record_abort(reason);
+                        self.stm.clock.on_abort(reason);
+                        backoff.snooze();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Attempts to run `body` once (no retry). `Ok` on commit.
+    pub fn try_once<R>(
+        &mut self,
+        body: impl FnOnce(&mut Tx<'_>) -> Result<R, Abort>,
+    ) -> Result<R, AbortReason> {
+        let rv = self.stm.clock.read_version(self.tmax);
+        self.tmax = self.tmax.max(rv);
+        let mut tx = Tx::new(&self.stm.array, rv);
+        match body(&mut tx) {
+            Err(Abort(reason)) => {
+                self.stats.record_abort(reason);
+                Err(reason)
+            }
+            Ok(result) => match self.try_commit(tx) {
+                Ok(()) => {
+                    self.stats.commits += 1;
+                    Ok(result)
+                }
+                Err(reason) => {
+                    self.stats.record_abort(reason);
+                    Err(reason)
+                }
+            },
+        }
+    }
+
+    /// This thread's statistics so far.
+    pub fn stats(&self) -> TxStats {
+        self.stats
+    }
+
+    /// This thread's largest encountered timestamp.
+    pub fn tmax(&self) -> u64 {
+        self.tmax
+    }
+
+    /// TL2 commit (see module docs). Consumes the transaction.
+    fn try_commit(&mut self, tx: Tx<'_>) -> Result<(), AbortReason> {
+        let array = &self.stm.array;
+        let rv = tx.rv();
+        let Tx {
+            mut write_set,
+            read_set,
+            ..
+        } = tx;
+
+        // Read-only fast path: reads were validated against rv as they
+        // happened; nothing to publish (TL2's read-only optimization).
+        if write_set.is_empty() {
+            return Ok(());
+        }
+
+        // 1. Lock the write set in ascending index order.
+        write_set.sort_unstable_by_key(|&(i, _)| i);
+        let mut acquired: Vec<(u32, u64)> = Vec::with_capacity(write_set.len());
+        for &(i, _) in &write_set {
+            match array.slot(i as usize).lock.try_lock() {
+                Some(old_word) => acquired.push((i, old_word)),
+                None => {
+                    for &(j, old) in &acquired {
+                        array.slot(j as usize).lock.unlock_restore(old);
+                    }
+                    return Err(AbortReason::LockBusy);
+                }
+            }
+        }
+
+        // 2. Write version.
+        let max_old = acquired
+            .iter()
+            .map(|&(_, w)| version_of(w))
+            .max()
+            .unwrap_or(0);
+        let wv = self.stm.clock.write_version(self.tmax, max_old);
+
+        // 3. Read-set validation (skippable for exact clocks when no
+        //    transaction can have interleaved).
+        let skip = self.stm.clock.is_exact() && wv == rv + 1;
+        if !skip {
+            for &i in &read_set {
+                // Locations we also wrote: we hold their locks; the
+                // version at lock time must still be ≤ rv.
+                if let Some(&(_, old_word)) = acquired.iter().find(|&&(j, _)| j == i) {
+                    if version_of(old_word) > rv {
+                        for &(j, old) in &acquired {
+                            array.slot(j as usize).lock.unlock_restore(old);
+                        }
+                        return Err(AbortReason::ReadValidation);
+                    }
+                    continue;
+                }
+                let w = array.slot(i as usize).lock.load();
+                if is_locked(w) || version_of(w) > rv {
+                    for &(j, old) in &acquired {
+                        array.slot(j as usize).lock.unlock_restore(old);
+                    }
+                    return Err(AbortReason::ReadValidation);
+                }
+            }
+        }
+
+        // 4. Write back, then release with wv. The Release store in
+        //    unlock_with_version publishes the Relaxed value store.
+        for &(i, v) in &write_set {
+            array
+                .slot(i as usize)
+                .value
+                .store(v, std::sync::atomic::Ordering::Relaxed);
+        }
+        for &(i, _) in &acquired {
+            array.slot(i as usize).lock.unlock_with_version(wv);
+        }
+        // Deliberately NOT folding wv into tmax: with the relaxed clock
+        // wv is stamped Δ *in the future*, and a thread whose tmax
+        // absorbed its own future stamps would drift ahead of the
+        // global time by Δ per commit — versions would then outrun the
+        // counter forever and every reader would live in permanent
+        // FutureVersion aborts. tmax tracks observed *present* time
+        // (read versions) only; future stamps are paid for by the
+        // bounded wait the paper describes ("at least Δ operations
+        // should occur" before the object is read again).
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{ExactClock, RelaxedClock};
+    use dlz_core::MultiCounter;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_increments() {
+        let stm = Tl2::new(4, ExactClock::new());
+        let mut t = stm.thread();
+        for _ in 0..100 {
+            t.run(|tx| tx.add(2, 1));
+        }
+        assert_eq!(stm.array().read_quiescent(2), 100);
+        assert_eq!(t.stats().commits, 100);
+        assert_eq!(t.stats().aborts, 0);
+    }
+
+    #[test]
+    fn read_only_transactions_commit_without_clock_ticks() {
+        let stm = Tl2::new(4, ExactClock::new());
+        let mut t = stm.thread();
+        let before = stm.clock().now();
+        let v = t.run(|tx| tx.read(0));
+        assert_eq!(v, 0);
+        assert_eq!(stm.clock().now(), before, "read-only must not tick");
+    }
+
+    #[test]
+    fn atomic_transfer_preserves_sum() {
+        let stm = Arc::new(Tl2::from_values(
+            &[1000, 1000, 1000, 1000],
+            ExactClock::new(),
+        ));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let stm = Arc::clone(&stm);
+                s.spawn(move || {
+                    let mut h = stm.thread();
+                    let mut x: u64 = 0x9e3779b9 + t as u64;
+                    for _ in 0..5_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let from = (x % 4) as usize;
+                        let to = ((x >> 8) % 4) as usize;
+                        h.run(|tx| {
+                            let a = tx.read(from)?;
+                            let b = tx.read(to)?;
+                            if from != to {
+                                tx.write(from, a.wrapping_sub(1));
+                                tx.write(to, b.wrapping_add(1));
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert!(!stm.array().any_locked());
+        assert_eq!(stm.array().sum_quiescent(), 4000);
+    }
+
+    #[test]
+    fn paper_workload_exact_clock() {
+        // The Section 8 benchmark: pick 2 random slots, increment both.
+        // Safety check: final sum == 2 × commits.
+        let stm = Arc::new(Tl2::new(256, ExactClock::new()));
+        let total_commits: u64 = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..4usize)
+                .map(|t| {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        let mut h = stm.thread();
+                        let mut x: u64 = 777 + t as u64;
+                        for _ in 0..5_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let i = (x % 256) as usize;
+                            let j = ((x >> 16) % 256) as usize;
+                            h.run(|tx| {
+                                tx.add(i, 1)?;
+                                if j != i {
+                                    tx.add(j, 1)?;
+                                } else {
+                                    tx.add(j, 1)?; // same slot twice: +2 total
+                                }
+                                Ok(())
+                            });
+                        }
+                        h.stats().commits
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total_commits, 20_000);
+        assert_eq!(stm.array().sum_quiescent(), 2 * total_commits as u128);
+    }
+
+    #[test]
+    fn paper_workload_relaxed_clock() {
+        // Same workload under the relaxed MultiCounter clock; the sum
+        // check is the paper's correctness verification.
+        let clock = RelaxedClock::new(MultiCounter::new(32), 64);
+        let stm = Arc::new(Tl2::new(1024, clock));
+        let total_commits: u64 = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..4usize)
+                .map(|t| {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        let mut h = stm.thread();
+                        let mut x: u64 = 31337 + t as u64;
+                        for _ in 0..5_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let i = (x % 1024) as usize;
+                            let j = ((x >> 16) % 1024) as usize;
+                            h.run(|tx| {
+                                tx.add(i, 1)?;
+                                tx.add(j, 1)?;
+                                Ok(())
+                            });
+                        }
+                        h.stats().commits
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total_commits, 20_000);
+        assert_eq!(stm.array().sum_quiescent(), 2 * total_commits as u128);
+        assert!(!stm.array().any_locked());
+    }
+
+    #[test]
+    fn paper_workload_gv4_and_gv5() {
+        use crate::clock::{Gv4Clock, Gv5Clock};
+        fn run<C: crate::clock::ClockStrategy>(stm: &Tl2<C>) -> u64 {
+            std::thread::scope(|s| {
+                let hs: Vec<_> = (0..4usize)
+                    .map(|t| {
+                        let stm = &stm;
+                        s.spawn(move || {
+                            let mut h = stm.thread();
+                            let mut x: u64 = 0xF5 + t as u64;
+                            for _ in 0..3_000 {
+                                x ^= x << 13;
+                                x ^= x >> 7;
+                                x ^= x << 17;
+                                let i = (x % 512) as usize;
+                                let j = ((x >> 16) % 512) as usize;
+                                h.run(|tx| {
+                                    tx.add(i, 1)?;
+                                    tx.add(j, 1)?;
+                                    Ok(())
+                                });
+                            }
+                            h.stats().commits
+                        })
+                    })
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+        }
+        let gv4 = Tl2::new(512, Gv4Clock::new());
+        let commits = run(&gv4);
+        assert_eq!(commits, 12_000);
+        assert_eq!(gv4.array().sum_quiescent(), 2 * commits as u128);
+
+        let gv5 = Tl2::new(512, Gv5Clock::new());
+        let commits = run(&gv5);
+        assert_eq!(commits, 12_000);
+        assert_eq!(gv5.array().sum_quiescent(), 2 * commits as u128);
+    }
+
+    #[test]
+    fn gv5_snapshot_consistency() {
+        // GV5 shares write versions aggressively; the pairwise-invariant
+        // test is the sharpest detector of unsound sharing.
+        use crate::clock::Gv5Clock;
+        let pairs = 32usize;
+        let init: Vec<u64> = (0..2 * pairs)
+            .map(|i| if i % 2 == 0 { 50 } else { 0 })
+            .collect();
+        let stm = Tl2::from_values(&init, Gv5Clock::new());
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let stm = &stm;
+                s.spawn(move || {
+                    let mut h = stm.thread();
+                    let mut x: u64 = 0x77 + t as u64;
+                    for _ in 0..3_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = (x % pairs as u64) as usize;
+                        h.run(|tx| {
+                            let a = tx.read(2 * k)?;
+                            let b = tx.read(2 * k + 1)?;
+                            if a >= 1 {
+                                tx.write(2 * k, a - 1);
+                                tx.write(2 * k + 1, b + 1);
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for t in 0..2 {
+                let stm = &stm;
+                s.spawn(move || {
+                    let mut h = stm.thread();
+                    let mut x: u64 = 0x99 + t as u64;
+                    for _ in 0..3_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = (x % pairs as u64) as usize;
+                        let (a, b) = h.run(|tx| Ok((tx.read(2 * k)?, tx.read(2 * k + 1)?)));
+                        assert_eq!(a + b, 50, "torn read under GV5");
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.array().sum_quiescent(), 50 * pairs as u128);
+    }
+
+    #[test]
+    fn conflicting_writers_serialize() {
+        // All threads increment the SAME slot: maximal contention, the
+        // final value must still be exact.
+        let stm = Arc::new(Tl2::new(1, ExactClock::new()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                s.spawn(move || {
+                    let mut h = stm.thread();
+                    for _ in 0..2_500 {
+                        h.run(|tx| tx.add(0, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.array().read_quiescent(0), 10_000);
+    }
+
+    #[test]
+    fn try_once_reports_abort() {
+        let stm = Tl2::new(2, ExactClock::new());
+        // Hold a lock to force LockBusy.
+        let old = stm.array().slot(0).lock.try_lock().unwrap();
+        let mut h = stm.thread();
+        let r = h.try_once(|tx| {
+            tx.write(0, 1);
+            Ok(())
+        });
+        assert_eq!(r, Err(AbortReason::LockBusy));
+        stm.array().slot(0).lock.unlock_restore(old);
+        assert!(h
+            .try_once(|tx| {
+                tx.write(0, 1);
+                Ok(())
+            })
+            .is_ok());
+        assert_eq!(h.stats().commits, 1);
+        assert_eq!(h.stats().lock_busy, 1);
+    }
+
+    #[test]
+    fn user_abort_retries_until_condition() {
+        let stm = Tl2::new(1, ExactClock::new());
+        let mut h = stm.thread();
+        let mut attempts = 0;
+        h.run(|tx| {
+            attempts += 1;
+            if attempts < 3 {
+                tx.abort()
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(attempts, 3);
+        assert_eq!(h.stats().user, 2);
+    }
+
+    #[test]
+    fn relaxed_clock_future_reads_abort_then_recover() {
+        // A fresh write under the relaxed clock is stamped ~Δ in the
+        // future; an immediate reader may observe FutureVersion aborts
+        // but must eventually succeed as the counter advances.
+        let clock = RelaxedClock::new(MultiCounter::new(4), 16);
+        let stm = Tl2::new(2, clock);
+        let mut w = stm.thread();
+        w.run(|tx| {
+            tx.write(0, 99);
+            Ok(())
+        });
+        let mut r = stm.thread();
+        let v = r.run(|tx| tx.read(0));
+        assert_eq!(v, 99);
+    }
+}

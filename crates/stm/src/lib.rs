@@ -1,0 +1,71 @@
+//! # dlz-stm — TL2 with exact and relaxed global clocks
+//!
+//! A from-scratch implementation of **Transactional Locking II** (Dice,
+//! Shalev, Shavit — DISC 2006) over an array of transactional `u64`
+//! cells, built as the substrate for Section 8 of *Distributionally
+//! Linearizable Data Structures* (SPAA 2018): replacing TL2's global
+//! version clock — a fetch-and-add scalability bottleneck — with a
+//! relaxed MultiCounter.
+//!
+//! ## The two clock strategies
+//!
+//! * [`ExactClock`] — baseline TL2. One FAA word; every writing commit
+//!   bumps it; serializability is unconditional.
+//! * [`RelaxedClock`] — the paper's variant. Read versions are relaxed
+//!   MultiCounter samples; commit versions are stamped **in the
+//!   future** (`max(tmax, sample, overwritten versions) + Δ`), so that
+//!   no concurrently running reader can hold a read version at or above
+//!   a freshly committed write's version — unless the counter's skew
+//!   exceeds Δ, which happens with the (tiny) probability bounded by
+//!   Lemma 6.8. The trade-offs the paper describes are reproduced
+//!   faithfully:
+//!   - safety holds *with high probability* (the harness verifies the
+//!     final state after every run, as the paper did);
+//!   - a freshly written object causes readers to abort until the
+//!     global time passes its future stamp, so write-hot workloads
+//!     (the 10K-object benchmark) pay a visible abort penalty;
+//!   - in exchange the clock cache line stops being a bottleneck and
+//!     commit throughput scales (the 100K/1M-object benchmarks).
+//!
+//! ## Memory-safety notes
+//!
+//! The crate contains **no `unsafe`**: values are `AtomicU64`s read with
+//! a seqlock-validated double-read (`lock → value → fence(Acquire) →
+//! lock`), writes happen only while holding the per-slot versioned
+//! lock, and the `Release` store that unlocks also publishes the value.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlz_stm::{Tl2, RelaxedClock};
+//! use dlz_core::MultiCounter;
+//!
+//! let clock = RelaxedClock::new(MultiCounter::new(16), 128);
+//! let stm = Tl2::new(1_000, clock);
+//! let mut thread = stm.thread();
+//! for k in 0..100u64 {
+//!     let k = k as usize;
+//!     thread.run(|tx| {
+//!         tx.add(k % 10, 1)?;
+//!         tx.add((k + 3) % 10, 1)?;
+//!         Ok(())
+//!     });
+//! }
+//! // The paper's correctness verification: sum == 2 × commits.
+//! assert_eq!(stm.array().sum_quiescent(), 200);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod stats;
+pub mod tarray;
+pub mod tx;
+pub mod vlock;
+
+pub use clock::{ClockStrategy, ExactClock, Gv4Clock, Gv5Clock, RelaxedClock};
+pub use engine::{Tl2, TxThread};
+pub use stats::TxStats;
+pub use tarray::TArray;
+pub use tx::{Abort, AbortReason, Tx};

@@ -1,0 +1,111 @@
+//! Per-thread transaction statistics.
+
+use crate::tx::AbortReason;
+
+/// Commit/abort counters for one thread (merge across threads at the
+/// end of a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Successful commits.
+    pub commits: u64,
+    /// Total aborted attempts (sum of the reason counters).
+    pub aborts: u64,
+    /// Aborts: read found the location locked.
+    pub locked_read: u64,
+    /// Aborts: read found a version newer than rv.
+    pub future_version: u64,
+    /// Aborts: lock word changed during the value read.
+    pub inconsistent_read: u64,
+    /// Aborts: commit failed to lock its write set.
+    pub lock_busy: u64,
+    /// Aborts: read-set validation failed at commit.
+    pub read_validation: u64,
+    /// Aborts requested by the transaction body.
+    pub user: u64,
+}
+
+impl TxStats {
+    /// Records an abort with its reason.
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        self.aborts += 1;
+        match reason {
+            AbortReason::LockedRead => self.locked_read += 1,
+            AbortReason::FutureVersion => self.future_version += 1,
+            AbortReason::InconsistentRead => self.inconsistent_read += 1,
+            AbortReason::LockBusy => self.lock_busy += 1,
+            AbortReason::ReadValidation => self.read_validation += 1,
+            AbortReason::User => self.user += 1,
+        }
+    }
+
+    /// Total attempts (commits + aborts).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
+    /// Fraction of attempts that aborted (0 if no attempts).
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.attempts() as f64
+        }
+    }
+
+    /// Adds another thread's counters into this one.
+    pub fn merge(&mut self, other: &TxStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.locked_read += other.locked_read;
+        self.future_version += other.future_version;
+        self.inconsistent_read += other.inconsistent_read;
+        self.lock_busy += other.lock_busy;
+        self.read_validation += other.read_validation;
+        self.user += other.user;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_accounting() {
+        let mut s = TxStats {
+            commits: 3,
+            ..Default::default()
+        };
+        s.record_abort(AbortReason::LockBusy);
+        s.record_abort(AbortReason::FutureVersion);
+        s.record_abort(AbortReason::FutureVersion);
+        assert_eq!(s.aborts, 3);
+        assert_eq!(s.lock_busy, 1);
+        assert_eq!(s.future_version, 2);
+        assert_eq!(s.attempts(), 6);
+        assert!((s.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = TxStats {
+            commits: 1,
+            ..Default::default()
+        };
+        a.record_abort(AbortReason::User);
+        let mut b = TxStats {
+            commits: 2,
+            ..Default::default()
+        };
+        b.record_abort(AbortReason::ReadValidation);
+        a.merge(&b);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.aborts, 2);
+        assert_eq!(a.user, 1);
+        assert_eq!(a.read_validation, 1);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(TxStats::default().abort_rate(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The transactional array: TL2's memory.
+//!
+//! The paper's benchmark (Section 8) operates on "an array of M
+//! transactional objects", which is also the natural shape for an
+//! array-based TL2: each slot carries a value word and a versioned
+//! write-lock. Values are `AtomicU64`s accessed with the seqlock
+//! pattern (validated double-read against the lock word), so the crate
+//! needs no `unsafe`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::vlock::VersionedLock;
+
+/// One transactional location.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    pub(crate) lock: VersionedLock,
+    pub(crate) value: AtomicU64,
+}
+
+/// A fixed-size array of transactional `u64` cells.
+#[derive(Debug)]
+pub struct TArray {
+    slots: Box<[Slot]>,
+}
+
+impl TArray {
+    /// `len` zero-initialized cells.
+    ///
+    /// # Panics
+    /// If `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "TArray needs at least one slot");
+        TArray {
+            slots: (0..len).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Builds from initial values.
+    pub fn from_values(values: &[u64]) -> Self {
+        assert!(!values.is_empty(), "TArray needs at least one slot");
+        TArray {
+            slots: values
+                .iter()
+                .map(|&v| Slot {
+                    lock: VersionedLock::new(),
+                    value: AtomicU64::new(v),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the array has no cells (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn slot(&self, i: usize) -> &Slot {
+        &self.slots[i]
+    }
+
+    /// Non-transactional read. Only meaningful when no transaction is
+    /// in flight (e.g. the end-of-run correctness check).
+    pub fn read_quiescent(&self, i: usize) -> u64 {
+        self.slots[i].value.load(Ordering::Acquire)
+    }
+
+    /// Non-transactional sum over all cells (quiescent use only).
+    pub fn sum_quiescent(&self) -> u128 {
+        self.slots
+            .iter()
+            .map(|s| s.value.load(Ordering::Acquire) as u128)
+            .sum()
+    }
+
+    /// Non-transactional snapshot (quiescent use only).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.value.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// `true` if any slot's lock is currently held — a quiescence check
+    /// for tests (must be false after all threads joined).
+    pub fn any_locked(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|s| crate::vlock::is_locked(s.lock.load()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reads() {
+        let a = TArray::new(4);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.read_quiescent(0), 0);
+        assert_eq!(a.sum_quiescent(), 0);
+        assert!(!a.any_locked());
+    }
+
+    #[test]
+    fn from_values() {
+        let a = TArray::from_values(&[1, 2, 3]);
+        assert_eq!(a.snapshot(), vec![1, 2, 3]);
+        assert_eq!(a.sum_quiescent(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_len_rejected() {
+        let _ = TArray::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let a = TArray::new(2);
+        let _ = a.read_quiescent(2);
+    }
+}

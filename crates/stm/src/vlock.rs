@@ -1,0 +1,166 @@
+//! Versioned write-locks — TL2's per-location metadata word.
+//!
+//! One `AtomicU64` per transactional location: bit 63 is the lock bit,
+//! bits 0..63 hold the version (the global-clock value at the last
+//! commit that wrote this location). TL2 (Dice, Shalev, Shavit — DISC
+//! 2006) calls these *versioned write-locks*.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock bit (MSB); versions use the low 63 bits.
+pub const LOCK_BIT: u64 = 1 << 63;
+
+/// Largest representable version.
+pub const MAX_VERSION: u64 = LOCK_BIT - 1;
+
+/// Packs a lock word. Panics in debug builds if `version` overflows.
+#[inline]
+pub fn pack(version: u64, locked: bool) -> u64 {
+    debug_assert!(version <= MAX_VERSION, "version overflow");
+    if locked {
+        version | LOCK_BIT
+    } else {
+        version
+    }
+}
+
+/// `true` if the word has the lock bit set.
+#[inline]
+pub fn is_locked(word: u64) -> bool {
+    word & LOCK_BIT != 0
+}
+
+/// Extracts the version from a word.
+#[inline]
+pub fn version_of(word: u64) -> u64 {
+    word & MAX_VERSION
+}
+
+/// A versioned write-lock.
+#[derive(Debug, Default)]
+pub struct VersionedLock {
+    word: AtomicU64,
+}
+
+impl VersionedLock {
+    /// Unlocked, version 0.
+    pub const fn new() -> Self {
+        VersionedLock {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// Current raw word. `Acquire`: pairs with the `Release` in
+    /// [`unlock_with_version`](Self::unlock_with_version) so a reader
+    /// that observes a version also observes the value written under it.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Relaxed load, for the second read of the seqlock validation
+    /// (ordering is provided by an explicit `fence(Acquire)` at the call
+    /// site).
+    #[inline]
+    pub fn load_relaxed(&self) -> u64 {
+        self.word.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to lock. On success returns the *previous* (unlocked)
+    /// word, whose version the committer must restore on abort.
+    #[inline]
+    pub fn try_lock(&self) -> Option<u64> {
+        let cur = self.word.load(Ordering::Relaxed);
+        if is_locked(cur) {
+            return None;
+        }
+        self.word
+            .compare_exchange(cur, cur | LOCK_BIT, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+    }
+
+    /// Releases the lock, installing `new_version`.
+    ///
+    /// # Panics
+    /// Debug-asserts the lock is currently held and the version fits.
+    #[inline]
+    pub fn unlock_with_version(&self, new_version: u64) {
+        debug_assert!(is_locked(self.word.load(Ordering::Relaxed)));
+        debug_assert!(new_version <= MAX_VERSION);
+        self.word.store(new_version, Ordering::Release);
+    }
+
+    /// Releases the lock, restoring the pre-lock word (abort path).
+    #[inline]
+    pub fn unlock_restore(&self, old_word: u64) {
+        debug_assert!(!is_locked(old_word));
+        self.word.store(old_word, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pack_roundtrip() {
+        assert_eq!(version_of(pack(42, false)), 42);
+        assert_eq!(version_of(pack(42, true)), 42);
+        assert!(is_locked(pack(42, true)));
+        assert!(!is_locked(pack(42, false)));
+    }
+
+    #[test]
+    fn lock_cycle() {
+        let l = VersionedLock::new();
+        assert_eq!(version_of(l.load()), 0);
+        let old = l.try_lock().expect("unlocked");
+        assert_eq!(old, 0);
+        assert!(is_locked(l.load()));
+        assert!(l.try_lock().is_none(), "relock must fail");
+        l.unlock_with_version(7);
+        assert_eq!(l.load(), 7);
+        assert!(!is_locked(l.load()));
+    }
+
+    #[test]
+    fn abort_restores_old_version() {
+        let l = VersionedLock::new();
+        l.try_lock().unwrap();
+        l.unlock_with_version(9);
+        let old = l.try_lock().unwrap();
+        assert_eq!(version_of(old), 9);
+        l.unlock_restore(old);
+        assert_eq!(l.load(), 9);
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 20_000;
+        let lock = Arc::new(VersionedLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..ITERS {
+                        loop {
+                            if let Some(old) = lock.try_lock() {
+                                // non-atomic-looking RMW protected by the lock
+                                let v = counter.load(Ordering::Relaxed);
+                                counter.store(v + 1, Ordering::Relaxed);
+                                lock.unlock_restore(old);
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * ITERS) as u64);
+    }
+}

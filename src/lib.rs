@@ -1,0 +1,50 @@
+//! # distlin — Distributionally Linearizable Data Structures
+//!
+//! A Rust reproduction of *"Distributionally Linearizable Data
+//! Structures"* (Alistarh, Brown, Kopinsky, Li, Nadiradze — SPAA 2018,
+//! arXiv:1804.01018): relaxed concurrent data structures whose deviation
+//! from the sequential specification is a random variable with provable
+//! tail bounds, rather than a deterministic relaxation factor.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`dlz_core`]) — the paper's contributions: the
+//!   [`MultiCounter`](dlz_core::MultiCounter) (Algorithm 1), the
+//!   [`MultiQueue`](dlz_core::MultiQueue) (Algorithm 2), relaxed clocks,
+//!   and the executable distributional-linearizability framework
+//!   (Section 5).
+//! * [`pq`] ([`dlz_pq`]) — priority-queue substrates: binary/pairing
+//!   heaps, a skip list, spinlocks, and the lock-based linearizable
+//!   queues Algorithm 2 builds on.
+//! * [`sim`] ([`dlz_sim`]) — the analysis objects of Section 6 as code:
+//!   sequential, (1+β), adversarial stale-read and ε-corrupted
+//!   load-balancing processes, with potential-function tracking.
+//! * [`stm`] ([`dlz_stm`]) — a from-scratch TL2 software transactional
+//!   memory whose global clock can be swapped for a MultiCounter
+//!   (Section 8's application).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distlin::core::{MultiCounter, RelaxedCounter};
+//!
+//! // A relaxed counter over 64 cache-padded atomic cells.
+//! let counter = MultiCounter::builder().counters(64).seed(42).build();
+//! for _ in 0..10_000 {
+//!     counter.increment();
+//! }
+//! // Reads are approximate: a random cell times the number of cells.
+//! let approx = counter.read();
+//! let exact = counter.read_exact();
+//! assert_eq!(exact, 10_000);
+//! // The paper bounds |approx - exact| by O(m log m) w.h.p.
+//! assert!((approx as i64 - exact as i64).unsigned_abs() < 64 * 64);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper.
+
+pub use dlz_core as core;
+pub use dlz_pq as pq;
+pub use dlz_sim as sim;
+pub use dlz_stm as stm;
