@@ -6,14 +6,18 @@
 //! baseline: FAA throughput *decays* with threads (cache-line
 //! ping-pong) while the MultiCounter scales, more steeply for larger C.
 //!
+//! A thin wrapper over the workload engine: one update-only closed-loop
+//! scenario per (thread count, backend) cell. The engine also checks
+//! the conservation law (no increment lost) on every cell.
+//!
 //! ```text
 //! cargo run -p dlz-bench --release --bin fig1a
 //! ```
 
 use dlz_bench::tables::f3;
-use dlz_bench::{count_until_stopped, run_throughput, Config, Table};
-use dlz_core::rng::Xoshiro256;
-use dlz_core::{ExactCounter, MultiCounter, RelaxedCounter, ShardedCounter};
+use dlz_bench::{Config, Table};
+use dlz_workload::backends::CounterBackend;
+use dlz_workload::{engine, Backend, Budget, Family, OpMix, Scenario};
 
 fn main() {
     let cfg = Config::from_args();
@@ -35,43 +39,29 @@ fn main() {
     let mut table = Table::new(&header_refs);
 
     for &n in &cfg.threads {
+        let scenario = Scenario::builder("fig1a", Family::Counter)
+            .about("update-only closed loop")
+            .threads(n)
+            .budget(Budget::Timed(cfg.duration))
+            .mix(OpMix::new(100, 0, 0))
+            .seed(cfg.seed)
+            .quality_every(0)
+            .build();
+
+        let mut backends: Vec<CounterBackend> =
+            vec![CounterBackend::exact(), CounterBackend::sharded(n)];
+        backends.extend(ratios.iter().map(|&c| CounterBackend::multicounter(c * n)));
+
         let mut cells = vec![n.to_string()];
-
-        // Baseline 1: one fetch-and-add word shared by all threads.
-        let exact = ExactCounter::new();
-        let t = run_throughput(n, cfg.duration, |_t| {
-            let c = &exact;
-            move |stop: &std::sync::atomic::AtomicBool| count_until_stopped(stop, || c.increment())
-        });
-        cells.push(f3(t.mops()));
-
-        // Baseline 2: per-thread stripes (perfect increment scaling,
-        // but no bounded-error single-sample read — see ShardedCounter
-        // docs; the MultiCounter's read guarantee is what it buys with
-        // its extra loads).
-        let sharded = ShardedCounter::new(n);
-        let t = run_throughput(n, cfg.duration, |tid| {
-            let c = &sharded;
-            move |stop: &std::sync::atomic::AtomicBool| {
-                count_until_stopped(stop, || c.increment_stripe(tid))
-            }
-        });
-        cells.push(f3(t.mops()));
-
-        // MultiCounter with m = C·n cells.
-        for &c_ratio in &ratios {
-            let mc = MultiCounter::new(c_ratio * n);
-            let seed = cfg.seed;
-            let t = run_throughput(n, cfg.duration, |tid| {
-                let mc = &mc;
-                let mut rng = Xoshiro256::new(seed ^ (tid as u64) << 17);
-                move |stop: &std::sync::atomic::AtomicBool| {
-                    count_until_stopped(stop, || mc.increment_with(&mut rng))
-                }
-            });
-            // Sanity: increments are never lost.
-            assert_eq!(mc.read_exact(), t.total_ops, "lost increments");
-            cells.push(f3(t.mops()));
+        for backend in &backends {
+            let report = engine::run(&scenario, backend);
+            assert!(
+                report.verified(),
+                "{}: {}",
+                backend.name(),
+                report.verify_error.as_deref().unwrap_or("?")
+            );
+            cells.push(f3(report.mops()));
         }
         table.row(cells);
     }

@@ -6,60 +6,37 @@
 //! Workload (verbatim from Section 8): transactions pick 2 array
 //! locations uniformly at random, increment both, commit. Correctness
 //! is verified after every run by checking the array sum equals
-//! 2 × committed transactions — the same check the paper used.
+//! 2 × committed transactions — the same check the paper used. Both the
+//! thread loop and the verification now come from the workload engine
+//! ([`StmBackend`] encodes the transaction and the safety law).
 //!
 //! ```text
 //! cargo run -p dlz-bench --release --bin fig1cde -- --objects 1000000
 //! cargo run -p dlz-bench --release --bin fig1cde            # all three sizes
 //! ```
 
-use std::sync::atomic::AtomicBool;
-
 use dlz_bench::tables::f3;
-use dlz_bench::{run_throughput, Config, Table};
-use dlz_core::rng::{Rng64, Xoshiro256};
-use dlz_core::MultiCounter;
-use dlz_stm::{ClockStrategy, ExactClock, RelaxedClock, Tl2};
+use dlz_bench::{Config, Table};
+use dlz_workload::backends::StmBackend;
+use dlz_workload::{engine, Backend, Budget, Dist, Family, OpMix, RunReport, Scenario};
 
-/// One timed run; returns (commits/s in M/s, abort rate, safety ok).
-fn run_tl2<C: ClockStrategy>(stm: &Tl2<C>, threads: usize, cfg: &Config) -> (f64, f64, bool) {
-    use std::sync::Mutex;
-    let stats_pool = Mutex::new(Vec::new());
-    let objects = stm.array().len() as u64;
-    let before_sum = stm.array().sum_quiescent();
+fn scenario(objects: usize, threads: usize, cfg: &Config) -> Scenario {
+    Scenario::builder("fig1cde", Family::Stm)
+        .about("2 uniform increments per txn, update-only")
+        .threads(threads)
+        .budget(Budget::Timed(cfg.duration))
+        .mix(OpMix::new(100, 0, 0))
+        .keys(Dist::Uniform { n: objects as u64 })
+        .seed(cfg.seed)
+        .build()
+}
 
-    let t = run_throughput(threads, cfg.duration, |tid| {
-        let stm = &stm;
-        let stats_pool = &stats_pool;
-        let mut rng = Xoshiro256::new(cfg.seed ^ ((tid as u64) << 24));
-        move |stop: &AtomicBool| {
-            let mut handle = stm.thread();
-            let mut n = 0u64;
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                let i = rng.bounded(objects) as usize;
-                let j = rng.bounded(objects) as usize;
-                handle.run(|tx| {
-                    tx.add(i, 1)?;
-                    tx.add(j, 1)?;
-                    Ok(())
-                });
-                n += 1;
-            }
-            stats_pool.lock().unwrap().push(handle.stats());
-            n
-        }
-    });
-
-    let mut merged = dlz_stm::TxStats::default();
-    for s in stats_pool.into_inner().unwrap() {
-        merged.merge(&s);
+fn cell(report: &RunReport, backend_name: &str) -> (f64, f64, bool) {
+    if let Some(err) = &report.verify_error {
+        eprintln!("SAFETY VIOLATION: {backend_name}: {err}");
     }
-    let after_sum = stm.array().sum_quiescent();
-    // Each committed transaction adds exactly 2 (i == j adds 2 to one slot).
-    let safety_ok = after_sum - before_sum == 2 * merged.commits as u128
-        && merged.commits == t.total_ops
-        && !stm.array().any_locked();
-    (t.mops(), merged.abort_rate(), safety_ok)
+    let abort_rate = report.quality.get("abort_rate").unwrap_or(f64::NAN);
+    (report.mops(), abort_rate, report.verified())
 }
 
 fn main() {
@@ -70,6 +47,7 @@ fn main() {
         cfg.duration, cfg.objects
     );
 
+    let mut all_verified = true;
     for &objects in &cfg.objects {
         let fig = match objects {
             1_000_000 => "Figure 1(c), 1M objects",
@@ -89,17 +67,18 @@ fn main() {
         ]);
         for &n in &cfg.threads {
             // Fresh STM per point so version clocks/arrays start clean.
-            let exact = Tl2::new(objects, ExactClock::new());
-            let (ex_mops, ex_abort, ex_ok) = run_tl2(&exact, n, &cfg);
+            let s = scenario(objects, n, &cfg);
+            let exact = StmBackend::exact(objects);
+            let (ex_mops, ex_abort, ex_ok) = cell(&engine::run(&s, &exact), &exact.name());
 
-            // Clock sizing: m = 2·n cells with a κ = 3 margin. Larger
-            // m/κ inflate Δ and with it the future-window abort cost
-            // quadratically — see the clock_tuning ablation binary.
-            let m = (2 * n).max(4);
-            let delta = RelaxedClock::suggested_delta(m, 3.0);
-            let relaxed = Tl2::new(objects, RelaxedClock::new(MultiCounter::new(m), delta));
-            let (rx_mops, rx_abort, rx_ok) = run_tl2(&relaxed, n, &cfg);
+            // Clock sizing inside StmBackend::relaxed matches the old
+            // hand-rolled harness: m = 2·n cells, κ = 3 margin (larger
+            // m/κ inflate Δ and with it the future-window abort cost —
+            // see the clock_tuning ablation binary).
+            let relaxed = StmBackend::relaxed(objects, n);
+            let (rx_mops, rx_abort, rx_ok) = cell(&engine::run(&s, &relaxed), &relaxed.name());
 
+            all_verified &= ex_ok && rx_ok;
             table.row(vec![
                 n.to_string(),
                 f3(ex_mops),
@@ -118,4 +97,7 @@ fn main() {
     println!(
         "enough that future-stamped objects trigger heavy aborts and the advantage collapses."
     );
+    if !all_verified {
+        std::process::exit(1);
+    }
 }

@@ -5,25 +5,23 @@
 //! 1. The *sequential rank process* (reference \[3\]): prefill b = 100·m
 //!    labels, remove half, report mean / p99 / max rank — expected
 //!    O(m), O(m log m).
-//! 2. The *concurrent MultiQueue*: producer/consumer threads with
-//!    stamped operations; the recorded history is replayed through the
+//! 2. The *concurrent MultiQueue*: a history-recording workload
+//!    scenario; the engine replays the stamped history through the
 //!    distributional-linearizability checker (Definition 5.2) and the
-//!    empirical rank-cost distribution is reported. This is the
-//!    end-to-end guarantee the paper's framework promises.
+//!    empirical rank-cost distribution comes back as the run's quality
+//!    report. This is the end-to-end guarantee the paper's framework
+//!    promises.
 //!
 //! ```text
 //! cargo run -p dlz-bench --release --bin mq_rank
 //! ```
 
-use std::sync::atomic::Ordering;
-use std::sync::Mutex;
-
 use dlz_bench::tables::f3;
 use dlz_bench::{Config, Table};
-use dlz_core::rng::Xoshiro256;
-use dlz_core::spec::{check_distributional, History, PqOp, PqSpec, StampClock, ThreadLog};
-use dlz_core::MultiQueue;
+use dlz_core::DeleteMode;
 use dlz_sim::{QueueProcess, Summary};
+use dlz_workload::backends::MultiQueueBackend;
+use dlz_workload::{engine, Budget, Dist, Family, OpMix, Scenario};
 
 fn sequential_section(cfg: &Config) {
     println!("-- sequential rank process (reference [3]) --");
@@ -70,88 +68,36 @@ fn concurrent_section(cfg: &Config) {
     ]);
     for &threads in &cfg.threads {
         let m = (8 * threads).max(8);
-        let per_thread = cfg.steps(40_000) as usize;
-        let mq: MultiQueue<u64> = MultiQueue::new(m);
-        let clock = StampClock::new();
-        let logs = Mutex::new(Vec::new());
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let mq = &mq;
-                let clock = &clock;
-                let logs = &logs;
-                let seed = cfg.seed ^ ((t as u64) << 32);
-                s.spawn(move || {
-                    let mut rng = Xoshiro256::new(seed);
-                    let mut log = ThreadLog::new(t);
-                    // Alternate enqueue-biased phases with dequeues so the
-                    // structure stays populated (priority = global stamp
-                    // order approximated by a per-thread counter mixed with
-                    // thread id to stay unique).
-                    let mut next_p = t as u64;
-                    for k in 0..per_thread {
-                        if k % 3 < 2 {
-                            let p = next_p;
-                            next_p += threads as u64;
-                            let inv = clock.stamp();
-                            let upd = mq.insert_stamped(&mut rng, p, p, clock.as_atomic());
-                            let resp = clock.stamp();
-                            log.push(dlz_core::spec::Event {
-                                thread: t,
-                                label: PqOp::Insert { priority: p },
-                                invoke: inv,
-                                update: upd,
-                                response: resp,
-                            });
-                        } else {
-                            let inv = clock.stamp();
-                            if let Some((p, _, upd)) =
-                                mq.dequeue_stamped(&mut rng, clock.as_atomic())
-                            {
-                                let resp = clock.stamp();
-                                log.push(dlz_core::spec::Event {
-                                    thread: t,
-                                    label: PqOp::DeleteMin { removed: p },
-                                    invoke: inv,
-                                    update: upd,
-                                    response: resp,
-                                });
-                            }
-                        }
-                    }
-                    logs.lock().unwrap().push(log);
-                });
-            }
-        });
-        let history = History::from_logs(logs.into_inner().unwrap());
-        let ops = history.len();
-        let outcome = check_distributional(&PqSpec, &history);
-        // Rank costs: only dequeues have nonzero cost; filter zeros from
-        // inserts by looking at the distribution of positive costs plus
-        // the exact dequeue count.
-        let dequeue_costs: Vec<f64> = outcome
-            .costs
-            .samples()
-            .iter()
-            .cloned()
-            .filter(|&c| c.is_finite())
-            .collect();
-        let s = Summary::from_samples(dequeue_costs);
+        let per_thread = cfg.steps(40_000);
+        // The original hand-rolled loop: 2/3 enqueue, 1/3 dequeue, dense
+        // per-thread monotone priorities — now a declarative scenario
+        // with history recording on.
+        let scenario = Scenario::builder("mq-rank-audit", Family::Queue)
+            .about("stamped history replayed through the checker")
+            .threads(threads)
+            .budget(Budget::OpsPerWorker(per_thread))
+            .mix(OpMix::new(67, 33, 0))
+            .priorities(Dist::Monotonic)
+            .seed(cfg.seed)
+            .record_history(true)
+            .build();
+        let backend = MultiQueueBackend::heap(m, DeleteMode::Strict);
+        let report = engine::run(&scenario, &backend);
+        assert!(report.verified(), "{:?}", report.verify_error);
+
+        let q = &report.quality;
+        assert_eq!(q.metric, "dequeue_rank");
+        let ranks = q.summary.expect("checker costs");
         table.row(vec![
             m.to_string(),
             threads.to_string(),
-            ops.to_string(),
-            f3(s.mean()),
-            f3(s.quantile(0.99)),
-            f3(s.max()),
+            format!("{:.0}", q.get("history_ops").unwrap_or(0.0)),
+            f3(ranks.mean),
+            f3(ranks.p99),
+            f3(ranks.max),
             f3(m as f64 * (m as f64).ln()),
-            outcome.is_linearizable().to_string(),
+            (q.get("linearizable") == Some(1.0)).to_string(),
         ]);
-        // Consistency check for the harness itself.
-        assert!(
-            clock.issued() >= ops as u64,
-            "stamp clock must cover all events"
-        );
-        let _ = Ordering::Relaxed;
     }
     table.print();
     println!("Expected: every history maps onto the relaxed PQ process (lin? = true);");

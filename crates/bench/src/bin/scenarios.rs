@@ -1,0 +1,146 @@
+//! **Scenario runner** — drives the named workload catalog against
+//! every backend of the matching family and emits machine-readable
+//! JSON.
+//!
+//! ```text
+//! cargo run --release -p dlz-bench --bin scenarios -- --list
+//! cargo run --release -p dlz-bench --bin scenarios -- --scenario queue-balanced
+//! cargo run --release -p dlz-bench --bin scenarios -- --scenario stm-hot-keys \
+//!     --threads 8 --duration-ms 1000 --backends relaxed --json out.json
+//! ```
+//!
+//! The JSON array (one object per scenario × backend pair) goes to
+//! stdout; human-readable progress goes to stderr, so the output can be
+//! piped straight into `jq` or a plotting script. Overrides: `--threads`
+//! takes the *last* value of the sweep list as the worker count;
+//! `--duration-ms` replaces timed budgets; `--quick` shrinks everything.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use dlz_bench::{Config, Table};
+use dlz_workload::backends::roster;
+use dlz_workload::{engine, json, Budget, RunReport, Scenario};
+
+fn list(catalog: &[Scenario]) {
+    let mut table = Table::new(&["scenario", "family", "threads", "description"]);
+    for s in catalog {
+        table.row(vec![
+            s.name.clone(),
+            s.family.label().to_string(),
+            s.threads.to_string(),
+            s.about.clone(),
+        ]);
+    }
+    table.print();
+    println!("\nrun one: cargo run --release -p dlz-bench --bin scenarios -- --scenario <name>");
+}
+
+/// Applies CLI overrides and quick-mode shrinking to a preset.
+fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
+    if cfg.was_set("threads") {
+        s.threads = *cfg.threads.last().expect("non-empty sweep");
+    }
+    if cfg.was_set("seed") {
+        s.seed = cfg.seed;
+    }
+    match s.budget {
+        Budget::Timed(_) if cfg.was_set("duration-ms") => {
+            s.budget = Budget::Timed(cfg.duration);
+        }
+        _ => {}
+    }
+    if cfg.quick {
+        s.budget = match s.budget {
+            Budget::Timed(d) => Budget::Timed(d.min(Duration::from_millis(50))),
+            Budget::OpsPerWorker(n) => Budget::OpsPerWorker((n / 10).max(100)),
+        };
+        s.threads = s.threads.min(2);
+        s.prefill = s.prefill.min(2_000);
+    }
+    s
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let catalog = Scenario::catalog();
+
+    if cfg.list {
+        list(&catalog);
+        return;
+    }
+
+    let selected: Vec<Scenario> = match &cfg.scenario {
+        Some(name) => match Scenario::named(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario '{name}'; available:");
+                for s in &catalog {
+                    eprintln!("  {}", s.name);
+                }
+                std::process::exit(2);
+            }
+        },
+        None => catalog,
+    };
+
+    let mut reports: Vec<RunReport> = Vec::new();
+    let mut summary = Table::new(&[
+        "scenario", "backend", "threads", "mops", "p50_ns", "p99_ns", "quality", "verified",
+    ]);
+    for preset in selected {
+        let scenario = customize(preset, &cfg);
+        for backend in roster(&scenario) {
+            if !cfg.backend_selected(&backend.name()) {
+                continue;
+            }
+            eprintln!("running {} on {} ...", scenario.name, backend.name());
+            let report = engine::run(&scenario, backend.as_ref());
+            let q = &report.quality;
+            let quality_cell = match q.summary {
+                Some(s) => format!("{}: p99={:.1}", q.metric, s.p99),
+                None => match q.get("abort_rate") {
+                    Some(r) => format!("abort_rate={:.3}", r),
+                    None => q.metric.clone(),
+                },
+            };
+            summary.row(vec![
+                report.scenario.clone(),
+                report.backend.clone(),
+                report.threads.to_string(),
+                format!("{:.3}", report.mops()),
+                report.latency.p50_ns.to_string(),
+                report.latency.p99_ns.to_string(),
+                quality_cell,
+                report.verified().to_string(),
+            ]);
+            reports.push(report);
+        }
+    }
+
+    let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let array = json::array(&rendered);
+    println!("{array}");
+
+    if let Some(path) = &cfg.json {
+        let mut f = std::fs::File::create(path).expect("create --json file");
+        f.write_all(array.as_bytes()).expect("write --json file");
+        f.write_all(b"\n").expect("write --json file");
+        eprintln!("wrote {} reports to {path}", reports.len());
+    }
+
+    eprintln!();
+    eprint!("{}", summary.render());
+    let unverified: Vec<&RunReport> = reports.iter().filter(|r| !r.verified()).collect();
+    if !unverified.is_empty() {
+        for r in &unverified {
+            eprintln!(
+                "VERIFY FAILED: {} on {}: {}",
+                r.scenario,
+                r.backend,
+                r.verify_error.as_deref().unwrap_or("?")
+            );
+        }
+        std::process::exit(1);
+    }
+}

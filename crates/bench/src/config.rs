@@ -1,4 +1,5 @@
-//! Minimal CLI/env configuration shared by the figure binaries.
+//! Minimal CLI/env configuration shared by the figure binaries and the
+//! scenario runner.
 //!
 //! No external argument parser: the binaries take a handful of
 //! `--key value` pairs plus environment fallbacks, so `cargo run` with
@@ -11,6 +12,10 @@
 //! | `--objects N` | `DLZ_OBJECTS` | TL2 array size(s) |
 //! | `--quick` | `DLZ_QUICK=1` | shrink everything for CI smoke |
 //! | `--seed S` | `DLZ_SEED` | base RNG seed |
+//! | `--list` | | `scenarios`: list the catalog and exit |
+//! | `--scenario NAME` | | `scenarios`: run one named scenario |
+//! | `--backends a,b` | | `scenarios`: substring filter on backends |
+//! | `--json FILE` | | `scenarios`: also write the JSON to FILE |
 
 use std::time::Duration;
 
@@ -27,6 +32,17 @@ pub struct Config {
     pub quick: bool,
     /// Base seed for deterministic components.
     pub seed: u64,
+    /// `scenarios`: list the catalog and exit.
+    pub list: bool,
+    /// `scenarios`: run only this named scenario.
+    pub scenario: Option<String>,
+    /// `scenarios`: case-insensitive substring filter on backend names.
+    pub backends: Vec<String>,
+    /// `scenarios`: also write the JSON report array to this file.
+    pub json: Option<String>,
+    /// Names of flags/envs explicitly set (so binaries can distinguish
+    /// "defaulted" from "requested").
+    set_flags: Vec<String>,
 }
 
 impl Default for Config {
@@ -47,6 +63,11 @@ impl Default for Config {
             objects: vec![10_000, 100_000, 1_000_000],
             quick: false,
             seed: 0xd15f1e1d,
+            list: false,
+            scenario: None,
+            backends: Vec::new(),
+            json: None,
+            set_flags: Vec::new(),
         }
     }
 }
@@ -57,20 +78,28 @@ impl Config {
         Self::parse(std::env::args().skip(1).collect())
     }
 
+    /// `true` if the flag (or its env fallback) was explicitly set.
+    pub fn was_set(&self, flag: &str) -> bool {
+        self.set_flags.iter().any(|f| f == flag)
+    }
+
     /// Parses an explicit argument vector (tests).
     pub fn parse(args: Vec<String>) -> Self {
         let mut cfg = Config::default();
         // Environment first, flags override.
         if let Ok(v) = std::env::var("DLZ_THREADS") {
             cfg.threads = parse_list(&v);
+            cfg.set_flags.push("threads".into());
         }
         if let Ok(v) = std::env::var("DLZ_DURATION_MS") {
             if let Ok(ms) = v.parse::<u64>() {
                 cfg.duration = Duration::from_millis(ms);
+                cfg.set_flags.push("duration-ms".into());
             }
         }
         if let Ok(v) = std::env::var("DLZ_OBJECTS") {
             cfg.objects = parse_list(&v);
+            cfg.set_flags.push("objects".into());
         }
         if std::env::var("DLZ_QUICK").as_deref() == Ok("1") {
             cfg.quick = true;
@@ -78,6 +107,7 @@ impl Config {
         if let Ok(v) = std::env::var("DLZ_SEED") {
             if let Ok(s) = v.parse::<u64>() {
                 cfg.seed = s;
+                cfg.set_flags.push("seed".into());
             }
         }
         let mut it = args.into_iter();
@@ -86,20 +116,41 @@ impl Config {
                 "--threads" => {
                     let v = it.next().expect("--threads needs a value");
                     cfg.threads = parse_list(&v);
+                    cfg.set_flags.push("threads".into());
                 }
                 "--duration-ms" => {
                     let v = it.next().expect("--duration-ms needs a value");
                     cfg.duration = Duration::from_millis(v.parse().expect("ms"));
+                    cfg.set_flags.push("duration-ms".into());
                 }
                 "--objects" => {
                     let v = it.next().expect("--objects needs a value");
                     cfg.objects = parse_list(&v);
+                    cfg.set_flags.push("objects".into());
                 }
                 "--seed" => {
                     let v = it.next().expect("--seed needs a value");
                     cfg.seed = v.parse().expect("seed");
+                    cfg.set_flags.push("seed".into());
                 }
                 "--quick" => cfg.quick = true,
+                "--list" => cfg.list = true,
+                "--scenario" => {
+                    let v = it.next().expect("--scenario needs a name");
+                    cfg.scenario = Some(v);
+                }
+                "--backends" => {
+                    let v = it.next().expect("--backends needs a value");
+                    cfg.backends = v
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| p.trim().to_lowercase())
+                        .collect();
+                }
+                "--json" => {
+                    let v = it.next().expect("--json needs a path");
+                    cfg.json = Some(v);
+                }
                 other => panic!("unknown flag {other}; see crates/bench/src/config.rs"),
             }
         }
@@ -118,6 +169,15 @@ impl Config {
         } else {
             full
         }
+    }
+
+    /// `true` if `backend_name` passes the `--backends` filter.
+    pub fn backend_selected(&self, backend_name: &str) -> bool {
+        if self.backends.is_empty() {
+            return true;
+        }
+        let lower = backend_name.to_lowercase();
+        self.backends.iter().any(|f| lower.contains(f))
     }
 }
 
@@ -142,6 +202,8 @@ mod tests {
         assert_eq!(c.threads[0], 1);
         assert!(c.duration >= Duration::from_millis(1));
         assert_eq!(c.objects.len(), 3);
+        assert!(!c.list);
+        assert!(c.scenario.is_none());
     }
 
     #[test]
@@ -160,6 +222,9 @@ mod tests {
         assert_eq!(c.duration, Duration::from_millis(42));
         assert_eq!(c.objects, vec![100]);
         assert_eq!(c.seed, 7);
+        assert!(c.was_set("threads"));
+        assert!(c.was_set("duration-ms"));
+        assert!(!c.was_set("nonsense"));
     }
 
     #[test]
@@ -169,6 +234,31 @@ mod tests {
         assert!(c.duration <= Duration::from_millis(50));
         assert!(c.threads.len() <= 2);
         assert_eq!(c.steps(1_000_000), 20_000);
+    }
+
+    #[test]
+    fn scenario_flags_parse() {
+        let c = Config::parse(vec![
+            "--list".into(),
+            "--scenario".into(),
+            "queue-balanced".into(),
+            "--backends".into(),
+            "MultiQueue,coarse".into(),
+            "--json".into(),
+            "out.json".into(),
+        ]);
+        assert!(c.list);
+        assert_eq!(c.scenario.as_deref(), Some("queue-balanced"));
+        assert_eq!(c.json.as_deref(), Some("out.json"));
+        assert!(c.backend_selected("multiqueue-heap(m=8,strict)"));
+        assert!(c.backend_selected("coarse-pq"));
+        assert!(!c.backend_selected("stm-exact(slots=65536)"));
+    }
+
+    #[test]
+    fn empty_backend_filter_selects_all() {
+        let c = Config::parse(vec![]);
+        assert!(c.backend_selected("anything"));
     }
 
     #[test]

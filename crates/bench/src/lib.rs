@@ -5,15 +5,18 @@
 //! (see `benches/`):
 //!
 //! * [`harness`] — multi-threaded timed throughput runs (barrier start,
-//!   stop flag, per-thread op counts).
+//!   stop flag, per-thread op counts); a façade over
+//!   [`dlz_workload::driver`].
 //! * [`tables`] — aligned-column table / CSV output.
 //! * [`config`] — tiny CLI/env configuration shared by all binaries
 //!   (`--threads 1,2,4`, `--duration-ms 300`, `--quick`, ...).
 //!
-//! Every binary runs with laptop-scale defaults and prints the same
-//! series the corresponding figure in the paper plots:
+//! The figure binaries (`fig1a`, `fig1b`, `fig1cde`, `mq_rank`) are
+//! thin wrappers over the `dlz-workload` scenario engine; the
+//! `scenarios` binary runs the whole named catalog and emits JSON:
 //!
 //! ```text
+//! cargo run -p dlz-bench --release --bin scenarios -- --list
 //! cargo run -p dlz-bench --release --bin fig1a -- --threads 1,2,4 --duration-ms 500
 //! ```
 

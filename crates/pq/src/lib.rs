@@ -31,6 +31,7 @@ pub mod binary_heap;
 pub mod coarse;
 pub mod locked;
 pub mod pairing_heap;
+pub mod parking_lot;
 pub mod skiplist;
 pub mod spinlock;
 pub mod traits;

@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::binary_heap::BinaryHeap;
+use crate::parking_lot;
 use crate::spinlock::{SpinGuard, SpinLock};
 use crate::traits::{ConcurrentPq, SeqPriorityQueue};
 

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `parking_lot` crate's mutex API.
+//!
+//! [`ParkingLotPq`](crate::ParkingLotPq) exists to ablate lock substrates
+//! (spin vs OS-assisted parking). This build has no registry access, so
+//! the real `parking_lot` dependency is replaced by a thin adapter over
+//! `std::sync::Mutex` — which parks waiters via the OS on contention,
+//! preserving the property the ablation measures. Swapping back to the
+//! real crate only requires deleting this module and adding the
+//! dependency; the call sites are API-compatible.
+
+/// `parking_lot::Mutex`-shaped wrapper over [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard type matching `parking_lot::MutexGuard`.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking. Unlike `std`, `parking_lot` has no
+    /// poisoning; on a poisoned std mutex the inner guard is recovered
+    /// (the protected queues stay structurally valid across panics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_try_lock_roundtrip() {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "held lock must not be re-entered");
+        }
+        assert_eq!(*m.try_lock().expect("free lock"), 6);
+    }
+}

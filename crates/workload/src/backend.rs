@@ -1,0 +1,182 @@
+//! The unified backend interface every structure in the workspace
+//! implements to be drivable by the engine.
+
+use crate::op::{Op, OpCounts};
+use crate::scenario::Family;
+
+/// Per-worker configuration handed to [`Backend::worker`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerCfg {
+    /// Worker index in `0..threads` (`threads` itself for the prefill
+    /// worker, so its RNG stream is distinct from every measured one).
+    pub id: usize,
+    /// Total measured workers.
+    pub threads: usize,
+    /// Seed for this worker's private generator(s).
+    pub seed: u64,
+    /// Record stamped history events (queue family; small budgets only).
+    pub record_history: bool,
+    /// Sample a quality observation every N eligible ops (0 = never).
+    pub quality_every: u32,
+}
+
+/// A concurrent structure drivable by the workload engine.
+///
+/// A backend is shared (`&self`) across workers; all per-thread state —
+/// RNGs, STM handles, history logs, quality accumulators — lives in the
+/// [`Worker`] sessions it hands out.
+pub trait Backend: Sync {
+    /// Report label, e.g. `multicounter(m=64)`.
+    fn name(&self) -> String;
+
+    /// Which scenario family this backend serves.
+    fn family(&self) -> Family;
+
+    /// Creates the per-thread session for one worker.
+    fn worker<'a>(&'a self, cfg: WorkerCfg) -> Box<dyn Worker + Send + 'a>;
+
+    /// Items currently held (queue backlog / counter total / STM array
+    /// sum). Exact when quiescent; called only outside the run.
+    fn residual(&self) -> u64;
+
+    /// Conservation check after the run: given the merged op counts,
+    /// verify the backend-specific balance law (no lost items, sums
+    /// match). `Err` explains the violation.
+    fn verify(&self, counts: &OpCounts) -> Result<(), String>;
+
+    /// Backend-specific quality metrics accumulated during the run
+    /// (read deviation, dequeue rank, abort rate, ...).
+    fn quality(&self) -> QualityReport;
+}
+
+/// One worker's session against a backend.
+pub trait Worker {
+    /// Executes one abstract operation. Returns `false` only for a
+    /// remove that observed an empty structure.
+    fn execute(&mut self, op: &Op) -> bool;
+
+    /// Called once after the run: flush per-thread quality state
+    /// (history logs, deviation samples) back to the backend.
+    fn finish(&mut self) {}
+}
+
+/// Distribution summary of a quality metric's samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QualitySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl QualitySummary {
+    /// Summarizes a sample vector (sorts a copy).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return QualitySummary::default();
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = v.len();
+        let q = |p: f64| v[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1];
+        QualitySummary {
+            count: n as u64,
+            mean: v.iter().sum::<f64>() / n as f64,
+            p50: q(0.50),
+            p99: q(0.99),
+            max: v[n - 1],
+        }
+    }
+}
+
+/// A named quality metric with an optional sample distribution and
+/// free-form named scalars (bounds, flags, rates).
+#[derive(Debug, Clone, Default)]
+pub struct QualityReport {
+    /// Metric name: `read_deviation`, `dequeue_rank`, `abort_rate`, ...
+    pub metric: String,
+    /// Distribution of the metric's samples, when sampled.
+    pub summary: Option<QualitySummary>,
+    /// Named scalar facts (e.g. `("bound_m_ln_m", 266.0)`,
+    /// `("within_bound", 1.0)`, `("linearizable", 1.0)`).
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl QualityReport {
+    /// A report with just a metric name.
+    pub fn named(metric: &str) -> Self {
+        QualityReport {
+            metric: metric.to_string(),
+            summary: None,
+            scalars: Vec::new(),
+        }
+    }
+
+    /// Adds a named scalar (chainable).
+    pub fn scalar(mut self, name: &str, value: f64) -> Self {
+        self.scalars.push((name.to_string(), value));
+        self
+    }
+
+    /// Sets the sample summary (chainable).
+    pub fn with_summary(mut self, s: QualitySummary) -> Self {
+        self.summary = Some(s);
+        self
+    }
+
+    /// Looks up a scalar by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// `true` if every scalar and summary statistic is finite.
+    pub fn is_finite(&self) -> bool {
+        let scalars_ok = self.scalars.iter().all(|(_, v)| v.is_finite());
+        let summary_ok = self.summary.is_none_or(|s| {
+            s.mean.is_finite() && s.p50.is_finite() && s.p99.is_finite() && s.max.is_finite()
+        });
+        scalars_ok && summary_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_quantiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = QualitySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = QualitySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn report_scalars_and_finiteness() {
+        let r = QualityReport::named("x").scalar("a", 1.0).scalar("b", 2.0);
+        assert_eq!(r.get("a"), Some(1.0));
+        assert_eq!(r.get("missing"), None);
+        assert!(r.is_finite());
+        let bad = QualityReport::named("y").scalar("nan", f64::NAN);
+        assert!(!bad.is_finite());
+    }
+}

@@ -1,0 +1,316 @@
+//! Counter-family backends: every relaxed counter in `dlz-core` behind
+//! the unified [`Backend`] interface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dlz_core::rng::Xoshiro256;
+use dlz_core::{DChoiceCounter, ExactCounter, MultiCounter, RelaxedCounter, ShardedCounter};
+
+use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
+use crate::op::{Op, OpCounts, OpKind};
+use crate::scenario::Family;
+
+/// Any counter from `dlz-core`, with explicit-RNG calls where the
+/// concrete type offers them (keeping runs deterministic per seed).
+#[derive(Debug)]
+pub enum AnyCounter {
+    /// Algorithm 1.
+    Multi(MultiCounter),
+    /// The d-choice generalization.
+    DChoice(DChoiceCounter),
+    /// Per-thread stripes (no bounded single-sample read).
+    Sharded(ShardedCounter),
+    /// The single fetch-and-add baseline.
+    Exact(ExactCounter),
+}
+
+/// A counter behind the [`Backend`] interface.
+///
+/// `Update` applies the op's weight (a weight-w add for the
+/// MultiCounter, w unit increments for substrates without a weighted
+/// add, so conservation laws stay exact). `Read` draws a sampled
+/// relaxed read and, every `quality_every` reads, records the absolute
+/// deviation from the exact sum — the paper's read-error metric
+/// (Lemma 6.8). `Remove` is treated as a read: counters don't consume.
+#[derive(Debug)]
+pub struct CounterBackend {
+    inner: AnyCounter,
+    label: String,
+    /// Sum of weights actually applied (conservation ground truth).
+    expected: AtomicU64,
+    deviations: Mutex<Vec<f64>>,
+}
+
+impl CounterBackend {
+    /// Wraps a MultiCounter with `m` cells.
+    pub fn multicounter(m: usize) -> Self {
+        Self::new(
+            AnyCounter::Multi(MultiCounter::new(m)),
+            format!("multicounter(m={m})"),
+        )
+    }
+
+    /// Wraps a d-choice counter.
+    pub fn dchoice(m: usize, d: usize, seed: u64) -> Self {
+        Self::new(
+            AnyCounter::DChoice(DChoiceCounter::new(m, d, seed)),
+            format!("dchoice(m={m},d={d})"),
+        )
+    }
+
+    /// Wraps a sharded (striped) counter.
+    pub fn sharded(stripes: usize) -> Self {
+        Self::new(
+            AnyCounter::Sharded(ShardedCounter::new(stripes)),
+            format!("sharded(s={stripes})"),
+        )
+    }
+
+    /// Wraps the exact fetch-and-add baseline.
+    pub fn exact() -> Self {
+        Self::new(AnyCounter::Exact(ExactCounter::new()), "exact-faa".into())
+    }
+
+    fn new(inner: AnyCounter, label: String) -> Self {
+        CounterBackend {
+            inner,
+            label,
+            expected: AtomicU64::new(0),
+            deviations: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn read_exact(&self) -> u64 {
+        match &self.inner {
+            AnyCounter::Multi(c) => c.read_exact(),
+            AnyCounter::DChoice(c) => c.read_exact(),
+            AnyCounter::Sharded(c) => c.read_exact(),
+            AnyCounter::Exact(c) => c.read_exact(),
+        }
+    }
+
+    /// The deviation scale the paper's Lemma 6.8 bounds: `m·ln m` for
+    /// cell-sampling counters; 0 for the exact baseline.
+    fn deviation_scale(&self) -> f64 {
+        let m = match &self.inner {
+            AnyCounter::Multi(c) => c.num_counters(),
+            AnyCounter::DChoice(c) => c.num_counters(),
+            AnyCounter::Sharded(c) => c.num_stripes(),
+            AnyCounter::Exact(_) => return 0.0,
+        } as f64;
+        m * m.max(2.0).ln()
+    }
+
+    fn max_gap(&self) -> u64 {
+        match &self.inner {
+            AnyCounter::Multi(c) => c.max_gap(),
+            AnyCounter::DChoice(c) => c.max_gap(),
+            AnyCounter::Sharded(c) => c.max_gap(),
+            AnyCounter::Exact(_) => 0,
+        }
+    }
+}
+
+impl Backend for CounterBackend {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn family(&self) -> Family {
+        Family::Counter
+    }
+
+    fn worker<'a>(&'a self, cfg: WorkerCfg) -> Box<dyn Worker + Send + 'a> {
+        Box::new(CounterWorker {
+            backend: self,
+            rng: Xoshiro256::new(cfg.seed),
+            stripe: cfg.id % cfg.threads.max(1),
+            quality_every: cfg.quality_every,
+            reads_seen: 0,
+            added: 0,
+            deviations: Vec::new(),
+        })
+    }
+
+    fn residual(&self) -> u64 {
+        self.read_exact()
+    }
+
+    fn verify(&self, _counts: &OpCounts) -> Result<(), String> {
+        let expected = self.expected.load(Ordering::Acquire);
+        let actual = self.read_exact();
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "counter lost updates: exact sum {actual} != applied weight {expected}"
+            ))
+        }
+    }
+
+    fn quality(&self) -> QualityReport {
+        // Drains the samples so a backend reused across several engine
+        // runs (fig1b's checkpoints) reports per-run, not cumulative,
+        // statistics.
+        let samples = std::mem::take(&mut *self.deviations.lock().expect("deviations"));
+        let summary = QualitySummary::from_samples(&samples);
+        let scale = self.deviation_scale();
+        // Generous constant over the m·ln m scale, as the core tests use.
+        let bound = 4.0 * scale;
+        let within = if samples.is_empty() || scale == 0.0 {
+            summary.max == 0.0
+        } else {
+            summary.max <= bound
+        };
+        QualityReport::named("read_deviation")
+            .with_summary(summary)
+            .scalar("scale_m_ln_m", scale)
+            .scalar("bound", bound)
+            .scalar("within_bound", if within { 1.0 } else { 0.0 })
+            .scalar("max_gap", self.max_gap() as f64)
+    }
+}
+
+struct CounterWorker<'a> {
+    backend: &'a CounterBackend,
+    rng: Xoshiro256,
+    stripe: usize,
+    quality_every: u32,
+    reads_seen: u32,
+    added: u64,
+    deviations: Vec<f64>,
+}
+
+impl CounterWorker<'_> {
+    fn sampled_read(&mut self) -> u64 {
+        match &self.backend.inner {
+            AnyCounter::Multi(c) => c.read_with(&mut self.rng),
+            AnyCounter::DChoice(c) => c.read_with(&mut self.rng),
+            AnyCounter::Sharded(c) => c.read_sample_with(&mut self.rng),
+            AnyCounter::Exact(c) => c.read(),
+        }
+    }
+}
+
+impl Worker for CounterWorker<'_> {
+    fn execute(&mut self, op: &Op) -> bool {
+        match op.kind {
+            OpKind::Update => {
+                match &self.backend.inner {
+                    AnyCounter::Multi(c) => {
+                        if op.weight == 1 {
+                            c.increment_with(&mut self.rng);
+                        } else {
+                            c.add_with(&mut self.rng, op.weight);
+                        }
+                    }
+                    // No weighted add on these substrates: apply the
+                    // weight as unit increments so totals stay exact.
+                    AnyCounter::DChoice(c) => {
+                        for _ in 0..op.weight {
+                            c.increment_with(&mut self.rng);
+                        }
+                    }
+                    AnyCounter::Sharded(c) => {
+                        for _ in 0..op.weight {
+                            c.increment_stripe(self.stripe);
+                        }
+                    }
+                    AnyCounter::Exact(c) => {
+                        for _ in 0..op.weight {
+                            c.increment();
+                        }
+                    }
+                }
+                self.added += op.weight;
+                true
+            }
+            OpKind::Remove | OpKind::Read => {
+                let approx = self.sampled_read();
+                self.reads_seen += 1;
+                if self.quality_every > 0 && self.reads_seen.is_multiple_of(self.quality_every) {
+                    let exact = self.backend.read_exact();
+                    self.deviations.push(approx.abs_diff(exact) as f64);
+                }
+                true
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.backend
+            .expected
+            .fetch_add(self.added, Ordering::AcqRel);
+        self.backend
+            .deviations
+            .lock()
+            .expect("deviations")
+            .append(&mut self.deviations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ops(b: &CounterBackend, n: u64) {
+        let cfg = WorkerCfg {
+            id: 0,
+            threads: 1,
+            seed: 42,
+            record_history: false,
+            quality_every: 8,
+        };
+        let mut w = b.worker(cfg);
+        for k in 0..n {
+            let kind = if k % 4 == 3 {
+                OpKind::Read
+            } else {
+                OpKind::Update
+            };
+            w.execute(&Op {
+                kind,
+                key: k,
+                priority: 0,
+                weight: 1 + k % 3,
+            });
+        }
+        w.finish();
+    }
+
+    #[test]
+    fn all_counter_backends_conserve() {
+        for b in [
+            CounterBackend::multicounter(16),
+            CounterBackend::dchoice(16, 3, 9),
+            CounterBackend::sharded(4),
+            CounterBackend::exact(),
+        ] {
+            run_ops(&b, 4_000);
+            let counts = OpCounts::default();
+            b.verify(&counts).expect("conservation");
+            let q = b.quality();
+            assert_eq!(q.metric, "read_deviation");
+            assert!(q.is_finite(), "{}: {q:?}", b.name());
+        }
+    }
+
+    #[test]
+    fn exact_counter_has_zero_deviation() {
+        let b = CounterBackend::exact();
+        run_ops(&b, 2_000);
+        let q = b.quality();
+        assert_eq!(q.summary.expect("sampled").max, 0.0);
+        assert_eq!(q.get("within_bound"), Some(1.0));
+    }
+
+    #[test]
+    fn multicounter_deviation_within_bound() {
+        let b = CounterBackend::multicounter(32);
+        run_ops(&b, 50_000);
+        let q = b.quality();
+        assert!(q.summary.expect("sampled").count > 0);
+        assert_eq!(q.get("within_bound"), Some(1.0), "{q:?}");
+    }
+}

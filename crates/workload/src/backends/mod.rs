@@ -1,0 +1,66 @@
+//! Backend adapters: every structure family in the workspace behind the
+//! unified [`Backend`](crate::backend::Backend) interface.
+
+pub mod counter;
+pub mod queue;
+pub mod stm;
+
+pub use counter::{AnyCounter, CounterBackend};
+pub use queue::{ConcurrentPqBackend, MultiQueueBackend};
+pub use stm::StmBackend;
+
+use dlz_core::DeleteMode;
+
+use crate::backend::Backend;
+use crate::scenario::{Family, Scenario};
+
+/// The default backend roster for a scenario: every structure of the
+/// scenario's family, sized for its thread count. This is what the
+/// `scenarios` binary runs and what the integration tests sweep.
+pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
+    let n = scenario.threads;
+    match scenario.family {
+        Family::Counter => vec![
+            Box::new(CounterBackend::exact()),
+            Box::new(CounterBackend::sharded(n.max(2))),
+            Box::new(CounterBackend::multicounter((4 * n).max(8))),
+            Box::new(CounterBackend::dchoice((4 * n).max(8), 4, scenario.seed)),
+        ],
+        Family::Queue => {
+            let m = (4 * n).max(8);
+            vec![
+                Box::new(MultiQueueBackend::heap(m, DeleteMode::Strict)),
+                Box::new(MultiQueueBackend::skiplist(
+                    m,
+                    DeleteMode::TryLock,
+                    scenario.seed,
+                )),
+                Box::new(ConcurrentPqBackend::coarse()),
+                Box::new(ConcurrentPqBackend::locked_heap()),
+            ]
+        }
+        Family::Stm => {
+            let slots = 1 << 16;
+            vec![
+                Box::new(StmBackend::exact(slots)),
+                Box::new(StmBackend::relaxed(slots, n)),
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_every_family_with_two_plus_backends() {
+        for s in Scenario::catalog() {
+            let r = roster(&s);
+            assert!(r.len() >= 2, "{}: roster too small", s.name);
+            for b in &r {
+                assert_eq!(b.family(), s.family, "{}", b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! The concurrent driver: turns a [`Scenario`] plus a [`Backend`] into
+//! a [`RunReport`].
+//!
+//! Discipline: sequential prefill, then barrier-released workers that
+//! draw operations from the scenario's mix/distributions, execute them
+//! against the backend, and record latencies into private metric
+//! shards. Fixed-op budgets are fully deterministic given the seed;
+//! timed budgets run against a stop flag. Open-loop arrivals measure
+//! latency from the *scheduled* arrival time, so queueing delay is
+//! captured rather than hidden (no coordinated omission).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use dlz_core::rng::{Rng64, Xoshiro256};
+
+use crate::backend::{Backend, Worker, WorkerCfg};
+use crate::dist::{Arrival, Sampler};
+use crate::metrics::{LatencySummary, WorkerMetrics};
+use crate::op::{Op, OpCounts, OpKind, OpMix};
+use crate::report::{skeleton, RunReport};
+use crate::scenario::{Budget, Scenario};
+
+/// Distinct, reproducible seed for worker `worker`'s stream `stream`.
+fn stream_seed(base: u64, worker: usize, stream: u64) -> u64 {
+    base ^ (worker as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)
+        ^ (stream + 1).wrapping_mul(0xbf58476d1ce4e5b9)
+}
+
+/// Per-worker operation drawing state.
+struct OpSampler {
+    mix: OpMix,
+    mix_total: u64,
+    keys: Sampler,
+    priorities: Sampler,
+    weights: Sampler,
+    rng: Xoshiro256,
+}
+
+impl OpSampler {
+    fn new(scenario: &Scenario, worker: usize) -> Self {
+        // `threads + 1` streams: the prefill worker (id == threads) gets
+        // its own residue class, so `Dist::Monotonic` stays globally
+        // unique across prefill and measured workers.
+        let streams = scenario.threads + 1;
+        OpSampler {
+            mix: scenario.mix,
+            mix_total: scenario.mix.total() as u64,
+            keys: scenario.keys.sampler(worker, streams),
+            priorities: scenario.priorities.sampler(worker, streams),
+            weights: scenario.weights.sampler(worker, streams),
+            rng: Xoshiro256::new(stream_seed(scenario.seed, worker, 1)),
+        }
+    }
+
+    #[inline]
+    fn draw(&mut self) -> Op {
+        let kind = self.mix.pick(self.rng.bounded(self.mix_total) as u32);
+        self.draw_kind(kind)
+    }
+
+    /// Draws an op of a forced kind (prefill uses `Update`).
+    #[inline]
+    fn draw_kind(&mut self, kind: OpKind) -> Op {
+        let key = self.keys.draw(&mut self.rng);
+        let (priority, weight) = if kind == OpKind::Update {
+            (
+                self.priorities.draw(&mut self.rng),
+                self.weights.draw(&mut self.rng).max(1),
+            )
+        } else {
+            (0, 1)
+        };
+        Op {
+            kind,
+            key,
+            priority,
+            weight,
+        }
+    }
+
+    /// Exponential inter-arrival gap for a Poisson process at `rate`
+    /// arrivals per second (capped at 1s so a mis-set rate cannot hang
+    /// a run).
+    fn interarrival(&mut self, rate: f64) -> Duration {
+        let u = self.rng.uniform_f64();
+        let secs = (-(1.0 - u).ln()) / rate.max(1e-3);
+        Duration::from_secs_f64(secs.min(1.0))
+    }
+}
+
+#[inline]
+fn budget_done(budget: &Budget, issued: u64, stop: &AtomicBool) -> bool {
+    match budget {
+        Budget::OpsPerWorker(n) => issued >= *n,
+        Budget::Timed(_) => stop.load(Ordering::Relaxed),
+    }
+}
+
+/// Waits until `deadline`; returns `false` if the stop flag fired first
+/// (timed budgets only — fixed-op budgets always complete their ops).
+fn wait_until(deadline: Instant, stop: &AtomicBool, stoppable: bool) -> bool {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        if stoppable && stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_millis(1) {
+            std::thread::sleep(remaining - Duration::from_micros(500));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[inline]
+fn step(
+    worker: &mut dyn Worker,
+    sampler: &mut OpSampler,
+    metrics: &mut WorkerMetrics,
+    scheduled: Option<Instant>,
+) {
+    let op = sampler.draw();
+    let t0 = Instant::now();
+    let completed = worker.execute(&op);
+    let end = Instant::now();
+    let latency = match scheduled {
+        Some(s) => end.saturating_duration_since(s),
+        None => end.saturating_duration_since(t0),
+    };
+    metrics.record(op.kind, completed, latency);
+}
+
+fn drive(
+    worker: &mut dyn Worker,
+    sampler: &mut OpSampler,
+    scenario: &Scenario,
+    stop: &AtomicBool,
+) -> WorkerMetrics {
+    let mut metrics = WorkerMetrics::default();
+    let mut issued = 0u64;
+    let budget = &scenario.budget;
+    let stoppable = matches!(budget, Budget::Timed(_));
+    match scenario.arrival {
+        Arrival::Closed => {
+            while !budget_done(budget, issued, stop) {
+                step(worker, sampler, &mut metrics, None);
+                issued += 1;
+            }
+        }
+        Arrival::Open { rate_per_worker } => {
+            let mut next = Instant::now();
+            while !budget_done(budget, issued, stop) {
+                next += sampler.interarrival(rate_per_worker);
+                if !wait_until(next, stop, stoppable) {
+                    break;
+                }
+                step(worker, sampler, &mut metrics, Some(next));
+                issued += 1;
+            }
+        }
+        Arrival::Bursty { burst, pause } => {
+            'outer: while !budget_done(budget, issued, stop) {
+                for _ in 0..burst.max(1) {
+                    if budget_done(budget, issued, stop) {
+                        break 'outer;
+                    }
+                    step(worker, sampler, &mut metrics, None);
+                    issued += 1;
+                }
+                if !wait_until(Instant::now() + pause, stop, stoppable) {
+                    break;
+                }
+            }
+        }
+    }
+    metrics
+}
+
+/// Runs `scenario` against `backend` and returns the full report.
+///
+/// # Panics
+/// If the scenario's family does not match the backend's.
+pub fn run(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
+    assert_eq!(
+        scenario.family,
+        backend.family(),
+        "scenario '{}' targets {:?}, backend '{}' is {:?}",
+        scenario.name,
+        scenario.family,
+        backend.name(),
+        backend.family()
+    );
+    let threads = scenario.threads;
+    let mut report = skeleton(scenario, backend.name());
+
+    // Sequential prefill (worker id `threads`: a stream distinct from
+    // every measured worker; recorded into the stamped history when the
+    // scenario uses one, so the checker sees a complete history).
+    let mut prefill_counts = OpCounts::default();
+    if scenario.prefill > 0 {
+        let cfg = WorkerCfg {
+            id: threads,
+            threads,
+            seed: stream_seed(scenario.seed, threads, 0),
+            record_history: scenario.record_history,
+            quality_every: 0,
+        };
+        let mut worker = backend.worker(cfg);
+        let mut sampler = OpSampler::new(scenario, threads);
+        for _ in 0..scenario.prefill {
+            worker.execute(&sampler.draw_kind(OpKind::Update));
+        }
+        worker.finish();
+        prefill_counts.prefill = scenario.prefill;
+    }
+
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let (mut merged, elapsed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|id| {
+                let cfg = WorkerCfg {
+                    id,
+                    threads,
+                    seed: stream_seed(scenario.seed, id, 0),
+                    record_history: scenario.record_history,
+                    quality_every: scenario.quality_every,
+                };
+                let mut worker = backend.worker(cfg);
+                let mut sampler = OpSampler::new(scenario, id);
+                let stop = &stop;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let begin = Instant::now();
+                    let metrics = drive(worker.as_mut(), &mut sampler, scenario, stop);
+                    let end = Instant::now();
+                    worker.finish();
+                    (metrics, begin, end)
+                })
+            })
+            .collect();
+        barrier.wait();
+        if let Budget::Timed(d) = scenario.budget {
+            std::thread::sleep(d);
+            stop.store(true, Ordering::Release);
+        }
+        // Elapsed is the workers' own span (earliest begin to latest
+        // end): the coordinator may be descheduled right after the
+        // barrier, so its clock would under-measure short fixed-op runs.
+        let mut merged = WorkerMetrics::default();
+        let mut begin: Option<Instant> = None;
+        let mut end: Option<Instant> = None;
+        for h in handles {
+            let (metrics, b, e) = h.join().expect("worker thread");
+            merged.merge(&metrics);
+            begin = Some(begin.map_or(b, |x| x.min(b)));
+            end = Some(end.map_or(e, |x| x.max(e)));
+        }
+        let elapsed = match (begin, end) {
+            (Some(b), Some(e)) => e.saturating_duration_since(b),
+            _ => Duration::ZERO,
+        };
+        (merged, elapsed)
+    });
+    merged.counts.merge(&prefill_counts);
+
+    report.elapsed = elapsed;
+    report.counts = merged.counts;
+    report.latency = LatencySummary::from(&merged.latency);
+    report.residual = backend.residual();
+    report.verify_error = backend.verify(&merged.counts).err();
+    report.quality = backend.quality();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{ConcurrentPqBackend, CounterBackend, MultiQueueBackend, StmBackend};
+    use crate::dist::Dist;
+    use crate::scenario::Family;
+    use dlz_core::DeleteMode;
+
+    fn small(name: &str, family: Family) -> crate::scenario::ScenarioBuilder {
+        Scenario::builder(name, family)
+            .threads(2)
+            .budget(Budget::OpsPerWorker(2_000))
+            .seed(0xfeed)
+    }
+
+    #[test]
+    fn counter_run_balances_and_reports() {
+        let s = small("t-counter", Family::Counter)
+            .mix(OpMix::new(80, 0, 20))
+            .build();
+        let b = CounterBackend::multicounter(16);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert_eq!(r.total_ops(), 4_000);
+        assert_eq!(r.counts.updates + r.counts.reads, 4_000);
+        assert!(r.latency.p99_ns >= r.latency.p50_ns);
+        assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn queue_run_conserves_items() {
+        let s = small("t-queue", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .prefill(500)
+            .build();
+        let b = MultiQueueBackend::heap(8, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert_eq!(r.counts.prefill, 500);
+        assert_eq!(
+            r.counts.inserted(),
+            r.counts.removes + r.residual,
+            "items lost"
+        );
+    }
+
+    #[test]
+    fn exact_pq_run_conserves() {
+        let s = small("t-pq", Family::Queue)
+            .mix(OpMix::new(60, 40, 0))
+            .prefill(100)
+            .build();
+        let b = ConcurrentPqBackend::coarse();
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+    }
+
+    #[test]
+    fn stm_run_verifies_safety() {
+        let s = small("t-stm", Family::Stm)
+            .mix(OpMix::new(80, 0, 20))
+            .keys(Dist::Uniform { n: 512 })
+            .build();
+        let b = StmBackend::exact(512);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert_eq!(r.quality.metric, "abort_rate");
+    }
+
+    #[test]
+    fn open_loop_records_scheduled_latency() {
+        let s = small("t-open", Family::Counter)
+            .mix(OpMix::new(100, 0, 0))
+            .budget(Budget::OpsPerWorker(200))
+            .arrival(Arrival::Open {
+                rate_per_worker: 20_000.0,
+            })
+            .build();
+        let b = CounterBackend::exact();
+        let r = run(&s, &b);
+        assert!(r.verified());
+        assert_eq!(r.total_ops(), 400);
+        // At 20k/s mean gap is 50µs; elapsed must reflect pacing.
+        assert!(r.elapsed >= Duration::from_millis(2), "{:?}", r.elapsed);
+    }
+
+    #[test]
+    fn bursty_arrivals_complete_budget() {
+        let s = small("t-burst", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(1_000))
+            .arrival(Arrival::Bursty {
+                burst: 64,
+                pause: Duration::from_micros(200),
+            })
+            .prefill(200)
+            .build();
+        let b = MultiQueueBackend::heap(4, DeleteMode::TryLock);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let attempts =
+            r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+        assert_eq!(attempts, 2_000);
+    }
+
+    #[test]
+    fn fixed_ops_runs_are_deterministic() {
+        let build = || {
+            small("t-det", Family::Queue)
+                .mix(OpMix::new(50, 50, 0))
+                .prefill(300)
+                .build()
+        };
+        let r1 = run(&build(), &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        let r2 = run(&build(), &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        // Threads interleave nondeterministically, but per-worker op
+        // streams are seeded: totals must match exactly.
+        assert_eq!(r1.counts.updates, r2.counts.updates);
+        assert_eq!(
+            r1.counts.removes + r1.residual,
+            r2.counts.removes + r2.residual
+        );
+    }
+
+    #[test]
+    fn timed_budget_stops() {
+        let s = small("t-timed", Family::Counter)
+            .budget(Budget::Timed(Duration::from_millis(50)))
+            .mix(OpMix::new(100, 0, 0))
+            .build();
+        let b = CounterBackend::sharded(2);
+        let r = run(&s, &b);
+        assert!(r.verified());
+        assert!(r.elapsed >= Duration::from_millis(50));
+        assert!(r.total_ops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn family_mismatch_panics() {
+        let s = small("t-mismatch", Family::Counter).build();
+        let b = ConcurrentPqBackend::coarse();
+        let _ = run(&s, &b);
+    }
+
+    #[test]
+    fn history_scenario_produces_checked_ranks() {
+        let s = small("t-audit", Family::Queue)
+            .mix(OpMix::new(60, 40, 0))
+            .budget(Budget::OpsPerWorker(1_500))
+            .prefill(400)
+            .record_history(true)
+            .build();
+        let b = MultiQueueBackend::heap(8, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert_eq!(r.quality.metric, "dequeue_rank");
+        assert_eq!(r.quality.get("linearizable"), Some(1.0));
+        let summary = r.quality.summary.expect("rank costs");
+        assert!(summary.count > 0);
+        // Theorem 7.1 scale: mean rank O(m), tails within m·ln m — use
+        // the generous constants the core tests use.
+        let m = 8.0f64;
+        assert!(summary.mean <= 30.0 * m, "mean rank {summary:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! # dlz-workload — scenario-driven traffic generation for every
+//! backend in the workspace
+//!
+//! The paper's guarantees are *distributional*: rank error and read
+//! deviation are random variables whose tails depend on the workload —
+//! arrival pattern, op mix, contention, skew. One synthetic loop cannot
+//! exercise that; this crate makes workloads first-class:
+//!
+//! * [`Scenario`] — a declarative workload: thread count, op budget or
+//!   duration, [`OpMix`], key/priority/weight [`Dist`]ributions
+//!   (uniform, Zipf, monotone), open/closed/bursty [`Arrival`]s,
+//!   prefill, seed. A named [`Scenario::catalog`] ships ≥ 6 presets.
+//! * [`Backend`] — the single interface every structure implements:
+//!   relaxed counters, the MultiQueue over any substrate, every
+//!   `dlz-pq` linearizable queue, and the TL2 STM
+//!   (see [`backends`]).
+//! * [`engine::run`] — the concurrent driver: barrier start, sharded
+//!   metrics, deterministic fixed-op or wall-clock budgets.
+//! * [`metrics`] — log-bucketed latency histogram (p50/p99/p999 at ~3%
+//!   resolution) merged from per-worker shards.
+//! * Quality wiring — counter backends sample read deviation against
+//!   the exact sum (Lemma 6.8's metric); queue backends either record a
+//!   stamped history and replay it through the
+//!   distributional-linearizability checker of `dlz-core::spec`
+//!   (exact dequeue ranks, Theorem 7.1) or sample a cheap
+//!   priority-space rank proxy; STM backends report abort breakdowns
+//!   and verify the paper's array-sum safety law.
+//! * [`RunReport`] — machine-readable results
+//!   ([`RunReport::to_json`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dlz_workload::{engine, backends::CounterBackend, Budget, Family, OpMix, Scenario};
+//!
+//! let scenario = Scenario::builder("demo", Family::Counter)
+//!     .threads(2)
+//!     .budget(Budget::OpsPerWorker(10_000))
+//!     .mix(OpMix::new(90, 0, 10))
+//!     .seed(7)
+//!     .build();
+//! let backend = CounterBackend::multicounter(32);
+//! let report = engine::run(&scenario, &backend);
+//! assert!(report.verified());          // no increment was lost
+//! assert_eq!(report.total_ops(), 20_000);
+//! println!("{}", report.to_json());    // throughput, p50/p99, deviation
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod backends;
+pub mod dist;
+pub mod driver;
+pub mod engine;
+pub mod json;
+pub mod metrics;
+pub mod op;
+pub mod report;
+pub mod scenario;
+
+pub use backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
+pub use dist::{Arrival, Dist, Sampler};
+pub use driver::{count_until_stopped, run_throughput, Throughput};
+pub use engine::run;
+pub use metrics::{LatencySummary, LogHistogram, WorkerMetrics};
+pub use op::{Op, OpCounts, OpKind, OpMix};
+pub use report::RunReport;
+pub use scenario::{Budget, Family, Scenario, ScenarioBuilder};

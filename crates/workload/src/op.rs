@@ -1,0 +1,175 @@
+//! The abstract operation vocabulary shared by every backend.
+//!
+//! A scenario does not know whether it is driving a counter, a relaxed
+//! queue or a transactional array; it only draws *abstract* operations
+//! from its mix and distributions. Each backend maps the three classes
+//! onto its own methods (see the table on [`OpKind`]).
+
+/// The three operation classes a scenario can mix.
+///
+/// | kind | counter | queue / PQ | STM |
+/// |---|---|---|---|
+/// | `Update` | `increment`/`add(w)` | `insert(priority)` | 2-slot add transaction |
+/// | `Remove` | counted as a read | `delete_min` | 2-slot add transaction |
+/// | `Read` | sampled `read()` | `min_hint` peek | read-only transaction |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert/increment/mutate.
+    Update,
+    /// Consume from the structure (dequeue-like).
+    Remove,
+    /// Pure observation.
+    Read,
+}
+
+/// One fully drawn operation: the class plus every random attribute a
+/// backend might need. Drawing all attributes up front keeps backends
+/// deterministic and the engine's per-op cost flat across backends.
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Key (counter/STM slot index; ignored by queues).
+    pub key: u64,
+    /// Priority (queue inserts; ignored elsewhere).
+    pub priority: u64,
+    /// Weight (weighted counter adds; 1 for plain increments).
+    pub weight: u64,
+}
+
+/// Relative frequencies of the three operation classes.
+///
+/// Weights are integers (think percentages, though any scale works);
+/// a zero weight disables the class entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Relative weight of [`OpKind::Update`].
+    pub update: u32,
+    /// Relative weight of [`OpKind::Remove`].
+    pub remove: u32,
+    /// Relative weight of [`OpKind::Read`].
+    pub read: u32,
+}
+
+impl OpMix {
+    /// A mix with the given update/remove/read weights.
+    ///
+    /// # Panics
+    /// If all three weights are zero.
+    pub fn new(update: u32, remove: u32, read: u32) -> Self {
+        assert!(
+            update + remove + read > 0,
+            "OpMix needs at least one nonzero weight"
+        );
+        OpMix {
+            update,
+            remove,
+            read,
+        }
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u32 {
+        self.update + self.remove + self.read
+    }
+
+    /// Maps a uniform draw in `0..total()` to an [`OpKind`].
+    #[inline]
+    pub fn pick(&self, draw: u32) -> OpKind {
+        debug_assert!(draw < self.total());
+        if draw < self.update {
+            OpKind::Update
+        } else if draw < self.update + self.remove {
+            OpKind::Remove
+        } else {
+            OpKind::Read
+        }
+    }
+}
+
+/// Completed-operation counts, merged across workers after a run.
+///
+/// `removes_empty` counts remove attempts that observed an empty
+/// structure — they are not failures, but they must not be conflated
+/// with successful removals when checking conservation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Completed updates during the measured run.
+    pub updates: u64,
+    /// Removes that returned an item.
+    pub removes: u64,
+    /// Remove attempts that found the structure empty.
+    pub removes_empty: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Updates performed by the sequential prefill phase (not counted
+    /// in throughput, but part of every conservation law).
+    pub prefill: u64,
+}
+
+impl OpCounts {
+    /// Operations that completed during the measured run (prefill and
+    /// empty-remove attempts excluded).
+    pub fn completed(&self) -> u64 {
+        self.updates + self.removes + self.reads
+    }
+
+    /// All items ever inserted (prefill included).
+    pub fn inserted(&self) -> u64 {
+        self.updates + self.prefill
+    }
+
+    /// Merges another worker's counts into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.updates += other.updates;
+        self.removes += other.removes;
+        self.removes_empty += other.removes_empty;
+        self.reads += other.reads;
+        self.prefill += other.prefill;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_maps_draws_in_order() {
+        let mix = OpMix::new(50, 30, 20);
+        assert_eq!(mix.total(), 100);
+        assert_eq!(mix.pick(0), OpKind::Update);
+        assert_eq!(mix.pick(49), OpKind::Update);
+        assert_eq!(mix.pick(50), OpKind::Remove);
+        assert_eq!(mix.pick(79), OpKind::Remove);
+        assert_eq!(mix.pick(80), OpKind::Read);
+        assert_eq!(mix.pick(99), OpKind::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero weight")]
+    fn empty_mix_rejected() {
+        let _ = OpMix::new(0, 0, 0);
+    }
+
+    #[test]
+    fn counts_merge_and_derive() {
+        let mut a = OpCounts {
+            updates: 10,
+            removes: 5,
+            removes_empty: 2,
+            reads: 3,
+            prefill: 100,
+        };
+        let b = OpCounts {
+            updates: 1,
+            removes: 1,
+            removes_empty: 1,
+            reads: 1,
+            prefill: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.completed(), 11 + 6 + 4);
+        assert_eq!(a.inserted(), 111);
+        assert_eq!(a.removes_empty, 3);
+    }
+}

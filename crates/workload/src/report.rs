@@ -1,0 +1,200 @@
+//! The result of one engine run, and its machine-readable form.
+
+use std::time::Duration;
+
+use crate::backend::QualityReport;
+use crate::dist::Arrival;
+use crate::json::JsonObject;
+use crate::metrics::LatencySummary;
+use crate::op::OpCounts;
+use crate::scenario::{Budget, Scenario};
+
+/// Everything one scenario run against one backend produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario family label.
+    pub family: &'static str,
+    /// Backend label.
+    pub backend: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Prefill size.
+    pub prefill: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+    /// Merged operation counts.
+    pub counts: OpCounts,
+    /// Merged latency summary (completed ops, nanoseconds).
+    pub latency: LatencySummary,
+    /// Backend quality metrics.
+    pub quality: QualityReport,
+    /// Items left in the structure after the run.
+    pub residual: u64,
+    /// `None` when the backend's conservation law held, else the
+    /// violation message.
+    pub verify_error: Option<String>,
+    /// Budget the run used (echoed into the JSON).
+    pub budget: Budget,
+    /// Arrival process the run used.
+    pub arrival: Arrival,
+}
+
+impl RunReport {
+    /// Completed operations during the measured window.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.completed()
+    }
+
+    /// Million completed operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// `true` if the backend's conservation law held.
+    pub fn verified(&self) -> bool {
+        self.verify_error.is_none()
+    }
+
+    /// Renders the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("scenario", &self.scenario)
+            .str("family", self.family)
+            .str("backend", &self.backend)
+            .u64("threads", self.threads as u64)
+            .u64("seed", self.seed)
+            .u64("prefill", self.prefill);
+        match self.budget {
+            Budget::OpsPerWorker(n) => {
+                o.obj("budget", |b| {
+                    b.str("type", "ops").u64("ops_per_worker", n);
+                });
+            }
+            Budget::Timed(d) => {
+                o.obj("budget", |b| {
+                    b.str("type", "timed")
+                        .f64("duration_ms", d.as_secs_f64() * 1e3);
+                });
+            }
+        }
+        match self.arrival {
+            Arrival::Closed => {
+                o.str("arrival", "closed");
+            }
+            Arrival::Open { rate_per_worker } => {
+                o.obj("arrival", |a| {
+                    a.str("type", "open")
+                        .f64("rate_per_worker", rate_per_worker);
+                });
+            }
+            Arrival::Bursty { burst, pause } => {
+                o.obj("arrival", |a| {
+                    a.str("type", "bursty")
+                        .u64("burst", burst as u64)
+                        .f64("pause_ms", pause.as_secs_f64() * 1e3);
+                });
+            }
+        }
+        o.f64("elapsed_s", self.elapsed.as_secs_f64());
+        o.obj("throughput", |t| {
+            t.u64("total_ops", self.total_ops())
+                .f64("mops", self.mops())
+                .u64("updates", self.counts.updates)
+                .u64("removes", self.counts.removes)
+                .u64("removes_empty", self.counts.removes_empty)
+                .u64("reads", self.counts.reads);
+        });
+        o.obj("latency_ns", |l| {
+            l.f64("mean", self.latency.mean_ns)
+                .u64("p50", self.latency.p50_ns)
+                .u64("p99", self.latency.p99_ns)
+                .u64("p999", self.latency.p999_ns)
+                .u64("max", self.latency.max_ns);
+        });
+        let q = &self.quality;
+        o.obj("quality", |qo| {
+            qo.str("metric", &q.metric);
+            if let Some(s) = q.summary {
+                qo.u64("count", s.count)
+                    .f64("mean", s.mean)
+                    .f64("p50", s.p50)
+                    .f64("p99", s.p99)
+                    .f64("max", s.max);
+            }
+            for (name, value) in &q.scalars {
+                qo.f64(name, *value);
+            }
+        });
+        o.u64("residual", self.residual);
+        o.bool("verified", self.verified());
+        match &self.verify_error {
+            Some(e) => o.str("verify_error", e),
+            None => o.null("verify_error"),
+        };
+        o.finish()
+    }
+}
+
+/// Builds the static part of a report from a scenario (the engine fills
+/// in the measured fields).
+pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
+    RunReport {
+        scenario: scenario.name.clone(),
+        family: scenario.family.label(),
+        backend: backend_name,
+        threads: scenario.threads,
+        seed: scenario.seed,
+        prefill: scenario.prefill,
+        elapsed: Duration::ZERO,
+        counts: OpCounts::default(),
+        latency: LatencySummary::default(),
+        quality: QualityReport::default(),
+        residual: 0,
+        verify_error: None,
+        budget: scenario.budget,
+        arrival: scenario.arrival,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Family;
+
+    #[test]
+    fn json_contains_required_fields() {
+        let s = Scenario::builder("t", Family::Counter).build();
+        let mut r = skeleton(&s, "backend-x".into());
+        r.elapsed = Duration::from_millis(100);
+        r.counts.updates = 1000;
+        r.latency.p50_ns = 120;
+        r.latency.p99_ns = 900;
+        r.quality = QualityReport::named("read_deviation").scalar("bound", 4.0);
+        let j = r.to_json();
+        for needle in [
+            "\"scenario\":\"t\"",
+            "\"backend\":\"backend-x\"",
+            "\"mops\":",
+            "\"p50\":120",
+            "\"p99\":900",
+            "\"metric\":\"read_deviation\"",
+            "\"bound\":4",
+            "\"verified\":true",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn verify_error_round_trips() {
+        let s = Scenario::builder("t", Family::Queue).build();
+        let mut r = skeleton(&s, "b".into());
+        r.verify_error = Some("lost 3 items".into());
+        assert!(!r.verified());
+        assert!(r.to_json().contains("\"verify_error\":\"lost 3 items\""));
+    }
+}

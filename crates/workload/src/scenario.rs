@@ -1,0 +1,302 @@
+//! Declarative scenario configuration and the named catalog.
+
+use std::time::Duration;
+
+use crate::dist::{Arrival, Dist};
+use crate::op::OpMix;
+
+/// Which structure family a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Relaxed counters (MultiCounter, d-choice, sharded, exact FAA).
+    Counter,
+    /// Priority queues — the MultiQueue and every `dlz-pq` substrate.
+    Queue,
+    /// The TL2 transactional array with exact or relaxed clocks.
+    Stm,
+}
+
+impl Family {
+    /// Lowercase label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Counter => "counter",
+            Family::Queue => "queue",
+            Family::Stm => "stm",
+        }
+    }
+}
+
+/// How much work a run does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Each worker performs exactly this many operations
+    /// (deterministic; what tests use).
+    OpsPerWorker(u64),
+    /// Run for a wall-clock duration against a stop flag.
+    Timed(Duration),
+}
+
+/// A complete declarative workload description.
+///
+/// Build one with [`Scenario::builder`], or start from a named preset
+/// via [`Scenario::named`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (report key).
+    pub name: String,
+    /// One-line description (shown by `scenarios --list`).
+    pub about: String,
+    /// Structure family the scenario drives.
+    pub family: Family,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Work budget.
+    pub budget: Budget,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Key distribution (counter weight cells / STM slots).
+    pub keys: Dist,
+    /// Priority distribution (queue inserts).
+    pub priorities: Dist,
+    /// Weight distribution (counter adds; `Fixed(1)` = plain increments).
+    pub weights: Dist,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Items inserted sequentially before the measured run.
+    pub prefill: u64,
+    /// Base RNG seed; every worker derives its streams from this.
+    pub seed: u64,
+    /// Record a stamped history and replay it through the
+    /// distributional-linearizability checker after the run (queue
+    /// family only; memory ∝ op count, so pair with small budgets).
+    pub record_history: bool,
+    /// Sample a quality observation every this many eligible ops
+    /// (read deviation / rank proxy). 0 disables sampling.
+    pub quality_every: u32,
+}
+
+impl Scenario {
+    /// Starts a builder with laptop-scale defaults.
+    pub fn builder(name: &str, family: Family) -> ScenarioBuilder {
+        ScenarioBuilder {
+            s: Scenario {
+                name: name.to_string(),
+                about: String::new(),
+                family,
+                threads: 4,
+                budget: Budget::Timed(Duration::from_millis(300)),
+                mix: OpMix::new(50, 50, 0),
+                keys: Dist::Uniform { n: 1 << 16 },
+                priorities: Dist::Monotonic,
+                weights: Dist::Fixed(1),
+                arrival: Arrival::Closed,
+                prefill: 0,
+                seed: 0xd15f1e1d,
+                record_history: false,
+                quality_every: 64,
+            },
+        }
+    }
+
+    /// Looks up a named scenario from [`Scenario::catalog`].
+    pub fn named(name: &str) -> Option<Scenario> {
+        Scenario::catalog().into_iter().find(|s| s.name == name)
+    }
+
+    /// The built-in scenario catalog.
+    ///
+    /// Every preset runs in a few hundred milliseconds by default and
+    /// scales with `--threads` / `--duration-ms` overrides in the
+    /// `scenarios` binary.
+    pub fn catalog() -> Vec<Scenario> {
+        vec![
+            Scenario::builder("counter-update-heavy", Family::Counter)
+                .about("90% increments / 10% sampled reads, closed loop — Figure 1(a)'s regime")
+                .mix(OpMix::new(90, 0, 10))
+                .build(),
+            Scenario::builder("counter-read-heavy", Family::Counter)
+                .about("20% increments / 80% sampled reads — read-deviation stress")
+                .mix(OpMix::new(20, 0, 80))
+                .build(),
+            Scenario::builder("counter-weighted-zipf", Family::Counter)
+                .about("weighted adds with Zipf-skewed weights — relaxed metric-counter regime")
+                .mix(OpMix::new(80, 0, 20))
+                .weights(Dist::Zipf { n: 64, theta: 0.9 })
+                .build(),
+            Scenario::builder("queue-balanced", Family::Queue)
+                .about("50/50 enqueue/dequeue, monotone priorities, 10k prefill — steady state")
+                .mix(OpMix::new(50, 50, 0))
+                .prefill(10_000)
+                .build(),
+            Scenario::builder("queue-producer-surge", Family::Queue)
+                .about("2:1 enqueue:dequeue with uniform priorities — growing backlog")
+                .mix(OpMix::new(60, 30, 10))
+                .priorities(Dist::Uniform { n: 1 << 20 })
+                .prefill(1_000)
+                .build(),
+            Scenario::builder("queue-bursty", Family::Queue)
+                .about("stampede arrivals: 256-op bursts with 2ms pauses — adversarial schedule")
+                .mix(OpMix::new(50, 50, 0))
+                .arrival(Arrival::Bursty {
+                    burst: 256,
+                    pause: Duration::from_millis(2),
+                })
+                .prefill(5_000)
+                .build(),
+            Scenario::builder("queue-rank-audit", Family::Queue)
+                .about("small fixed-op run with stamped history replayed through the checker")
+                .mix(OpMix::new(60, 40, 0))
+                .budget(Budget::OpsPerWorker(6_000))
+                .prefill(2_000)
+                .record_history(true)
+                .build(),
+            Scenario::builder("stm-uniform-mix", Family::Stm)
+                .about("80% 2-slot add txns / 20% read-only txns over 64k slots — Figure 1(c)")
+                .mix(OpMix::new(80, 0, 20))
+                .keys(Dist::Uniform { n: 1 << 16 })
+                .build(),
+            Scenario::builder("stm-hot-keys", Family::Stm)
+                .about("Zipf-skewed slots (theta 0.9) — contention cliff for both clocks")
+                .mix(OpMix::new(80, 0, 20))
+                .keys(Dist::Zipf {
+                    n: 1 << 14,
+                    theta: 0.9,
+                })
+                .build(),
+            Scenario::builder("stm-open-loop", Family::Stm)
+                .about("Poisson arrivals at 50k ops/s/worker — latency under offered load")
+                .mix(OpMix::new(70, 0, 30))
+                .keys(Dist::Uniform { n: 1 << 16 })
+                .arrival(Arrival::Open {
+                    rate_per_worker: 50_000.0,
+                })
+                .build(),
+        ]
+    }
+}
+
+/// Builder for [`Scenario`] (all setters are chainable).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    s: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// One-line description.
+    pub fn about(mut self, text: &str) -> Self {
+        self.s.about = text.to_string();
+        self
+    }
+
+    /// Worker count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.s.threads = n;
+        self
+    }
+
+    /// Work budget.
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.s.budget = b;
+        self
+    }
+
+    /// Operation mix.
+    pub fn mix(mut self, mix: OpMix) -> Self {
+        self.s.mix = mix;
+        self
+    }
+
+    /// Key distribution.
+    pub fn keys(mut self, d: Dist) -> Self {
+        self.s.keys = d;
+        self
+    }
+
+    /// Priority distribution.
+    pub fn priorities(mut self, d: Dist) -> Self {
+        self.s.priorities = d;
+        self
+    }
+
+    /// Weight distribution.
+    pub fn weights(mut self, d: Dist) -> Self {
+        self.s.weights = d;
+        self
+    }
+
+    /// Arrival process.
+    pub fn arrival(mut self, a: Arrival) -> Self {
+        self.s.arrival = a;
+        self
+    }
+
+    /// Sequential prefill size.
+    pub fn prefill(mut self, n: u64) -> Self {
+        self.s.prefill = n;
+        self
+    }
+
+    /// Base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.s.seed = seed;
+        self
+    }
+
+    /// Enable stamped-history recording (queue family).
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.s.record_history = on;
+        self
+    }
+
+    /// Quality sampling cadence (0 disables).
+    pub fn quality_every(mut self, every: u32) -> Self {
+        self.s.quality_every = every;
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn build(self) -> Scenario {
+        assert!(self.s.threads > 0, "scenario needs at least one worker");
+        self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_at_least_six_distinct_named_scenarios() {
+        let cat = Scenario::catalog();
+        assert!(cat.len() >= 6, "catalog too small: {}", cat.len());
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "duplicate scenario names");
+        for s in &cat {
+            assert!(!s.about.is_empty(), "{} lacks a description", s.name);
+        }
+        // Every family is represented.
+        for f in [Family::Counter, Family::Queue, Family::Stm] {
+            assert!(cat.iter().any(|s| s.family == f), "{f:?} missing");
+        }
+    }
+
+    #[test]
+    fn named_lookup_roundtrip() {
+        let s = Scenario::named("queue-balanced").expect("exists");
+        assert_eq!(s.family, Family::Queue);
+        assert_eq!(s.prefill, 10_000);
+        assert!(Scenario::named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Scenario::builder("x", Family::Counter).threads(0).build();
+    }
+}

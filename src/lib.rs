@@ -22,6 +22,12 @@
 //! * [`stm`] ([`dlz_stm`]) — a from-scratch TL2 software transactional
 //!   memory whose global clock can be swapped for a MultiCounter
 //!   (Section 8's application).
+//! * [`workload`] ([`dlz_workload`]) — the scenario/traffic-generation
+//!   subsystem: declarative workloads (op mixes, Zipf/uniform/monotone
+//!   distributions, open/closed/bursty arrivals) driven concurrently
+//!   against any backend above through one `Backend` trait, with
+//!   latency histograms and per-backend quality metrics (read
+//!   deviation, dequeue rank) wired to the checker.
 //!
 //! ## Quickstart
 //!
@@ -48,3 +54,4 @@ pub use dlz_core as core;
 pub use dlz_pq as pq;
 pub use dlz_sim as sim;
 pub use dlz_stm as stm;
+pub use dlz_workload as workload;

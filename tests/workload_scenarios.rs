@@ -1,0 +1,241 @@
+//! Deterministic integration test of the workload subsystem against
+//! all four backend families: relaxed counters, the MultiQueue,
+//! exact `dlz-pq` queues, and the TL2 STM.
+//!
+//! Every run uses a small fixed-seed fixed-op scenario, so the drawn
+//! operation streams are identical run to run; the assertions are the
+//! ISSUE's acceptance criteria in miniature: op counts balance, no
+//! items are lost, quality metrics are finite and sit within the
+//! paper's tail bounds at small scale.
+
+use std::time::Duration;
+
+use distlin::core::DeleteMode;
+use distlin::workload::backends::{
+    ConcurrentPqBackend, CounterBackend, MultiQueueBackend, StmBackend,
+};
+use distlin::workload::{engine, Arrival, Backend, Budget, Dist, Family, OpMix, Scenario};
+
+const SEED: u64 = 0x5eed_cafe;
+
+fn counter_scenario() -> Scenario {
+    Scenario::builder("it-counter", Family::Counter)
+        .threads(3)
+        .budget(Budget::OpsPerWorker(20_000))
+        .mix(OpMix::new(85, 0, 15))
+        .seed(SEED)
+        .quality_every(16)
+        .build()
+}
+
+fn queue_scenario() -> Scenario {
+    Scenario::builder("it-queue", Family::Queue)
+        .threads(3)
+        .budget(Budget::OpsPerWorker(10_000))
+        .mix(OpMix::new(55, 45, 0))
+        .priorities(Dist::Monotonic)
+        .prefill(2_000)
+        .seed(SEED)
+        .quality_every(8)
+        .build()
+}
+
+#[test]
+fn counter_family_balances_and_stays_within_tail_bounds() {
+    let s = counter_scenario();
+    let m = 32;
+    let backend = CounterBackend::multicounter(m);
+    let report = engine::run(&s, &backend);
+
+    assert!(report.verified(), "{:?}", report.verify_error);
+    // Op counts balance: every issued op is accounted for, exactly.
+    assert_eq!(report.total_ops(), 3 * 20_000);
+    assert_eq!(report.counts.removes_empty, 0);
+    // No increment lost: the exact sum equals the applied updates
+    // (weight 1 each) — this is what verify() checked; re-derive it.
+    assert_eq!(report.residual, report.counts.updates);
+
+    // Quality: finite, and within the paper's m·ln m read-deviation
+    // scale (Lemma 6.8) with the generous constant the core tests use.
+    let q = &report.quality;
+    assert_eq!(q.metric, "read_deviation");
+    assert!(q.is_finite(), "{q:?}");
+    let summary = q.summary.expect("deviation sampled");
+    assert!(summary.count > 0);
+    let bound = 4.0 * (m as f64) * (m as f64).ln();
+    assert!(
+        summary.max <= bound,
+        "read deviation {} above m·ln m bound {bound}",
+        summary.max
+    );
+    assert_eq!(q.get("within_bound"), Some(1.0));
+}
+
+#[test]
+fn multiqueue_family_loses_nothing_and_ranks_stay_bounded() {
+    // History mode: the checker computes exact dequeue ranks.
+    let mut s = queue_scenario();
+    s.record_history = true;
+    s.budget = Budget::OpsPerWorker(4_000);
+    let m = 8;
+    let backend = MultiQueueBackend::heap(m, DeleteMode::Strict);
+    let report = engine::run(&s, &backend);
+
+    assert!(report.verified(), "{:?}", report.verify_error);
+    // No items lost: inserted (incl. prefill) = removed + residual.
+    assert_eq!(
+        report.counts.inserted(),
+        report.counts.removes + report.residual
+    );
+
+    let q = &report.quality;
+    assert_eq!(q.metric, "dequeue_rank");
+    assert!(q.is_finite(), "{q:?}");
+    // Every stamped history must map onto the relaxed PQ process.
+    assert_eq!(q.get("linearizable"), Some(1.0));
+    let ranks = q.summary.expect("rank costs");
+    assert!(ranks.count > 0);
+    // Theorem 7.1 scale at small m: mean O(m), max within m·ln m times
+    // a generous constant (the same margins the core suite uses).
+    assert!(
+        ranks.mean <= 30.0 * m as f64,
+        "mean rank {} too large",
+        ranks.mean
+    );
+    assert!(
+        ranks.max <= 30.0 * (m as f64) * (m as f64).ln(),
+        "max rank {} too large",
+        ranks.max
+    );
+}
+
+#[test]
+fn exact_pq_family_conserves_and_dequeues_true_minima() {
+    let s = queue_scenario();
+    let backend = ConcurrentPqBackend::coarse();
+    let report = engine::run(&s, &backend);
+
+    assert!(report.verified(), "{:?}", report.verify_error);
+    assert_eq!(
+        report.counts.inserted(),
+        report.counts.removes + report.residual
+    );
+    let q = &report.quality;
+    assert_eq!(q.metric, "dequeue_rank_proxy");
+    assert!(q.is_finite(), "{q:?}");
+    assert_eq!(q.get("exact_structure"), Some(1.0));
+}
+
+#[test]
+fn stm_family_preserves_the_paper_safety_law() {
+    let s = Scenario::builder("it-stm", Family::Stm)
+        .threads(3)
+        .budget(Budget::OpsPerWorker(5_000))
+        .mix(OpMix::new(80, 0, 20))
+        .keys(Dist::Uniform { n: 4_096 })
+        .seed(SEED)
+        .build();
+    for backend in [
+        Box::new(StmBackend::exact(4_096)) as Box<dyn Backend>,
+        Box::new(StmBackend::relaxed(4_096, 3)) as Box<dyn Backend>,
+    ] {
+        let report = engine::run(&s, backend.as_ref());
+        // verify() holds the paper's law: array sum == 2 × update txns,
+        // commits == completed txns, no leaked locks.
+        assert!(
+            report.verified(),
+            "{}: {:?}",
+            report.backend,
+            report.verify_error
+        );
+        assert_eq!(report.total_ops(), 3 * 5_000);
+        assert_eq!(report.residual as u128, 2 * report.counts.updates as u128);
+        let q = &report.quality;
+        assert_eq!(q.metric, "abort_rate");
+        assert!(q.is_finite(), "{q:?}");
+        let rate = q.get("abort_rate").expect("rate");
+        assert!((0.0..1.0).contains(&rate), "abort rate {rate}");
+    }
+}
+
+#[test]
+fn fixed_seed_runs_reproduce_op_streams_exactly() {
+    // The same scenario twice: thread interleaving may differ, but the
+    // deterministic per-worker op streams mean the issued-op accounting
+    // must be identical.
+    let run = || {
+        let s = queue_scenario();
+        engine::run(&s, &MultiQueueBackend::heap(8, DeleteMode::Strict))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.counts.updates, b.counts.updates);
+    assert_eq!(a.counts.prefill, b.counts.prefill);
+    assert_eq!(a.counts.removes + a.residual, b.counts.removes + b.residual);
+    assert_eq!(
+        a.total_ops() + a.counts.removes_empty,
+        b.total_ops() + b.counts.removes_empty
+    );
+}
+
+#[test]
+fn arrival_processes_drive_every_family() {
+    // Open-loop counters and bursty queues: small smoke runs proving
+    // the pacing paths work end to end with conservation intact.
+    let open = Scenario::builder("it-open", Family::Counter)
+        .threads(2)
+        .budget(Budget::OpsPerWorker(300))
+        .mix(OpMix::new(100, 0, 0))
+        .arrival(Arrival::Open {
+            rate_per_worker: 30_000.0,
+        })
+        .seed(SEED)
+        .build();
+    let counter = CounterBackend::sharded(2);
+    let r = engine::run(&open, &counter);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    assert_eq!(r.total_ops(), 600);
+    assert!(r.elapsed >= Duration::from_millis(2), "pacing ignored");
+
+    let bursty = Scenario::builder("it-bursty", Family::Queue)
+        .threads(2)
+        .budget(Budget::OpsPerWorker(600))
+        .mix(OpMix::new(50, 50, 0))
+        .arrival(Arrival::Bursty {
+            burst: 128,
+            pause: Duration::from_micros(300),
+        })
+        .prefill(200)
+        .seed(SEED)
+        .build();
+    let mq = MultiQueueBackend::heap(4, DeleteMode::TryLock);
+    let r = engine::run(&bursty, &mq);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    assert_eq!(r.counts.inserted(), r.counts.removes + r.residual);
+}
+
+#[test]
+fn every_catalog_scenario_runs_shrunk_against_its_roster() {
+    // The whole named catalog, shrunk to test scale, against every
+    // backend in its roster — the scenarios binary in miniature.
+    for mut s in Scenario::catalog() {
+        s.threads = 2;
+        s.budget = Budget::OpsPerWorker(400);
+        s.prefill = s.prefill.min(500);
+        s.seed = SEED;
+        for backend in distlin::workload::backends::roster(&s) {
+            let report = engine::run(&s, backend.as_ref());
+            assert!(
+                report.verified(),
+                "{} on {}: {:?}",
+                s.name,
+                report.backend,
+                report.verify_error
+            );
+            assert!(report.quality.is_finite(), "{}", report.backend);
+            let json = report.to_json();
+            assert!(json.contains("\"mops\":"), "JSON missing throughput");
+            assert!(json.contains("\"p99\":"), "JSON missing latency");
+            assert!(json.contains("\"metric\":"), "JSON missing quality");
+        }
+    }
+}
