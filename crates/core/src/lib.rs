@@ -71,4 +71,4 @@ pub use counter::{
     DChoiceCounter, ExactCounter, MultiCounter, MultiCounterBuilder, PendingIncrement,
     RelaxedCounter, ShardedCounter,
 };
-pub use queue::{DeleteMode, MultiQueue, MultiQueueBuilder, RelaxedFifo};
+pub use queue::{DeleteMode, MultiQueue, MultiQueueBuilder, RelaxedFifo, Sticky, StickyState};

@@ -4,13 +4,17 @@
 //! independent atomic words. If those words shared cache lines, hardware
 //! would re-serialize them: every increment would invalidate its
 //! neighbours' lines and the structure would scale no better than a
-//! single counter. `Padded<T>` aligns each value to 128 bytes — two
+//! single counter. [`Padded<T>`] aligns each value to 128 bytes — two
 //! 64-byte lines — because Intel's adjacent-line prefetcher pairs lines,
 //! so 64-byte alignment alone still exhibits false sharing in practice.
+//!
+//! The definition lives in `dlz-pq` ([`dlz_pq::CachePadded`]) so the
+//! per-queue packed header and this crate's counters share a single
+//! type; `Padded` is that type under its historical name.
 
-use std::ops::{Deref, DerefMut};
+pub use dlz_pq::padded::CachePadded;
 
-/// Aligns (and pads) `T` to 128 bytes.
+/// Aligns (and pads) `T` to 128 bytes. Alias of [`CachePadded`].
 ///
 /// # Example
 /// ```
@@ -21,84 +25,20 @@ use std::ops::{Deref, DerefMut};
 /// assert_eq!(std::mem::align_of_val(&cell), 128);
 /// assert!(std::mem::size_of_val(&cell) >= 128);
 /// ```
-#[derive(Debug, Default)]
-#[repr(align(128))]
-pub struct Padded<T> {
-    value: T,
-}
-
-impl<T> Padded<T> {
-    /// Wraps `value` in a padded cell.
-    pub const fn new(value: T) -> Self {
-        Padded { value }
-    }
-
-    /// Unwraps the inner value.
-    pub fn into_inner(self) -> T {
-        self.value
-    }
-}
-
-impl<T> Deref for Padded<T> {
-    type Target = T;
-    #[inline]
-    fn deref(&self) -> &T {
-        &self.value
-    }
-}
-
-impl<T> DerefMut for Padded<T> {
-    #[inline]
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.value
-    }
-}
-
-impl<T> From<T> for Padded<T> {
-    fn from(value: T) -> Self {
-        Padded::new(value)
-    }
-}
-
-impl<T: Clone> Clone for Padded<T> {
-    fn clone(&self) -> Self {
-        Padded::new(self.value.clone())
-    }
-}
+pub type Padded<T> = CachePadded<T>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
+    // The behaviour itself is tested where the type lives
+    // (crates/pq/src/padded.rs); here only the alias contract matters.
     #[test]
-    fn alignment_and_size() {
+    fn alias_resolves_to_the_shared_padded_type() {
+        let p: Padded<u64> = Padded::new(7);
+        assert_eq!(*p, 7);
         assert_eq!(std::mem::align_of::<Padded<u8>>(), 128);
-        assert_eq!(std::mem::size_of::<Padded<u8>>(), 128);
-        assert_eq!(std::mem::size_of::<Padded<[u8; 200]>>(), 256);
-    }
-
-    #[test]
-    fn adjacent_array_cells_do_not_share_lines() {
-        let cells: Vec<Padded<AtomicU64>> =
-            (0..4).map(|_| Padded::new(AtomicU64::new(0))).collect();
-        let a = &*cells[0] as *const AtomicU64 as usize;
-        let b = &*cells[1] as *const AtomicU64 as usize;
-        assert!(b - a >= 128);
-    }
-
-    #[test]
-    fn deref_and_into_inner() {
-        let mut p = Padded::new(5u64);
-        *p += 1;
-        assert_eq!(*p, 6);
-        assert_eq!(p.into_inner(), 6);
-    }
-
-    #[test]
-    fn atomic_through_padding() {
-        let p = Padded::new(AtomicU64::new(0));
-        p.fetch_add(3, Ordering::Relaxed);
-        assert_eq!(p.load(Ordering::Relaxed), 3);
+        fn same_type(_: &CachePadded<u64>) {}
+        same_type(&p);
     }
 }

@@ -10,5 +10,5 @@
 mod multiqueue;
 mod relaxed_fifo;
 
-pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder};
+pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder, Sticky, StickyState};
 pub use relaxed_fifo::RelaxedFifo;

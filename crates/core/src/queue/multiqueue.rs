@@ -21,12 +21,34 @@
 //! is precisely about surviving such staleness, and the hint-based
 //! implementation matches the practical MultiQueues the paper cites
 //! (\[27\], \[3\]).
+//!
+//! # Hot-path engineering
+//!
+//! Beyond the algorithm itself, the implementation is contention-
+//! engineered:
+//!
+//! * Each [`LockedPq`] packs lock flag, generation and entry count into
+//!   one cache-padded atomic header next to the min hint, so a `ReadMin`
+//!   touches one line and adjacent queues never false-share.
+//! * Emptiness on the dequeue retry path is gated by a single padded
+//!   global approximate-size counter ([`MultiQueue::approx_size`]); the
+//!   exact O(m) sweep ([`MultiQueue::len`]) runs only to *confirm* an
+//!   empty observation, never per retry.
+//! * Retry loops use [`Backoff`] instead of spinning hot on stale hints.
+//! * A [`Sticky`] policy lets a thread keep its chosen queue for up to
+//!   `s` consecutive same-kind operations (fewer random draws and hint
+//!   reads), and [`MultiQueue::insert_batch`] /
+//!   [`MultiQueue::dequeue_batch`] amortize one lock acquisition and one
+//!   hint publish over a whole batch. Both trade rank quality for
+//!   throughput within the expected O(s·m) envelope — see
+//!   [`Sticky`] for the bound.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use dlz_pq::locked::EMPTY_HINT;
-use dlz_pq::{BinaryHeap, ConcurrentPq, LockedPq, SeqPriorityQueue};
+use dlz_pq::{Backoff, BinaryHeap, ConcurrentPq, LockedPq, SeqPriorityQueue};
 
+use crate::padded::Padded;
 use crate::rng::{with_thread_rng, Rng64, Xoshiro256};
 
 /// What a dequeue does when its chosen queue is contended.
@@ -38,6 +60,69 @@ pub enum DeleteMode {
     /// If the chosen queue's lock is taken, redraw two fresh queues
     /// instead of waiting (the Rihani-et-al. practical variant).
     TryLock,
+}
+
+/// Stickiness policy: how many consecutive same-kind operations a
+/// thread keeps its chosen queue for.
+///
+/// With `ops = 1` (the default) every operation draws fresh random
+/// queues — Algorithm 2 as written. With `ops = s > 1` a thread reuses
+/// its last chosen queue for up to `s` consecutive inserts (or
+/// dequeues), skipping the random draws and hint reads in between;
+/// contention or an empty queue voids the stickiness early.
+///
+/// The price is rank quality: while a thread camps on one queue it may
+/// take up to `s` elements in a row from it, so the expected dequeue
+/// rank degrades from O(m) to **O(s·m)** — the same shape of bound as
+/// Theorem 7.1 with the relaxation factor scaled by `s`. The workload
+/// layer's rank metrics verify this envelope empirically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sticky {
+    /// Consecutive same-kind operations per chosen queue (≥ 1).
+    pub ops: usize,
+}
+
+impl Default for Sticky {
+    fn default() -> Self {
+        Sticky { ops: 1 }
+    }
+}
+
+impl Sticky {
+    /// A policy keeping the chosen queue for `ops` consecutive
+    /// operations; `0` is treated as `1` (no stickiness).
+    pub fn new(ops: usize) -> Self {
+        Sticky { ops: ops.max(1) }
+    }
+
+    /// `true` if the policy actually changes behaviour.
+    pub fn is_active(&self) -> bool {
+        self.ops > 1
+    }
+}
+
+/// Per-thread stickiness state: which queue the thread is camped on and
+/// how many operations of each kind it has left there. Lives outside
+/// the shared [`MultiQueue`] (in a [`MqHandle`] or a worker) so the
+/// queue itself stays `&self`-shared with no thread-local machinery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StickyState {
+    insert_queue: usize,
+    insert_left: usize,
+    dequeue_queue: usize,
+    dequeue_left: usize,
+}
+
+impl StickyState {
+    /// Fresh state: the first operation of each kind draws a queue.
+    pub fn new() -> Self {
+        StickyState::default()
+    }
+
+    /// Forgets both chosen queues (next ops draw fresh).
+    pub fn reset(&mut self) {
+        *self = StickyState::default();
+    }
 }
 
 /// A relaxed concurrent priority queue over `m` locked sequential queues.
@@ -65,8 +150,15 @@ where
     Q: SeqPriorityQueue<u64, V> + Send,
     V: Send,
 {
+    /// Each `LockedPq` is 128-byte aligned (its hot slot is cache
+    /// padded), so adjacent queues in this array never false-share.
     queues: Box<[LockedPq<V, Q>]>,
     mode: DeleteMode,
+    sticky: Sticky,
+    /// Padded global approximate size: one relaxed RMW per (batch of)
+    /// operation(s). Replaces the O(m) per-queue sweep on the dequeue
+    /// retry path; signed so transient reorderings cannot wrap.
+    size: Padded<AtomicI64>,
 }
 
 impl<V: Send> MultiQueue<V> {
@@ -90,10 +182,22 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// # Panics
     /// If `queues` is empty.
     pub fn with_queues(queues: Vec<Q>, mode: DeleteMode) -> Self {
+        Self::with_config(queues, mode, Sticky::default())
+    }
+
+    /// Builds from explicit sequential queues, mode and stickiness.
+    ///
+    /// # Panics
+    /// If `queues` is empty.
+    pub fn with_config(queues: Vec<Q>, mode: DeleteMode, sticky: Sticky) -> Self {
         assert!(!queues.is_empty(), "MultiQueue needs at least one queue");
+        let queues: Box<[LockedPq<V, Q>]> = queues.into_iter().map(LockedPq::new).collect();
+        let size: i64 = queues.iter().map(|q| q.approx_len() as i64).sum();
         MultiQueue {
-            queues: queues.into_iter().map(LockedPq::new).collect(),
+            queues,
             mode,
+            sticky,
+            size: Padded::new(AtomicI64::new(size)),
         }
     }
 
@@ -107,14 +211,67 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         self.mode
     }
 
-    /// Total entries across queues. Exact when quiescent.
+    /// The configured stickiness policy.
+    pub fn sticky(&self) -> Sticky {
+        self.sticky
+    }
+
+    /// Total entries across queues, via an O(m) sweep of the per-queue
+    /// headers. Exact when quiescent; transiently off by in-flight
+    /// operations under concurrency. Hot paths should prefer
+    /// [`approx_size`](Self::approx_size), which is a single load.
     pub fn len(&self) -> usize {
         self.queues.iter().map(|q| q.approx_len()).sum()
     }
 
-    /// `true` if no entries are observed. Exact when quiescent.
+    /// `true` if no entries are observed (O(m) sweep; exact when
+    /// quiescent, like [`len`](Self::len)).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate total entries from the padded global counter: one
+    /// relaxed load, no sweep. Exact when quiescent; may lag in-flight
+    /// operations by their count. This is what the dequeue retry loops
+    /// consult — they fall back to the exact sweep only to *confirm* an
+    /// empty observation before returning `None`.
+    pub fn approx_size(&self) -> usize {
+        self.size.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    #[inline]
+    fn note_inserted(&self, n: usize) {
+        self.size.fetch_add(n as i64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_removed(&self, n: usize) {
+        self.size.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// The dequeue loops' emptiness gate. Cheap path: one relaxed load
+    /// of the global counter. The exact O(m) sweep runs only when the
+    /// counter hints empty — or, as a drift safety net, once the
+    /// backoff has escalated past pure spinning.
+    #[inline]
+    fn confirmed_empty(&self, backoff: &Backoff) -> bool {
+        (self.size.load(Ordering::Relaxed) <= 0 || backoff.is_yielding()) && self.is_empty()
+    }
+
+    /// One two-choice sample (Algorithm 2's `ReadMin` pair): the chosen
+    /// queue index, or `None` when both sampled hints read empty.
+    /// `if pi > pj: i = j` — ties stay with `i`.
+    #[inline]
+    fn pick_two(&self, rng: &mut impl Rng64) -> Option<usize> {
+        let m = self.queues.len() as u64;
+        let i = rng.bounded(m) as usize;
+        let j = rng.bounded(m) as usize;
+        let hi = self.queues[i].min_hint();
+        let hj = self.queues[j].min_hint();
+        if hi == EMPTY_HINT && hj == EMPTY_HINT {
+            return None;
+        }
+        Some(if hi <= hj { i } else { j })
     }
 
     /// Enqueue with an explicit generator (Algorithm 2's Enqueue, with
@@ -132,7 +289,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 loop {
                     let i = rng.bounded(m) as usize;
                     match self.queues[i].try_insert(p, v) {
-                        Ok(()) => return,
+                        Ok(()) => break,
                         Err((rp, rv)) => {
                             p = rp;
                             v = rv;
@@ -141,6 +298,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 }
             }
         }
+        self.note_inserted(1);
     }
 
     /// Dequeue with an explicit generator (Algorithm 2's Dequeue).
@@ -149,38 +307,46 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// with concurrent enqueuers a `None` means "empty at some sample
     /// point", the strongest statement a relaxed queue can make.
     pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
-        let m = self.queues.len() as u64;
-        let recheck_period = (self.queues.len()).max(8);
-        let mut attempts = 0usize;
+        self.dequeue_tracked(rng).map(|(_, out)| out)
+    }
+
+    /// The dequeue retry loop, reporting which queue served the entry
+    /// (so sticky callers can camp on it).
+    fn dequeue_tracked(&self, rng: &mut impl Rng64) -> Option<(usize, (u64, V))> {
+        let mut backoff = Backoff::new();
         loop {
-            attempts += 1;
-            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+            if self.confirmed_empty(&backoff) {
                 return None;
             }
-            let i = rng.bounded(m) as usize;
-            let j = rng.bounded(m) as usize;
-            // ReadMin via published hints (no locks).
-            let hi = self.queues[i].min_hint();
-            let hj = self.queues[j].min_hint();
-            if hi == EMPTY_HINT && hj == EMPTY_HINT {
+            let Some(k) = self.pick_two(rng) else {
+                backoff.snooze();
                 continue;
-            }
-            // `if pi > pj: i = j` — ties stay with i.
-            let k = if hi <= hj { i } else { j };
+            };
             match self.mode {
                 DeleteMode::Strict => {
                     if let Some(out) = self.queues[k].remove_min() {
-                        return Some(out);
+                        self.note_removed(1);
+                        return Some((k, out));
                     }
-                    // Hint was stale and the queue is now empty: retry.
+                    // Stale hint and a now-empty queue: back off rather
+                    // than hammering the hint lines.
+                    backoff.snooze();
                 }
-                DeleteMode::TryLock => {
-                    match self.queues[k].try_remove_min() {
-                        Ok(Some(out)) => return Some(out),
-                        Ok(None) => {}                       // stale hint; retry
-                        Err(dlz_pq::locked::Contended) => {} // contended; redraw
+                DeleteMode::TryLock => match self.queues[k].try_remove_min() {
+                    Ok(Some(out)) => {
+                        self.note_removed(1);
+                        return Some((k, out));
                     }
-                }
+                    Ok(None) => backoff.snooze(), // stale hint
+                    Err(dlz_pq::locked::Contended) => {
+                        // Redraw is the point of this mode; the snooze
+                        // is near-free at first and escalates to
+                        // yielding under sustained contention so the
+                        // lock holder gets CPU (vital when
+                        // oversubscribed).
+                        backoff.snooze();
+                    }
+                },
             }
         }
     }
@@ -197,11 +363,9 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     pub fn dequeue_k_with(&self, rng: &mut impl Rng64, k: usize) -> Option<(u64, V)> {
         assert!(k >= 1, "need at least one choice");
         let m = self.queues.len() as u64;
-        let recheck_period = (self.queues.len()).max(8);
-        let mut attempts = 0usize;
+        let mut backoff = Backoff::new();
         loop {
-            attempts += 1;
-            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+            if self.confirmed_empty(&backoff) {
                 return None;
             }
             // Best hint among k samples (ties keep the earlier draw).
@@ -216,20 +380,197 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 }
             }
             if best_hint == EMPTY_HINT {
+                backoff.snooze();
                 continue;
             }
             match self.mode {
                 DeleteMode::Strict => {
                     if let Some(out) = self.queues[best].remove_min() {
+                        self.note_removed(1);
                         return Some(out);
                     }
+                    backoff.snooze();
                 }
                 DeleteMode::TryLock => match self.queues[best].try_remove_min() {
-                    Ok(Some(out)) => return Some(out),
-                    Ok(None) => {}
-                    Err(dlz_pq::locked::Contended) => {}
+                    Ok(Some(out)) => {
+                        self.note_removed(1);
+                        return Some(out);
+                    }
+                    Ok(None) => backoff.snooze(),
+                    // Redraw after a near-free snooze that escalates to
+                    // yielding under sustained contention (see
+                    // dequeue_tracked).
+                    Err(dlz_pq::locked::Contended) => backoff.snooze(),
                 },
             }
+        }
+    }
+
+    /// Sticky enqueue: keeps the queue chosen by `state` for up to
+    /// `sticky.ops` consecutive inserts (one random draw per `s` ops).
+    /// Falls back to [`insert_with`](Self::insert_with) when the policy
+    /// is inactive. In `TryLock` mode contention voids the stickiness
+    /// and redraws.
+    pub fn insert_sticky(
+        &self,
+        state: &mut StickyState,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+    ) {
+        let s = self.sticky.ops;
+        if s <= 1 {
+            return self.insert_with(rng, priority, value);
+        }
+        let m = self.queues.len() as u64;
+        if state.insert_left == 0 {
+            state.insert_queue = rng.bounded(m) as usize;
+            state.insert_left = s;
+        }
+        state.insert_left -= 1;
+        match self.mode {
+            DeleteMode::Strict => {
+                self.queues[state.insert_queue].insert(priority, value);
+            }
+            DeleteMode::TryLock => {
+                let mut p = priority;
+                let mut v = value;
+                loop {
+                    match self.queues[state.insert_queue].try_insert(p, v) {
+                        Ok(()) => break,
+                        Err((rp, rv)) => {
+                            p = rp;
+                            v = rv;
+                            // Contention voids the stickiness: redraw
+                            // and camp on the new queue instead.
+                            state.insert_queue = rng.bounded(m) as usize;
+                        }
+                    }
+                }
+            }
+        }
+        self.note_inserted(1);
+    }
+
+    /// Sticky dequeue: keeps the last successful queue for up to
+    /// `sticky.ops` consecutive dequeues, skipping the two hint reads
+    /// and random draws in between. An empty or contended sticky queue
+    /// voids the stickiness and falls back to the two-choice loop.
+    /// Rank degrades within the O(s·m) envelope documented on
+    /// [`Sticky`].
+    pub fn dequeue_sticky(
+        &self,
+        state: &mut StickyState,
+        rng: &mut impl Rng64,
+    ) -> Option<(u64, V)> {
+        let s = self.sticky.ops;
+        if s <= 1 {
+            return self.dequeue_with(rng);
+        }
+        if state.dequeue_left > 0 {
+            state.dequeue_left -= 1;
+            let q = &self.queues[state.dequeue_queue];
+            let got = match self.mode {
+                DeleteMode::Strict => q.remove_min(),
+                // Err(Contended) → None: abandon the sticky queue.
+                DeleteMode::TryLock => q.try_remove_min().unwrap_or_default(),
+            };
+            if let Some(out) = got {
+                self.note_removed(1);
+                return Some(out);
+            }
+            state.dequeue_left = 0;
+        }
+        let (k, out) = self.dequeue_tracked(rng)?;
+        state.dequeue_queue = k;
+        state.dequeue_left = s - 1;
+        Some(out)
+    }
+
+    /// Inserts a whole batch into one randomly chosen queue under a
+    /// single lock acquisition, with a single hint publish and one
+    /// global-counter update. Returns the number of items inserted.
+    ///
+    /// Rank effect: like stickiness with `s = batch`, the batch lands
+    /// in one queue, so dequeue rank degrades within the same O(s·m)
+    /// envelope.
+    pub fn insert_batch(
+        &self,
+        rng: &mut impl Rng64,
+        items: impl IntoIterator<Item = (u64, V)>,
+    ) -> usize {
+        let m = self.queues.len() as u64;
+        let mut guard = match self.mode {
+            DeleteMode::Strict => self.queues[rng.bounded(m) as usize].lock(),
+            DeleteMode::TryLock => {
+                let mut backoff = Backoff::new();
+                loop {
+                    let i = rng.bounded(m) as usize;
+                    if let Some(g) = self.queues[i].try_lock() {
+                        break g;
+                    }
+                    backoff.snooze();
+                }
+            }
+        };
+        let mut n = 0usize;
+        for (p, v) in items {
+            guard.add(p, v);
+            n += 1;
+        }
+        drop(guard); // publishes hint + count once
+        self.note_inserted(n);
+        n
+    }
+
+    /// Removes up to `max` entries from one two-choice-selected queue
+    /// under a single lock acquisition, appending them to `out` in
+    /// ascending (per-queue) priority order. Returns the number taken.
+    ///
+    /// Returns `0` only after observing a globally empty structure —
+    /// the same emptiness contract as [`dequeue_with`](Self::dequeue_with).
+    pub fn dequeue_batch(
+        &self,
+        rng: &mut impl Rng64,
+        max: usize,
+        out: &mut Vec<(u64, V)>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            if self.confirmed_empty(&backoff) {
+                return 0;
+            }
+            let Some(k) = self.pick_two(rng) else {
+                backoff.snooze();
+                continue;
+            };
+            let guard = match self.mode {
+                DeleteMode::Strict => Some(self.queues[k].lock()),
+                DeleteMode::TryLock => self.queues[k].try_lock(),
+            };
+            let Some(mut g) = guard else {
+                backoff.snooze();
+                continue;
+            };
+            let mut n = 0usize;
+            while n < max {
+                match g.delete_min() {
+                    Some(e) => {
+                        out.push(e);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            drop(g); // single hint publish for the whole batch
+            if n > 0 {
+                self.note_removed(n);
+                return n;
+            }
+            backoff.snooze(); // stale hint
         }
     }
 
@@ -249,10 +590,12 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     ) -> u64 {
         let m = self.queues.len() as u64;
         let i = rng.bounded(m) as usize;
-        self.queues[i].with_locked(|q| {
+        let stamp = self.queues[i].with_locked(|q| {
             q.add(priority, value);
-            stamper.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
-        })
+            stamper.fetch_add(1, Ordering::AcqRel)
+        });
+        self.note_inserted(1);
+        stamp
     }
 
     /// Dequeue, stamping the operation's update point (see
@@ -262,32 +605,101 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         rng: &mut impl Rng64,
         stamper: &AtomicU64,
     ) -> Option<(u64, V, u64)> {
-        let m = self.queues.len() as u64;
-        let recheck_period = (self.queues.len()).max(8);
-        let mut attempts = 0usize;
+        self.dequeue_stamped_tracked(rng, stamper)
+            .map(|(_, out)| out)
+    }
+
+    fn dequeue_stamped_tracked(
+        &self,
+        rng: &mut impl Rng64,
+        stamper: &AtomicU64,
+    ) -> Option<(usize, (u64, V, u64))> {
+        let mut backoff = Backoff::new();
         loop {
-            attempts += 1;
-            if attempts.is_multiple_of(recheck_period) && self.is_empty() {
+            if self.confirmed_empty(&backoff) {
                 return None;
             }
-            let i = rng.bounded(m) as usize;
-            let j = rng.bounded(m) as usize;
-            let hi = self.queues[i].min_hint();
-            let hj = self.queues[j].min_hint();
-            if hi == EMPTY_HINT && hj == EMPTY_HINT {
+            let Some(k) = self.pick_two(rng) else {
+                backoff.snooze();
                 continue;
-            }
-            let k = if hi <= hj { i } else { j };
+            };
             let out = self.queues[k].with_locked(|q| {
                 q.delete_min().map(|(p, v)| {
-                    let s = stamper.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                    let s = stamper.fetch_add(1, Ordering::AcqRel);
                     (p, v, s)
                 })
             });
-            if out.is_some() {
-                return out;
+            match out {
+                Some(t) => {
+                    self.note_removed(1);
+                    return Some((k, t));
+                }
+                None => backoff.snooze(),
             }
         }
+    }
+
+    /// Sticky variant of [`insert_stamped`](Self::insert_stamped):
+    /// identical stamping discipline, queue chosen by the sticky
+    /// policy. Behaves exactly like `insert_stamped` when the policy is
+    /// inactive, so history-recording workers can call it
+    /// unconditionally.
+    pub fn insert_sticky_stamped(
+        &self,
+        state: &mut StickyState,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+        stamper: &AtomicU64,
+    ) -> u64 {
+        let s = self.sticky.ops;
+        if s <= 1 {
+            return self.insert_stamped(rng, priority, value, stamper);
+        }
+        let m = self.queues.len() as u64;
+        if state.insert_left == 0 {
+            state.insert_queue = rng.bounded(m) as usize;
+            state.insert_left = s;
+        }
+        state.insert_left -= 1;
+        let stamp = self.queues[state.insert_queue].with_locked(|q| {
+            q.add(priority, value);
+            stamper.fetch_add(1, Ordering::AcqRel)
+        });
+        self.note_inserted(1);
+        stamp
+    }
+
+    /// Sticky variant of [`dequeue_stamped`](Self::dequeue_stamped)
+    /// (see [`dequeue_sticky`](Self::dequeue_sticky) for the policy).
+    pub fn dequeue_sticky_stamped(
+        &self,
+        state: &mut StickyState,
+        rng: &mut impl Rng64,
+        stamper: &AtomicU64,
+    ) -> Option<(u64, V, u64)> {
+        let s = self.sticky.ops;
+        if s <= 1 {
+            return self.dequeue_stamped(rng, stamper);
+        }
+        if state.dequeue_left > 0 {
+            state.dequeue_left -= 1;
+            let out = self.queues[state.dequeue_queue].with_locked(|q| {
+                q.delete_min().map(|(p, v)| {
+                    let st = stamper.fetch_add(1, Ordering::AcqRel);
+                    (p, v, st)
+                })
+            });
+            if out.is_some() {
+                self.note_removed(1);
+                return out;
+            }
+            state.dequeue_left = 0;
+        }
+        let (k, out) = self.dequeue_stamped_tracked(rng, stamper)?;
+        state.dequeue_queue = k;
+        state.dequeue_left = s - 1;
+        Some(out)
     }
 
     /// Drains everything into a sorted vector (sequential; for tests).
@@ -300,6 +712,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 }
             });
         }
+        self.note_removed(out.len());
         out.sort_by_key(|(p, _)| *p);
         out
     }
@@ -349,6 +762,7 @@ pub struct MultiQueueBuilder {
     ratio: Option<usize>,
     threads: Option<usize>,
     mode: DeleteMode,
+    sticky: Option<usize>,
     seed: Option<u64>,
 }
 
@@ -377,6 +791,13 @@ impl MultiQueueBuilder {
         self
     }
 
+    /// Sets the stickiness in consecutive same-kind ops per chosen
+    /// queue (default 1 = no stickiness; see [`Sticky`]).
+    pub fn sticky(mut self, ops: usize) -> Self {
+        self.sticky = Some(ops);
+        self
+    }
+
     /// Reseeds the calling thread's convenience RNG (see
     /// [`MultiCounterBuilder::seed`](crate::counter::MultiCounterBuilder::seed)).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -397,15 +818,22 @@ impl MultiQueueBuilder {
         if let Some(seed) = self.seed {
             crate::rng::reseed_thread_rng(seed);
         }
-        MultiQueue::with_queues((0..m).map(|_| BinaryHeap::new()).collect(), self.mode)
+        MultiQueue::with_config(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            self.mode,
+            Sticky::new(self.sticky.unwrap_or(1)),
+        )
     }
 }
 
-/// A deterministic handle: a MultiQueue reference plus a private RNG.
-/// Convenient for per-thread use in benchmarks.
+/// A deterministic handle: a MultiQueue reference plus a private RNG
+/// and the thread's [`StickyState`]. Convenient for per-thread use in
+/// benchmarks — `insert`/`dequeue` honour the queue's sticky policy
+/// automatically.
 pub struct MqHandle<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send = BinaryHeap<u64, V>> {
     mq: &'a MultiQueue<V, Q>,
     rng: Xoshiro256,
+    sticky: StickyState,
 }
 
 impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q> {
@@ -414,17 +842,29 @@ impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q> {
         MqHandle {
             mq,
             rng: Xoshiro256::new(seed),
+            sticky: StickyState::new(),
         }
     }
 
-    /// Enqueue through the handle.
+    /// Enqueue through the handle (sticky-aware).
     pub fn insert(&mut self, priority: u64, value: V) {
-        self.mq.insert_with(&mut self.rng, priority, value);
+        self.mq
+            .insert_sticky(&mut self.sticky, &mut self.rng, priority, value);
     }
 
-    /// Dequeue through the handle.
+    /// Dequeue through the handle (sticky-aware).
     pub fn dequeue(&mut self) -> Option<(u64, V)> {
-        self.mq.dequeue_with(&mut self.rng)
+        self.mq.dequeue_sticky(&mut self.sticky, &mut self.rng)
+    }
+
+    /// Batch enqueue through the handle (one lock acquisition).
+    pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (u64, V)>) -> usize {
+        self.mq.insert_batch(&mut self.rng, items)
+    }
+
+    /// Batch dequeue through the handle (one lock acquisition).
+    pub fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, V)>) -> usize {
+        self.mq.dequeue_batch(&mut self.rng, max, out)
     }
 }
 
@@ -439,6 +879,7 @@ mod tests {
         let mut rng = Xoshiro256::new(1);
         assert_eq!(mq.dequeue_with(&mut rng), None);
         assert!(mq.is_empty());
+        assert_eq!(mq.approx_size(), 0);
     }
 
     #[test]
@@ -449,6 +890,7 @@ mod tests {
             mq.insert_with(&mut rng, p, p * 10);
         }
         assert_eq!(mq.len(), 1000);
+        assert_eq!(mq.approx_size(), 1000);
         let mut out = Vec::new();
         while let Some((p, v)) = mq.dequeue_with(&mut rng) {
             assert_eq!(v, p * 10);
@@ -457,6 +899,7 @@ mod tests {
         assert_eq!(out.len(), 1000);
         out.sort_unstable();
         assert_eq!(out, (0..1000u64).collect::<Vec<_>>());
+        assert_eq!(mq.approx_size(), 0);
     }
 
     #[test]
@@ -556,6 +999,7 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, (0..PRODUCERS as u64 * PER).collect::<Vec<_>>());
         assert!(mq.is_empty());
+        assert_eq!(mq.approx_size(), 0);
     }
 
     #[test]
@@ -654,19 +1098,24 @@ mod tests {
         mq.insert_with(&mut rng, 2, 'b');
         assert_eq!(mq.drain_sorted(), vec![(1, 'a'), (2, 'b'), (3, 'c')]);
         assert!(mq.is_empty());
+        assert_eq!(mq.approx_size(), 0);
     }
 
     #[test]
     fn builder_forms() {
         let a: MultiQueue<()> = MultiQueue::<()>::builder().queues(6).build();
         assert_eq!(a.num_queues(), 6);
+        assert_eq!(a.sticky(), Sticky { ops: 1 });
         let b: MultiQueue<()> = MultiQueue::<()>::builder()
             .ratio(2)
             .threads(3)
             .delete_mode(DeleteMode::TryLock)
+            .sticky(8)
             .build();
         assert_eq!(b.num_queues(), 6);
         assert_eq!(b.mode(), DeleteMode::TryLock);
+        assert_eq!(b.sticky(), Sticky { ops: 8 });
+        assert!(b.sticky().is_active());
     }
 
     #[test]
@@ -681,5 +1130,210 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn sticky_handle_conserves_in_both_modes() {
+        for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+            let mq: MultiQueue<u64> = MultiQueue::with_config(
+                (0..8).map(|_| BinaryHeap::new()).collect(),
+                mode,
+                Sticky::new(6),
+            );
+            let mut h = MqHandle::new(&mq, 10);
+            for p in 0..2_000u64 {
+                h.insert(p, p);
+            }
+            assert_eq!(mq.approx_size(), 2_000);
+            let mut n = 0;
+            while h.dequeue().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 2_000, "{mode:?}");
+            assert_eq!(mq.approx_size(), 0);
+        }
+    }
+
+    #[test]
+    fn sticky_concurrent_producers_consumers_conserve() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: u64 = 8_000;
+        for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+            let mq: Arc<MultiQueue<u64>> = Arc::new(MultiQueue::with_config(
+                (0..16).map(|_| BinaryHeap::new()).collect(),
+                mode,
+                Sticky::new(8),
+            ));
+            let consumed: Vec<u64> = std::thread::scope(|s| {
+                for t in 0..PRODUCERS {
+                    let mq = Arc::clone(&mq);
+                    s.spawn(move || {
+                        let mut h = MqHandle::new(&mq, 300 + t as u64);
+                        for i in 0..PER {
+                            let p = (t as u64) * PER + i;
+                            h.insert(p, p);
+                        }
+                    });
+                }
+                let consumers: Vec<_> = (0..CONSUMERS)
+                    .map(|t| {
+                        let mq = Arc::clone(&mq);
+                        s.spawn(move || {
+                            let mut h = MqHandle::new(&mq, 400 + t as u64);
+                            let mut got = Vec::new();
+                            let target = PRODUCERS as u64 * PER / CONSUMERS as u64;
+                            while (got.len() as u64) < target {
+                                if let Some((_, v)) = h.dequeue() {
+                                    got.push(v);
+                                }
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                consumers
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let mut all = consumed;
+            all.sort_unstable();
+            assert_eq!(all, (0..PRODUCERS as u64 * PER).collect::<Vec<_>>());
+            assert!(mq.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sticky_stamped_ops_produce_unique_stamps() {
+        let mq: MultiQueue<u64> = MultiQueue::with_config(
+            (0..4).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::Strict,
+            Sticky::new(5),
+        );
+        let stamper = AtomicU64::new(0);
+        let mut rng = Xoshiro256::new(11);
+        let mut st = StickyState::new();
+        let mut stamps = Vec::new();
+        for p in 0..150u64 {
+            stamps.push(mq.insert_sticky_stamped(&mut st, &mut rng, p, p, &stamper));
+        }
+        while let Some((_, _, s)) = mq.dequeue_sticky_stamped(&mut st, &mut rng, &stamper) {
+            stamps.push(s);
+        }
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 300, "stamps must be unique");
+        assert!(mq.is_empty());
+    }
+
+    #[test]
+    fn batch_ops_conserve_and_amortize() {
+        for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+            let mq: MultiQueue<u64> =
+                MultiQueue::with_queues((0..8).map(|_| BinaryHeap::new()).collect(), mode);
+            let mut rng = Xoshiro256::new(12);
+            let mut inserted = 0usize;
+            for chunk in 0..100u64 {
+                let items: Vec<(u64, u64)> =
+                    (0..7).map(|i| (chunk * 7 + i, chunk * 7 + i)).collect();
+                inserted += mq.insert_batch(&mut rng, items);
+            }
+            assert_eq!(inserted, 700);
+            assert_eq!(mq.approx_size(), 700);
+            let mut out = Vec::new();
+            loop {
+                let n = mq.dequeue_batch(&mut rng, 16, &mut out);
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(out.len(), 700, "{mode:?}");
+            let mut ps: Vec<u64> = out.iter().map(|(p, _)| *p).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            assert_eq!(ps.len(), 700, "batch dequeue duplicated or lost items");
+            assert_eq!(mq.approx_size(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let mut rng = Xoshiro256::new(13);
+        assert_eq!(mq.insert_batch(&mut rng, std::iter::empty()), 0);
+        let mut out = Vec::new();
+        assert_eq!(mq.dequeue_batch(&mut rng, 0, &mut out), 0);
+        assert_eq!(mq.dequeue_batch(&mut rng, 8, &mut out), 0);
+        assert!(out.is_empty());
+        assert!(mq.is_empty());
+    }
+
+    #[test]
+    fn sticky_rank_stays_within_s_times_m_envelope() {
+        use std::collections::BTreeSet;
+        // Sequential statistical check of the documented O(s·m) bound:
+        // drain a prefilled queue through a sticky handle and compare
+        // mean dequeue rank against C·s·m (generous C, fixed seed).
+        let m = 8usize;
+        let s = 8usize;
+        let mq: MultiQueue<u64> = MultiQueue::with_config(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::Strict,
+            Sticky::new(s),
+        );
+        let mut h = MqHandle::new(&mq, 14);
+        let n = 8_000u64;
+        for p in 0..n {
+            h.insert(p, p);
+        }
+        let mut present: BTreeSet<u64> = (0..n).collect();
+        let mut sum = 0usize;
+        let mut max_rank = 0usize;
+        for _ in 0..n {
+            let (p, _) = h.dequeue().unwrap();
+            let rank = present.range(..p).count();
+            sum += rank;
+            max_rank = max_rank.max(rank);
+            present.remove(&p);
+        }
+        let mean = sum as f64 / n as f64;
+        let bound = 30.0 * (s * m) as f64;
+        assert!(
+            mean <= bound,
+            "mean sticky rank {mean} above O(s·m) {bound}"
+        );
+        assert!(
+            (max_rank as f64) <= 30.0 * (s * m) as f64 * (n as f64).ln(),
+            "max sticky rank {max_rank} implausibly large"
+        );
+    }
+
+    #[test]
+    fn approx_size_tracks_len_when_quiescent() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let mut rng = Xoshiro256::new(15);
+        for p in 0..100u64 {
+            mq.insert_with(&mut rng, p, p);
+        }
+        assert_eq!(mq.approx_size(), mq.len());
+        for _ in 0..40 {
+            mq.dequeue_with(&mut rng);
+        }
+        assert_eq!(mq.approx_size(), mq.len());
+        assert_eq!(mq.approx_size(), 60);
+    }
+
+    #[test]
+    fn preexisting_entries_seed_the_global_counter() {
+        let mut a = BinaryHeap::new();
+        a.add(1u64, 1u64);
+        a.add(2, 2);
+        let mut b = BinaryHeap::new();
+        b.add(3u64, 3u64);
+        let mq: MultiQueue<u64> = MultiQueue::with_queues(vec![a, b], DeleteMode::Strict);
+        assert_eq!(mq.approx_size(), 3);
+        assert_eq!(mq.len(), 3);
     }
 }

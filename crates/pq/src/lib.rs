@@ -15,10 +15,14 @@
 //!   when priorities are timestamps.
 //! * [`SpinLock`] — a test-and-test-and-set lock with exponential backoff,
 //!   plus the [`Backoff`] helper it is built from.
-//! * [`LockedPq`] — a linearizable concurrent priority queue (spinlock +
-//!   sequential queue) that additionally publishes its current minimum
-//!   priority in an atomic word so that readers can perform the *ReadMin*
-//!   step of Algorithm 2 without taking the lock.
+//! * [`CachePadded`] — 128-byte cache-line padding, shared with
+//!   `dlz-core` so every hot word in the workspace uses one definition.
+//! * [`LockedPq`] — a linearizable concurrent priority queue whose lock
+//!   flag, generation and entry count are packed into a single atomic
+//!   header word (see [`locked::header`]), cache-padded together with
+//!   the published minimum hint so that readers can perform the
+//!   *ReadMin* step of Algorithm 2 without taking the lock and without
+//!   false sharing.
 //! * [`CoarsePq`] — an exact concurrent priority queue (one global lock),
 //!   used as the non-relaxed baseline in benchmarks.
 //!
@@ -30,6 +34,7 @@
 pub mod binary_heap;
 pub mod coarse;
 pub mod locked;
+pub mod padded;
 pub mod pairing_heap;
 pub mod parking_lot;
 pub mod skiplist;
@@ -38,7 +43,8 @@ pub mod traits;
 
 pub use binary_heap::BinaryHeap;
 pub use coarse::CoarsePq;
-pub use locked::{Contended, LockedPq, ParkingLotPq};
+pub use locked::{Contended, LockedPq, ParkingLotPq, PqGuard};
+pub use padded::CachePadded;
 pub use pairing_heap::PairingHeap;
 pub use skiplist::SkipListPq;
 pub use spinlock::{Backoff, SpinGuard, SpinLock};

@@ -3,21 +3,41 @@
 //!
 //! Algorithm 2 in the paper assumes `m` *linearizable* priority queues
 //! supporting `Add`, `DeleteMin` and `ReadMin`. [`LockedPq`] provides
-//! exactly that: a TATAS spinlock around any [`SeqPriorityQueue`], plus a
-//! cache-padded atomic word that publishes the current minimum priority.
-//! The MultiQueue's dequeue reads two of these hints *without locking*
-//! (the `ReadMin` step), then locks only the queue it chose. The hint may
-//! be stale by the time the lock is taken — that staleness is precisely
-//! the relaxation the paper analyzes, so it is allowed by construction.
+//! exactly that, engineered for the MultiQueue's contention profile:
 //!
-//! [`ParkingLotPq`] is the same structure over `parking_lot::Mutex`, used
-//! by the lock-substrate ablation benchmark.
+//! * **One packed header word.** Lock state, a generation counter and
+//!   the entry count live in a single `AtomicU64`
+//!   (see [`header`]), updated with atomic-try-update-style CAS loops.
+//!   Acquiring the lock, bumping the generation and refreshing the
+//!   count at release are single atomic operations on one cache line,
+//!   where the previous layout paid for three separate atomic words.
+//! * **Padded hot slot.** The header and the published min hint share
+//!   one [`CachePadded`] slot, so the lock-free `ReadMin` step touches
+//!   exactly one cache line and adjacent queues in the MultiQueue's
+//!   array never false-share. The sequential queue's own data starts on
+//!   the following line, so heap mutations under the lock do not
+//!   invalidate concurrent hint readers.
+//! * **Publish only on change.** The hint word is stored only when the
+//!   minimum actually changed; an insert of a non-minimal element or a
+//!   delete that does not move the front costs readers nothing.
+//!
+//! The MultiQueue's dequeue reads two of these hints *without locking*
+//! (the `ReadMin` step), then locks only the queue it chose. The hint
+//! may be stale by the time the lock is taken — that staleness is
+//! precisely the relaxation the paper analyzes, so it is allowed by
+//! construction.
+//!
+//! [`ParkingLotPq`] is the same interface over `parking_lot::Mutex`,
+//! used by the lock-substrate ablation benchmark; it keeps the
+//! separate-words layout and thereby doubles as the "unpacked" baseline.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::binary_heap::BinaryHeap;
+use crate::padded::CachePadded;
 use crate::parking_lot;
-use crate::spinlock::{SpinGuard, SpinLock};
+use crate::spinlock::Backoff;
 use crate::traits::{ConcurrentPq, SeqPriorityQueue};
 
 /// Value published in the hint word when the queue is (believed) empty.
@@ -26,6 +46,76 @@ pub const EMPTY_HINT: u64 = u64::MAX;
 /// Error of the `try_*` operations: the lock was held by someone else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Contended;
+
+/// Bit layout of the packed per-queue header word.
+///
+/// ```text
+/// 63       62........40 39...........0
+/// [locked] [generation] [entry count ]
+/// ```
+///
+/// * bit 63 — the lock flag (test-and-test-and-set via CAS);
+/// * bits 40..=62 — a 23-bit generation, bumped on every unlock, so
+///   optimistic readers can detect that the queue changed between two
+///   header loads (a seqlock in miniature);
+/// * bits 0..=39 — the entry count (2^40 entries ≈ 10^12; counts
+///   saturate rather than overflow into the generation).
+pub mod header {
+    /// The lock flag.
+    pub const LOCK_BIT: u64 = 1 << 63;
+    /// First bit of the generation field.
+    pub const GEN_SHIFT: u32 = 40;
+    /// Width of the generation field.
+    pub const GEN_BITS: u32 = 23;
+    /// Mask of the generation field (in place).
+    pub const GEN_MASK: u64 = ((1 << GEN_BITS) - 1) << GEN_SHIFT;
+    /// Mask of the count field.
+    pub const COUNT_MASK: u64 = (1 << GEN_SHIFT) - 1;
+
+    /// Packs the three fields into one word. `count` saturates at
+    /// [`COUNT_MASK`]; `generation` wraps within its field.
+    #[inline]
+    pub const fn pack(locked: bool, generation: u64, count: u64) -> u64 {
+        let lock = if locked { LOCK_BIT } else { 0 };
+        let gen = (generation << GEN_SHIFT) & GEN_MASK;
+        let cnt = if count > COUNT_MASK {
+            COUNT_MASK
+        } else {
+            count
+        };
+        lock | gen | cnt
+    }
+
+    /// `true` if the word's lock flag is set.
+    #[inline]
+    pub const fn is_locked(word: u64) -> bool {
+        word & LOCK_BIT != 0
+    }
+
+    /// The word's generation field.
+    #[inline]
+    pub const fn generation(word: u64) -> u64 {
+        (word & GEN_MASK) >> GEN_SHIFT
+    }
+
+    /// The word's entry count field.
+    #[inline]
+    pub const fn count(word: u64) -> u64 {
+        word & COUNT_MASK
+    }
+}
+
+/// The cache-padded hot slot: packed header plus published min hint.
+/// Exactly the two words the lock-free paths touch, on their own line.
+#[derive(Debug)]
+struct Hot {
+    /// Packed lock / generation / count (see [`header`]).
+    header: AtomicU64,
+    /// Current minimum priority, or [`EMPTY_HINT`]. Updated while the
+    /// lock is held, and only when the minimum changed; read without
+    /// the lock (that is the point).
+    top: AtomicU64,
+}
 
 /// A lock-based linearizable priority queue with a published min hint.
 ///
@@ -38,76 +128,117 @@ pub struct Contended;
 /// assert_eq!(q.min_hint(), 2);
 /// assert_eq!(q.remove_min(), Some((2, "two")));
 /// ```
-#[derive(Debug)]
+// repr(C) guarantees the declared field order: the padded hot slot
+// first, the queue data after it — the no-false-sharing invariant the
+// module docs promise must not depend on repr(Rust) layout whims.
+#[repr(C)]
 pub struct LockedPq<V, Q = BinaryHeap<u64, V>>
 where
     Q: SeqPriorityQueue<u64, V>,
 {
-    inner: SpinLock<Q>,
-    /// Current minimum priority, or [`EMPTY_HINT`]. Updated while the
-    /// lock is held; read without the lock (that is the point).
-    top: AtomicU64,
-    /// Entry count, maintained alongside the hint for cheap `approx_len`.
-    count: AtomicUsize,
+    hot: CachePadded<Hot>,
+    /// The sequential queue; exclusive access is granted by the header
+    /// word's lock bit.
+    inner: UnsafeCell<Q>,
     _marker: std::marker::PhantomData<fn() -> V>,
 }
 
+// SAFETY: the header's lock bit grants exclusive access to `inner`;
+// `Q: Send` suffices because only one thread observes `&mut Q` at a
+// time (same argument as a mutex).
+unsafe impl<V, Q: SeqPriorityQueue<u64, V> + Send> Sync for LockedPq<V, Q> {}
+unsafe impl<V, Q: SeqPriorityQueue<u64, V> + Send> Send for LockedPq<V, Q> {}
+
 impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// Wraps a sequential queue. Any pre-existing entries are reflected
-    /// in the hint.
+    /// in the hint and count.
     pub fn new(queue: Q) -> Self {
         let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
-        let count = queue.len();
+        let count = queue.len() as u64;
         LockedPq {
-            inner: SpinLock::new(queue),
-            top: AtomicU64::new(top),
-            count: AtomicUsize::new(count),
+            hot: CachePadded::new(Hot {
+                header: AtomicU64::new(header::pack(false, 0, count)),
+                top: AtomicU64::new(top),
+            }),
+            inner: UnsafeCell::new(queue),
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Refreshes the published hint from the locked queue.
+    /// Acquires the lock, spinning with exponential backoff until free.
     ///
-    /// The `Release` store pairs with the `Acquire` load in
-    /// [`ConcurrentPq::min_hint`]; because it happens before the guard's
-    /// own release-store on unlock, a reader that sees the new hint sees
-    /// a value that was genuinely the minimum at some point inside the
-    /// critical section.
+    /// The returned guard dereferences to the sequential queue; dropping
+    /// it refreshes the published hint (only if the minimum changed),
+    /// bumps the generation and releases the lock — all in one atomic
+    /// store on the packed header.
     #[inline]
-    fn publish(&self, guard: &SpinGuard<'_, Q>) {
-        let top = guard.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
-        self.top.store(top, Ordering::Release);
-        self.count.store(guard.len(), Ordering::Release);
+    pub fn lock(&self) -> PqGuard<'_, V, Q> {
+        let mut backoff = Backoff::new();
+        let mut cur = self.hot.header.load(Ordering::Relaxed);
+        loop {
+            if header::is_locked(cur) {
+                backoff.snooze();
+                cur = self.hot.header.load(Ordering::Relaxed);
+                continue;
+            }
+            // Test-and-test-and-set: CAS only on an unlocked snapshot.
+            match self.hot.header.compare_exchange_weak(
+                cur,
+                cur | header::LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return PqGuard { pq: self },
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    ///
+    /// The CAS loop retries while the word changes under us but stays
+    /// unlocked (another thread's release updated count/generation);
+    /// it fails only on an actually-held lock.
+    #[inline]
+    pub fn try_lock(&self) -> Option<PqGuard<'_, V, Q>> {
+        let mut cur = self.hot.header.load(Ordering::Relaxed);
+        loop {
+            if header::is_locked(cur) {
+                return None;
+            }
+            match self.hot.header.compare_exchange_weak(
+                cur,
+                cur | header::LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(PqGuard { pq: self }),
+                Err(now) => cur = now,
+            }
+        }
     }
 
     /// Locks the queue and runs `f` on it, then refreshes the hint.
     /// Escape hatch for multi-operation critical sections.
     pub fn with_locked<R>(&self, f: impl FnOnce(&mut Q) -> R) -> R {
-        let mut guard = self.inner.lock();
-        let r = f(&mut guard);
-        self.publish(&guard);
-        r
+        let mut guard = self.lock();
+        f(&mut guard)
     }
 
     /// Non-blocking `remove_min`: `Err(Contended)` if the lock is held.
     /// This is the Rihani-et-al. "retry elsewhere" building block.
     pub fn try_remove_min(&self) -> Result<Option<(u64, V)>, Contended> {
-        match self.inner.try_lock() {
-            Some(mut guard) => {
-                let out = guard.delete_min();
-                self.publish(&guard);
-                Ok(out)
-            }
+        match self.try_lock() {
+            Some(mut guard) => Ok(guard.delete_min()),
             None => Err(Contended),
         }
     }
 
     /// Non-blocking insert: `Err(())` if the lock is contended.
     pub fn try_insert(&self, priority: u64, value: V) -> Result<(), (u64, V)> {
-        match self.inner.try_lock() {
+        match self.try_lock() {
             Some(mut guard) => {
                 guard.add(priority, value);
-                self.publish(&guard);
                 Ok(())
             }
             None => Err((priority, value)),
@@ -116,7 +247,36 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
 
     /// `true` if the lock is currently held. Snapshot only.
     pub fn is_locked(&self) -> bool {
-        self.inner.is_locked()
+        header::is_locked(self.hot.header.load(Ordering::Relaxed))
+    }
+
+    /// The header's generation, or `None` while the lock is held.
+    ///
+    /// The generation bumps on every unlock, so two equal `Some` reads
+    /// bracket a window in which the queue did not change. The `None`
+    /// case is what makes that sound: while the lock bit is set the
+    /// owner may be mutating the queue without having bumped the
+    /// generation yet, so optimistic readers must treat it as "retry"
+    /// (standard seqlock discipline).
+    pub fn generation(&self) -> Option<u64> {
+        let word = self.hot.header.load(Ordering::Acquire);
+        if header::is_locked(word) {
+            None
+        } else {
+            Some(header::generation(word))
+        }
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> std::fmt::Debug for LockedPq<V, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let word = self.hot.header.load(Ordering::Relaxed);
+        f.debug_struct("LockedPq")
+            .field("locked", &header::is_locked(word))
+            .field("generation", &header::generation(word))
+            .field("count", &header::count(word))
+            .field("top", &self.hot.top.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -128,33 +288,85 @@ impl<V, Q: SeqPriorityQueue<u64, V> + Default> Default for LockedPq<V, Q> {
 
 impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for LockedPq<V, Q> {
     fn insert(&self, priority: u64, value: V) {
-        let mut guard = self.inner.lock();
+        let mut guard = self.lock();
         guard.add(priority, value);
-        self.publish(&guard);
     }
 
     fn remove_min(&self) -> Option<(u64, V)> {
-        let mut guard = self.inner.lock();
-        let out = guard.delete_min();
-        self.publish(&guard);
-        out
+        let mut guard = self.lock();
+        guard.delete_min()
     }
 
     #[inline]
     fn min_hint(&self) -> u64 {
-        self.top.load(Ordering::Acquire)
+        self.hot.top.load(Ordering::Acquire)
     }
 
+    #[inline]
     fn approx_len(&self) -> usize {
-        self.count.load(Ordering::Acquire)
+        header::count(self.hot.header.load(Ordering::Acquire)) as usize
+    }
+}
+
+/// RAII guard over a [`LockedPq`]'s sequential queue.
+///
+/// Dropping the guard performs the whole release protocol: refresh the
+/// published hint if (and only if) the minimum changed, then store the
+/// unlocked header with the new count and a bumped generation. While
+/// the lock bit is set every competing CAS fails without writing, so
+/// the release is a plain `Release` store — one atomic op, not three.
+pub struct PqGuard<'a, V, Q: SeqPriorityQueue<u64, V>> {
+    pq: &'a LockedPq<V, Q>,
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> std::ops::Deref for PqGuard<'_, V, Q> {
+    type Target = Q;
+    #[inline]
+    fn deref(&self) -> &Q {
+        // SAFETY: the guard proves exclusive ownership of the lock bit.
+        unsafe { &*self.pq.inner.get() }
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> std::ops::DerefMut for PqGuard<'_, V, Q> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Q {
+        // SAFETY: the guard proves exclusive ownership of the lock bit.
+        unsafe { &mut *self.pq.inner.get() }
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> Drop for PqGuard<'_, V, Q> {
+    #[inline]
+    fn drop(&mut self) {
+        let hot = &self.pq.hot;
+        let queue: &Q = self;
+        let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        // Publish only when the minimum moved: the common case (insert
+        // of a non-minimal element, or a delete behind the front) costs
+        // hint readers nothing.
+        if hot.top.load(Ordering::Relaxed) != top {
+            // Release pairs with the Acquire load in `min_hint`: a
+            // reader that sees the new hint sees a value that was
+            // genuinely the minimum inside the critical section.
+            hot.top.store(top, Ordering::Release);
+        }
+        let word = hot.header.load(Ordering::Relaxed);
+        let gen = header::generation(word).wrapping_add(1);
+        hot.header.store(
+            header::pack(false, gen, queue.len() as u64),
+            Ordering::Release,
+        );
     }
 }
 
 /// [`LockedPq`]'s twin over `parking_lot::Mutex`, for the lock ablation.
 ///
 /// Under heavy contention an OS-assisted lock parks waiting threads
-/// instead of burning cycles; the ablation benchmark quantifies what that
-/// costs on the short critical sections of a MultiQueue.
+/// instead of burning cycles; the ablation benchmark quantifies what
+/// that costs on the short critical sections of a MultiQueue. It keeps
+/// the original three-word layout (mutex, hint, count), so it also
+/// serves as the unpacked baseline for the packed-header comparison.
 #[derive(Debug)]
 pub struct ParkingLotPq<V, Q = BinaryHeap<u64, V>>
 where
@@ -181,7 +393,9 @@ impl<V, Q: SeqPriorityQueue<u64, V>> ParkingLotPq<V, Q> {
 
     fn publish(&self, guard: &parking_lot::MutexGuard<'_, Q>) {
         let top = guard.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
-        self.top.store(top, Ordering::Release);
+        if self.top.load(Ordering::Relaxed) != top {
+            self.top.store(top, Ordering::Release);
+        }
         self.count.store(guard.len(), Ordering::Release);
     }
 
@@ -234,6 +448,58 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
+    fn header_pack_unpack_roundtrip() {
+        for (locked, gen, count) in [
+            (false, 0u64, 0u64),
+            (true, 1, 1),
+            (false, (1 << header::GEN_BITS) - 1, header::COUNT_MASK),
+            (true, 12345, 678910),
+        ] {
+            let w = header::pack(locked, gen, count);
+            assert_eq!(header::is_locked(w), locked);
+            assert_eq!(header::generation(w), gen & ((1 << header::GEN_BITS) - 1));
+            assert_eq!(header::count(w), count.min(header::COUNT_MASK));
+        }
+    }
+
+    #[test]
+    fn header_count_saturates_without_clobbering_generation() {
+        let w = header::pack(true, 7, u64::MAX);
+        assert_eq!(header::count(w), header::COUNT_MASK);
+        assert_eq!(header::generation(w), 7);
+        assert!(header::is_locked(w));
+    }
+
+    #[test]
+    fn hot_slot_is_padded_and_queue_data_is_off_the_hint_line() {
+        let q: LockedPq<u32> = LockedPq::default();
+        assert_eq!(std::mem::align_of_val(&q), 128);
+        let base = &q as *const _ as usize;
+        let inner = q.inner.get() as usize;
+        assert!(
+            inner - base >= 128,
+            "queue data must start past the padded hot slot"
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_every_unlock_and_hides_while_locked() {
+        let q: LockedPq<u32> = LockedPq::default();
+        let g0 = q.generation().expect("unlocked");
+        q.insert(5, 50);
+        let g1 = q.generation().expect("unlocked");
+        assert!(g1 > g0);
+        q.remove_min();
+        assert!(q.generation().expect("unlocked") > g1);
+        // Seqlock discipline: no generation is observable mid-critical-
+        // section, so optimistic readers cannot miss in-flight writes.
+        q.with_locked(|_inner| {
+            assert_eq!(q.generation(), None);
+        });
+        assert!(q.generation().is_some());
+    }
+
+    #[test]
     fn hint_tracks_min() {
         let q: LockedPq<u32> = LockedPq::default();
         assert_eq!(q.min_hint(), EMPTY_HINT);
@@ -241,6 +507,11 @@ mod tests {
         assert_eq!(q.min_hint(), 10);
         q.insert(3, 2);
         assert_eq!(q.min_hint(), 3);
+        // Non-minimal insert: hint unchanged (and unpublished).
+        q.insert(7, 3);
+        assert_eq!(q.min_hint(), 3);
+        q.remove_min();
+        assert_eq!(q.min_hint(), 7);
         q.remove_min();
         assert_eq!(q.min_hint(), 10);
         q.remove_min();
@@ -263,7 +534,9 @@ mod tests {
         q.insert(1, 1);
         q.with_locked(|_inner| {
             assert_eq!(q.try_remove_min(), Err(Contended));
+            assert!(q.is_locked());
         });
+        assert!(!q.is_locked());
         assert_eq!(q.try_remove_min(), Ok(Some((1, 1))));
         assert_eq!(q.try_remove_min(), Ok(None));
     }
@@ -276,6 +549,21 @@ mod tests {
         });
         assert_eq!(q.try_insert(9, 99), Ok(()));
         assert_eq!(q.min_hint(), 9);
+        assert_eq!(q.approx_len(), 1);
+    }
+
+    #[test]
+    fn guard_api_publishes_on_drop() {
+        let q: LockedPq<u32> = LockedPq::default();
+        {
+            let mut g = q.lock();
+            g.add(4, 40);
+            g.add(2, 20);
+            // Hint is refreshed at drop, not per-op.
+        }
+        assert_eq!(q.min_hint(), 2);
+        assert_eq!(q.approx_len(), 2);
+        assert!(q.try_lock().is_some());
     }
 
     #[test]
@@ -302,6 +590,46 @@ mod tests {
             drained += 1;
         }
         assert_eq!(drained, THREADS * PER);
+    }
+
+    #[test]
+    fn mixed_try_ops_under_contention_conserve() {
+        const THREADS: usize = 4;
+        const PER: u64 = 3_000;
+        let q: Arc<LockedPq<u64>> = Arc::new(LockedPq::default());
+        let removed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = Arc::clone(&q);
+                let removed = Arc::clone(&removed);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let mut item = Some((t as u64 * PER + i, i));
+                        while let Some((p, v)) = item.take() {
+                            if let Err(back) = q.try_insert(p, v) {
+                                item = Some(back);
+                                std::hint::spin_loop();
+                            }
+                        }
+                        if i % 2 == 0 {
+                            loop {
+                                match q.try_remove_min() {
+                                    Ok(Some(_)) => {
+                                        removed.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    Ok(None) => break,
+                                    Err(Contended) => std::hint::spin_loop(),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let inserted = THREADS as u64 * PER;
+        let left = q.approx_len() as u64;
+        assert_eq!(inserted, removed.load(Ordering::Relaxed) + left);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
         ],
         Family::Queue => {
             let m = (4 * n).max(8);
-            vec![
+            let mut backends: Vec<Box<dyn Backend>> = vec![
                 Box::new(MultiQueueBackend::heap(m, DeleteMode::Strict)),
                 Box::new(MultiQueueBackend::skiplist(
                     m,
@@ -37,7 +37,25 @@ pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
                 )),
                 Box::new(ConcurrentPqBackend::coarse()),
                 Box::new(ConcurrentPqBackend::locked_heap()),
-            ]
+            ];
+            // Scenarios with active sticky/batch dimensions also run
+            // the tuned hot-path configurations, so one report carries
+            // the before/after comparison.
+            if scenario.sticky_ops > 1 || scenario.batch > 1 {
+                backends.push(Box::new(MultiQueueBackend::heap_tuned(
+                    m,
+                    DeleteMode::Strict,
+                    scenario.sticky_ops,
+                    scenario.batch,
+                )));
+                backends.push(Box::new(MultiQueueBackend::heap_tuned(
+                    m,
+                    DeleteMode::TryLock,
+                    scenario.sticky_ops,
+                    scenario.batch,
+                )));
+            }
+            backends
         }
         Family::Stm => {
             let slots = 1 << 16;

@@ -1,11 +1,12 @@
 //! Queue-family backends: the MultiQueue (any sequential substrate,
 //! both delete modes) and every linearizable `dlz-pq` queue.
 
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use dlz_core::rng::Xoshiro256;
 use dlz_core::spec::{check_distributional, Event, History, PqOp, PqSpec, StampClock, ThreadLog};
-use dlz_core::{DeleteMode, MultiQueue};
+use dlz_core::{DeleteMode, MultiQueue, Sticky, StickyState};
 use dlz_pq::{
     BinaryHeap, CoarsePq, ConcurrentPq, LockedPq, PairingHeap, ParkingLotPq, SeqPriorityQueue,
     SkipListPq,
@@ -33,12 +34,20 @@ struct QueueQuality {
 /// run stamped and the recorded history is replayed through the
 /// distributional-linearizability checker (Definition 5.2), yielding
 /// the *exact* dequeue-rank cost distribution of Theorem 7.1.
+///
+/// The `sticky_ops` and `batch` dimensions (see the tuned
+/// constructors) drive the contention-engineered hot path: workers
+/// keep their chosen internal queue for `s` consecutive same-kind ops
+/// and buffer `k` ops per lock acquisition. History mode stamps
+/// individual operations, so it honours stickiness but ignores
+/// batching.
 #[derive(Debug)]
 pub struct MultiQueueBackend<Q = BinaryHeap<u64, u64>>
 where
     Q: SeqPriorityQueue<u64, u64> + Send,
 {
     mq: MultiQueue<u64, Q>,
+    batch: usize,
     label: String,
     clock: StampClock,
     quality: QueueQuality,
@@ -47,7 +56,20 @@ where
 impl MultiQueueBackend<BinaryHeap<u64, u64>> {
     /// Binary-heap substrate (the default configuration).
     pub fn heap(m: usize, mode: DeleteMode) -> Self {
-        Self::with_queues((0..m).map(|_| BinaryHeap::new()).collect(), mode, "heap")
+        Self::heap_tuned(m, mode, 1, 1)
+    }
+
+    /// Binary-heap substrate with explicit stickiness and batch size —
+    /// the packed/padded/sticky hot-path configuration the `mq-hotpath`
+    /// scenarios measure.
+    pub fn heap_tuned(m: usize, mode: DeleteMode, sticky_ops: usize, batch: usize) -> Self {
+        Self::with_queues(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            mode,
+            sticky_ops,
+            batch,
+            "heap",
+        )
     }
 }
 
@@ -57,6 +79,8 @@ impl MultiQueueBackend<PairingHeap<u64, u64>> {
         Self::with_queues(
             (0..m).map(|_| PairingHeap::new()).collect(),
             mode,
+            1,
+            1,
             "pairing",
         )
     }
@@ -70,21 +94,37 @@ impl MultiQueueBackend<SkipListPq<u64, u64>> {
                 .map(|i| SkipListPq::with_seed(seed ^ i as u64))
                 .collect(),
             mode,
+            1,
+            1,
             "skiplist",
         )
     }
 }
 
 impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueBackend<Q> {
-    fn with_queues(queues: Vec<Q>, mode: DeleteMode, substrate: &str) -> Self {
+    fn with_queues(
+        queues: Vec<Q>,
+        mode: DeleteMode,
+        sticky_ops: usize,
+        batch: usize,
+        substrate: &str,
+    ) -> Self {
         let m = queues.len();
+        let sticky = Sticky::new(sticky_ops);
+        let batch = batch.max(1);
         let mode_tag = match mode {
             DeleteMode::Strict => "strict",
             DeleteMode::TryLock => "trylock",
         };
+        let tuning = if sticky.is_active() || batch > 1 {
+            format!(",s={},b={batch}", sticky.ops)
+        } else {
+            String::new()
+        };
         MultiQueueBackend {
-            mq: MultiQueue::with_queues(queues, mode),
-            label: format!("multiqueue-{substrate}(m={m},{mode_tag})"),
+            mq: MultiQueue::with_config(queues, mode, sticky),
+            batch,
+            label: format!("multiqueue-{substrate}(m={m},{mode_tag}{tuning})"),
             clock: StampClock::new(),
             quality: QueueQuality::default(),
         }
@@ -93,6 +133,11 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueBackend<Q> {
     /// The wrapped MultiQueue.
     pub fn multiqueue(&self) -> &MultiQueue<u64, Q> {
         &self.mq
+    }
+
+    /// Operations buffered per lock acquisition (1 = unbatched).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 }
 
@@ -114,6 +159,12 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
             quality_every: cfg.quality_every,
             removes_seen: 0,
             proxies: Vec::new(),
+            sticky: StickyState::new(),
+            batch: if cfg.record_history { 1 } else { self.batch },
+            pending_inserts: Vec::new(),
+            prefetched: VecDeque::new(),
+            scratch: Vec::new(),
+            refills_seen: 0,
         })
     }
 
@@ -137,7 +188,12 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
     fn quality(&self) -> QualityReport {
         let logs = std::mem::take(&mut *self.quality.logs.lock().expect("logs"));
         let m = self.mq.num_queues() as f64;
+        let s = self.mq.sticky().ops as f64;
         let scale = m * m.max(2.0).ln();
+        // The documented stickiness envelope: expected rank O(s·m),
+        // with the same generous constant the test suite uses for the
+        // s = 1 Theorem 7.1 checks.
+        let rank_bound = 30.0 * s * m;
         if !logs.is_empty() {
             let history = History::from_logs(logs);
             let outcome = check_distributional(&PqSpec, &history);
@@ -149,9 +205,20 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
                 .filter(|c| c.is_finite())
                 .collect();
             let summary = QualitySummary::from_samples(&costs);
+            // Vacuous passes are failures: with no rank samples the
+            // envelope verified nothing, so report it as not-within.
+            let within = if summary.count > 0 && summary.mean <= rank_bound {
+                1.0
+            } else {
+                0.0
+            };
             return QualityReport::named("dequeue_rank")
                 .with_summary(summary)
                 .scalar("scale_m_ln_m", scale)
+                .scalar("sticky_ops", s)
+                .scalar("batch", self.batch as f64)
+                .scalar("rank_bound_s_m", rank_bound)
+                .scalar("within_sticky_bound", within)
                 .scalar(
                     "linearizable",
                     if outcome.is_linearizable() { 1.0 } else { 0.0 },
@@ -164,6 +231,9 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
         QualityReport::named("dequeue_rank_proxy")
             .with_summary(QualitySummary::from_samples(&proxies))
             .scalar("scale_m_ln_m", scale)
+            .scalar("sticky_ops", s)
+            .scalar("batch", self.batch as f64)
+            .scalar("rank_bound_s_m", rank_bound)
     }
 }
 
@@ -175,6 +245,53 @@ struct MultiQueueWorker<'a, Q: SeqPriorityQueue<u64, u64> + Send> {
     quality_every: u32,
     removes_seen: u32,
     proxies: Vec<f64>,
+    /// Per-thread stickiness state (inactive when the policy is `s=1`).
+    sticky: StickyState,
+    /// Ops buffered per lock acquisition; forced to 1 in history mode,
+    /// which stamps individual operations.
+    batch: usize,
+    /// Updates buffered until a full batch (flushed at `finish`).
+    pending_inserts: Vec<(u64, u64)>,
+    /// Entries taken by a batch dequeue, handed out one per `Remove`
+    /// op; leftovers are re-inserted at `finish` so conservation holds.
+    prefetched: VecDeque<(u64, u64)>,
+    /// Reusable buffer for batch dequeues (no per-refill allocation).
+    scratch: Vec<(u64, u64)>,
+    /// Refill count, for the batched proxy-sampling cadence.
+    refills_seen: u32,
+}
+
+impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
+    fn flush_pending(&mut self) {
+        if !self.pending_inserts.is_empty() {
+            self.backend
+                .mq
+                .insert_batch(&mut self.rng, self.pending_inserts.drain(..));
+        }
+    }
+
+    /// Refills the prefetch buffer with one batch dequeue. Flushes our
+    /// own buffered inserts first if the structure looks empty, so a
+    /// closed-loop worker cannot starve itself.
+    fn refill(&mut self, sample: bool) {
+        let mq = &self.backend.mq;
+        let hint = if sample { mq.min_hint() } else { u64::MAX };
+        let mut tmp = std::mem::take(&mut self.scratch);
+        tmp.clear();
+        if mq.dequeue_batch(&mut self.rng, self.batch, &mut tmp) == 0
+            && !self.pending_inserts.is_empty()
+        {
+            self.flush_pending();
+            mq.dequeue_batch(&mut self.rng, self.batch, &mut tmp);
+        }
+        if sample && hint != u64::MAX {
+            if let Some((p, _)) = tmp.first() {
+                self.proxies.push(p.saturating_sub(hint) as f64);
+            }
+        }
+        self.prefetched.extend(tmp.drain(..));
+        self.scratch = tmp;
+    }
 }
 
 impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
@@ -186,7 +303,8 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 if let Some(log) = &mut self.log {
                     let thread = self.thread;
                     let invoke = clock.stamp();
-                    let update = mq.insert_stamped(
+                    let update = mq.insert_sticky_stamped(
+                        &mut self.sticky,
                         &mut self.rng,
                         op.priority,
                         op.priority,
@@ -202,8 +320,13 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                         update,
                         response,
                     });
+                } else if self.batch > 1 {
+                    self.pending_inserts.push((op.priority, op.priority));
+                    if self.pending_inserts.len() >= self.batch {
+                        self.flush_pending();
+                    }
                 } else {
-                    mq.insert_with(&mut self.rng, op.priority, op.priority);
+                    mq.insert_sticky(&mut self.sticky, &mut self.rng, op.priority, op.priority);
                 }
                 true
             }
@@ -211,7 +334,11 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 if let Some(log) = &mut self.log {
                     let thread = self.thread;
                     let invoke = clock.stamp();
-                    match mq.dequeue_stamped(&mut self.rng, clock.as_atomic()) {
+                    match mq.dequeue_sticky_stamped(
+                        &mut self.sticky,
+                        &mut self.rng,
+                        clock.as_atomic(),
+                    ) {
                         Some((p, _, update)) => {
                             let response = clock.stamp();
                             log.push(Event {
@@ -225,12 +352,25 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                         }
                         None => false,
                     }
+                } else if self.batch > 1 {
+                    self.removes_seen += 1;
+                    if self.prefetched.is_empty() {
+                        // Sampling cadence is per refill (each refill
+                        // covers `batch` removes), so batched runs
+                        // still produce proxy observations.
+                        self.refills_seen += 1;
+                        let cadence = (self.quality_every / self.batch as u32).max(1);
+                        let sample =
+                            self.quality_every > 0 && self.refills_seen.is_multiple_of(cadence);
+                        self.refill(sample);
+                    }
+                    self.prefetched.pop_front().is_some()
                 } else {
                     self.removes_seen += 1;
                     let sample = self.quality_every > 0
                         && self.removes_seen.is_multiple_of(self.quality_every);
                     let hint = if sample { mq.min_hint() } else { u64::MAX };
-                    match mq.dequeue_with(&mut self.rng) {
+                    match mq.dequeue_sticky(&mut self.sticky, &mut self.rng) {
                         Some((p, _)) => {
                             if sample && hint != u64::MAX {
                                 self.proxies.push(p.saturating_sub(hint) as f64);
@@ -249,6 +389,15 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
     }
 
     fn finish(&mut self) {
+        // Flush buffered updates, then return undelivered prefetched
+        // entries (already removed from the MultiQueue but never handed
+        // to an op) so the conservation law sees them as residual.
+        self.flush_pending();
+        if !self.prefetched.is_empty() {
+            self.backend
+                .mq
+                .insert_batch(&mut self.rng, self.prefetched.drain(..));
+        }
         if let Some(log) = self.log.take() {
             self.backend.quality.logs.lock().expect("logs").push(log);
         }
@@ -468,6 +617,46 @@ mod tests {
             b.verify(&counts)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         }
+    }
+
+    #[test]
+    fn tuned_backend_conserves_with_sticky_and_batch() {
+        for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+            let b = MultiQueueBackend::heap_tuned(8, mode, 8, 8);
+            assert!(b.name().contains("s=8,b=8"), "{}", b.name());
+            let counts = drive(&b, 3_000, false);
+            b.verify(&counts)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            let q = b.quality();
+            assert_eq!(q.metric, "dequeue_rank_proxy");
+            assert_eq!(q.get("sticky_ops"), Some(8.0));
+            assert_eq!(q.get("batch"), Some(8.0));
+            assert!(q.get("rank_bound_s_m").unwrap_or(0.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tuned_backend_history_mode_stays_within_sticky_bound() {
+        // History mode stamps individual ops (batching disabled) but
+        // honours stickiness; the checker-exact ranks must sit inside
+        // the reported O(s·m) envelope.
+        let b = MultiQueueBackend::heap_tuned(4, DeleteMode::Strict, 8, 8);
+        let counts = drive(&b, 2_000, true);
+        b.verify(&counts).expect("conservation");
+        let q = b.quality();
+        assert_eq!(q.metric, "dequeue_rank");
+        assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
+        assert_eq!(q.get("within_sticky_bound"), Some(1.0), "{q:?}");
+        let s = q.summary.expect("costs");
+        assert!(s.count > 0);
+        assert!(s.mean <= q.get("rank_bound_s_m").expect("bound"));
+    }
+
+    #[test]
+    fn untuned_label_is_unchanged() {
+        let b = MultiQueueBackend::heap(4, DeleteMode::Strict);
+        assert_eq!(b.name(), "multiqueue-heap(m=4,strict)");
+        assert_eq!(b.batch(), 1);
     }
 
     #[test]

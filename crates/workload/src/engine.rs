@@ -124,8 +124,15 @@ fn step(
     sampler: &mut OpSampler,
     metrics: &mut WorkerMetrics,
     scheduled: Option<Instant>,
+    timed: bool,
 ) {
     let op = sampler.draw();
+    if !timed && scheduled.is_none() {
+        // Latency-sampling mode: count the op, skip the clock reads.
+        let completed = worker.execute(&op);
+        metrics.record_untimed(op.kind, completed);
+        return;
+    }
     let t0 = Instant::now();
     let completed = worker.execute(&op);
     let end = Instant::now();
@@ -146,10 +153,12 @@ fn drive(
     let mut issued = 0u64;
     let budget = &scenario.budget;
     let stoppable = matches!(budget, Budget::Timed(_));
+    let latency_every = scenario.latency_every.max(1) as u64;
     match scenario.arrival {
         Arrival::Closed => {
             while !budget_done(budget, issued, stop) {
-                step(worker, sampler, &mut metrics, None);
+                let timed = issued.is_multiple_of(latency_every);
+                step(worker, sampler, &mut metrics, None, timed);
                 issued += 1;
             }
         }
@@ -160,7 +169,7 @@ fn drive(
                 if !wait_until(next, stop, stoppable) {
                     break;
                 }
-                step(worker, sampler, &mut metrics, Some(next));
+                step(worker, sampler, &mut metrics, Some(next), true);
                 issued += 1;
             }
         }
@@ -170,7 +179,8 @@ fn drive(
                     if budget_done(budget, issued, stop) {
                         break 'outer;
                     }
-                    step(worker, sampler, &mut metrics, None);
+                    let timed = issued.is_multiple_of(latency_every);
+                    step(worker, sampler, &mut metrics, None, timed);
                     issued += 1;
                 }
                 if !wait_until(Instant::now() + pause, stop, stoppable) {
@@ -402,6 +412,27 @@ mod tests {
             r1.counts.removes + r1.residual,
             r2.counts.removes + r2.residual
         );
+    }
+
+    #[test]
+    fn latency_sampling_keeps_counts_exact() {
+        let build = |every: u32| {
+            small("t-lat", Family::Counter)
+                .mix(OpMix::new(100, 0, 0))
+                .latency_every(every)
+                .build()
+        };
+        let full = run(&build(1), &CounterBackend::sharded(2));
+        let sampled = run(&build(8), &CounterBackend::sharded(2));
+        for r in [&full, &sampled] {
+            assert!(r.verified(), "{:?}", r.verify_error);
+            // Every op counted regardless of sampling cadence.
+            assert_eq!(r.total_ops(), 4_000);
+            assert_eq!(r.counts.updates, 4_000);
+        }
+        // The sampled run still produces a usable latency distribution.
+        assert!(sampled.latency.p99_ns >= sampled.latency.p50_ns);
+        assert!(sampled.latency.max_ns > 0);
     }
 
     #[test]

@@ -167,6 +167,20 @@ impl WorkerMetrics {
         self.latency.record_duration(latency);
     }
 
+    /// Records a completed operation without a latency sample — the
+    /// engine's latency-sampling mode (`Scenario::latency_every > 1`)
+    /// counts every op but timestamps only every Nth, keeping the
+    /// measurement overhead off the throughput hot path.
+    #[inline]
+    pub fn record_untimed(&mut self, kind: OpKind, completed: bool) {
+        match (kind, completed) {
+            (OpKind::Update, _) => self.counts.updates += 1,
+            (OpKind::Remove, true) => self.counts.removes += 1,
+            (OpKind::Remove, false) => self.counts.removes_empty += 1,
+            (OpKind::Read, _) => self.counts.reads += 1,
+        }
+    }
+
     /// Merges another shard into this one.
     pub fn merge(&mut self, other: &WorkerMetrics) {
         self.counts.merge(&other.counts);

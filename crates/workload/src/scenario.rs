@@ -74,6 +74,22 @@ pub struct Scenario {
     /// Sample a quality observation every this many eligible ops
     /// (read deviation / rank proxy). 0 disables sampling.
     pub quality_every: u32,
+    /// Stickiness dimension for queue backends: consecutive same-kind
+    /// ops a worker keeps its chosen internal queue for (1 = the
+    /// paper's fresh-draw-per-op behaviour). Rank degrades within the
+    /// O(s·m) envelope; the quality report carries the bound.
+    pub sticky_ops: usize,
+    /// Batch dimension for queue backends: operations buffered per
+    /// lock acquisition (1 = unbatched). Ignored in history mode,
+    /// which stamps individual operations.
+    pub batch: usize,
+    /// Latency-sampling cadence: timestamp every Nth operation
+    /// (1 = every op). Counts are always exact; higher values keep the
+    /// two clock reads per op off the throughput hot path, which
+    /// matters when the structure's own cost is tens of nanoseconds.
+    /// Open-loop arrivals always timestamp (the pacing needs the
+    /// clock anyway).
+    pub latency_every: u32,
 }
 
 impl Scenario {
@@ -95,6 +111,9 @@ impl Scenario {
                 seed: 0xd15f1e1d,
                 record_history: false,
                 quality_every: 64,
+                sticky_ops: 1,
+                batch: 1,
+                latency_every: 1,
             },
         }
     }
@@ -150,6 +169,36 @@ impl Scenario {
                 .budget(Budget::OpsPerWorker(6_000))
                 .prefill(2_000)
                 .record_history(true)
+                .build(),
+            Scenario::builder("mq-hotpath-dequeue-heavy", Family::Queue)
+                .about("30/70 enqueue:dequeue at 8 threads over a deep backlog — the contended hot path the packed/padded/sticky work targets")
+                .threads(8)
+                .mix(OpMix::new(30, 70, 0))
+                .budget(Budget::OpsPerWorker(40_000))
+                .priorities(Dist::Uniform { n: 1 << 20 })
+                .prefill(400_000)
+                .sticky_ops(16)
+                .batch(16)
+                .latency_every(8)
+                .build(),
+            Scenario::builder("mq-hotpath-balanced", Family::Queue)
+                .about("50/50 mix at 8 threads, steady backlog — hot path without drain pressure")
+                .threads(8)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(40_000))
+                .prefill(20_000)
+                .sticky_ops(16)
+                .batch(16)
+                .latency_every(8)
+                .build(),
+            Scenario::builder("mq-hotpath-rank-audit", Family::Queue)
+                .about("sticky-mode stamped history through the checker — verifies the O(s·m) rank envelope")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(6_000))
+                .prefill(2_000)
+                .record_history(true)
+                .sticky_ops(16)
                 .build(),
             Scenario::builder("stm-uniform-mix", Family::Stm)
                 .about("80% 2-slot add txns / 20% read-only txns over 64k slots — Figure 1(c)")
@@ -249,6 +298,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Stickiness dimension (queue backends; 1 disables).
+    pub fn sticky_ops(mut self, s: usize) -> Self {
+        self.s.sticky_ops = s.max(1);
+        self
+    }
+
+    /// Batch dimension (queue backends; 1 disables).
+    pub fn batch(mut self, k: usize) -> Self {
+        self.s.batch = k.max(1);
+        self
+    }
+
+    /// Latency-sampling cadence (1 = timestamp every op).
+    pub fn latency_every(mut self, n: u32) -> Self {
+        self.s.latency_every = n.max(1);
+        self
+    }
+
     /// Quality sampling cadence (0 disables).
     pub fn quality_every(mut self, every: u32) -> Self {
         self.s.quality_every = every;
@@ -292,6 +359,19 @@ mod tests {
         assert_eq!(s.family, Family::Queue);
         assert_eq!(s.prefill, 10_000);
         assert!(Scenario::named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn hotpath_scenarios_carry_sticky_and_batch_dimensions() {
+        let s = Scenario::named("mq-hotpath-dequeue-heavy").expect("exists");
+        assert_eq!(s.family, Family::Queue);
+        assert!(s.threads >= 8, "contended point needs ≥ 8 threads");
+        assert!(s.sticky_ops > 1 && s.batch > 1);
+        let audit = Scenario::named("mq-hotpath-rank-audit").expect("exists");
+        assert!(audit.record_history && audit.sticky_ops > 1);
+        // Pre-existing scenarios keep the paper's fresh-draw behaviour.
+        let plain = Scenario::named("queue-balanced").expect("exists");
+        assert_eq!((plain.sticky_ops, plain.batch), (1, 1));
     }
 
     #[test]

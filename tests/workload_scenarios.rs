@@ -214,6 +214,41 @@ fn arrival_processes_drive_every_family() {
 }
 
 #[test]
+fn tuned_hotpath_backends_conserve_and_stay_within_sticky_rank_bound() {
+    // Throughput mode: sticky + batched workers under concurrent
+    // producers/consumers — conservation must hold exactly even though
+    // workers buffer inserts and prefetch dequeues.
+    let mut s = Scenario::named("mq-hotpath-balanced").expect("catalog");
+    s.threads = 3;
+    s.budget = Budget::OpsPerWorker(8_000);
+    s.prefill = 1_000;
+    s.seed = SEED;
+    let tuned = MultiQueueBackend::heap_tuned(8, DeleteMode::Strict, s.sticky_ops, s.batch);
+    let r = engine::run(&s, &tuned);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    assert_eq!(r.counts.inserted(), r.counts.removes + r.residual);
+    assert!(r.backend.contains("s=16,b=16"), "{}", r.backend);
+
+    // History mode: checker-exact sticky dequeue ranks must sit inside
+    // the O(s·m) envelope the backend reports alongside them.
+    let mut audit = Scenario::named("mq-hotpath-rank-audit").expect("catalog");
+    audit.threads = 2;
+    audit.budget = Budget::OpsPerWorker(2_000);
+    audit.prefill = 500;
+    audit.seed = SEED;
+    let backend = MultiQueueBackend::heap_tuned(8, DeleteMode::Strict, audit.sticky_ops, 1);
+    let r = engine::run(&audit, &backend);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    let q = &r.quality;
+    assert_eq!(q.metric, "dequeue_rank");
+    assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
+    assert_eq!(q.get("within_sticky_bound"), Some(1.0), "{q:?}");
+    let ranks = q.summary.expect("ranks");
+    assert!(ranks.count > 0);
+    assert!(ranks.mean <= q.get("rank_bound_s_m").expect("bound"));
+}
+
+#[test]
 fn every_catalog_scenario_runs_shrunk_against_its_roster() {
     // The whole named catalog, shrunk to test scale, against every
     // backend in its roster — the scenarios binary in miniature.
