@@ -4,7 +4,6 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dlz_core::rng::Xoshiro256;
 use dlz_core::{DeleteMode, MultiQueue};
 use dlz_pq::{BinaryHeap, CoarsePq, ConcurrentPq};
 
@@ -17,17 +16,17 @@ fn bench_multiqueue(c: &mut Criterion) {
     ] {
         let mq: MultiQueue<u64> =
             MultiQueue::with_queues((0..16).map(|_| BinaryHeap::new()).collect(), mode);
-        let mut rng = Xoshiro256::new(1);
+        let mut h = mq.handle(1);
         // Standing population so dequeues always find work.
         for k in 0..10_000u64 {
-            mq.insert_with(&mut rng, k, k);
+            h.insert(k, k);
         }
         let mut next = 10_000u64;
         g.bench_function(format!("multiqueue_m16_{name}"), |b| {
             b.iter(|| {
-                mq.insert_with(&mut rng, next, next);
+                h.insert(next, next);
                 next += 1;
-                black_box(mq.dequeue_with(&mut rng));
+                black_box(h.dequeue());
             })
         });
     }

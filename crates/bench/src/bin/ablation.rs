@@ -97,19 +97,20 @@ fn substrate_section(cfg: &Config) {
     {
         let mq = MultiQueue::with_queues(queues, mode);
         // Prefill so dequeues rarely observe emptiness.
-        let mut rng = Xoshiro256::new(cfg.seed);
-        for k in 0..50_000u64 {
-            mq.insert_with(&mut rng, k, k);
+        {
+            let mut prefill = mq.handle(cfg.seed);
+            for k in 0..50_000u64 {
+                prefill.insert(k, k);
+            }
         }
         let t = run_throughput(n, cfg.duration, |tid| {
-            let mq = &mq;
-            let mut rng = Xoshiro256::new(cfg.seed ^ ((tid as u64) << 7));
+            let mut h = mq.handle(cfg.seed ^ ((tid as u64) << 7));
             let mut next = 50_000u64 + tid as u64;
             move |stop: &AtomicBool| {
                 count_until_stopped(stop, || {
-                    mq.insert_with(&mut rng, next, next);
+                    h.insert(next, next);
                     next += 1;
-                    let _ = mq.dequeue_with(&mut rng);
+                    let _ = h.dequeue();
                 })
             }
         });

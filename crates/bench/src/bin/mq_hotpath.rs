@@ -1,20 +1,27 @@
-//! **MultiQueue hot-path benchmark** — the before/after snapshot for
-//! the packed/padded/sticky contention work, recorded as
-//! `BENCH_mq_hotpath.json`.
+//! **MultiQueue hot-path benchmark** — the recurring before/after
+//! snapshot for the contention work, recorded as a *trajectory* in
+//! `BENCH_mq_hotpath.json` (one JSON array element per snapshot, so
+//! regressions across PRs stay visible; the file is appended to, not
+//! overwritten).
 //!
 //! For each `mq-hotpath-*` throughput scenario the binary runs the
-//! *same* workload twice at ≥ 8 threads:
+//! *same* workload at ≥ 8 threads in three configurations:
 //!
-//! * **baseline** — the plain MultiQueue (fresh random draws every op,
-//!   one op per lock acquisition), and
-//! * **optimized** — the tuned configuration the scenario declares
-//!   (sticky queue choice for `s` consecutive ops, `k` ops batched per
-//!   lock acquisition),
+//! * **baseline** — the plain MultiQueue (fresh two-choice draws every
+//!   op, one op per lock acquisition),
+//! * **optimized** — the tuned configuration the scenario declares via
+//!   its `choice_policy`/`batch` dimensions (sticky camping for `s`
+//!   consecutive ops, `k` ops batched per lock acquisition), and
+//! * **adaptive** (dequeue-heavy shape only) — `AdaptiveSticky` with
+//!   `s_max` equal to the static policy's `s`, to check the online
+//!   adaptation stays within noise of the best static stickiness,
 //!
-//! then reports the throughput improvement. The sticky-mode rank
-//! guardrail runs `mq-hotpath-rank-audit` with history recording on:
-//! the checker-exact dequeue ranks must stay within the documented
-//! O(s·m) envelope, and the resulting metrics are embedded in the JSON.
+//! then reports the throughput improvements. The rank guardrails run
+//! the `mq-hotpath-rank-audit` (static sticky) and
+//! `mq-hotpath-adaptive-audit` (adaptive) scenarios with history
+//! recording on: the checker-exact dequeue ranks must stay within the
+//! policy envelope each backend reports (`O(s·m)`, observed-s for
+//! adaptive), and the resulting metrics are embedded in the JSON.
 //!
 //! ```text
 //! cargo run --release -p dlz-bench --bin mq_hotpath
@@ -24,7 +31,7 @@
 use std::io::Write as _;
 
 use dlz_bench::{Config, Table};
-use dlz_core::DeleteMode;
+use dlz_core::{DeleteMode, PolicyCfg};
 use dlz_workload::backends::MultiQueueBackend;
 use dlz_workload::json::JsonObject;
 use dlz_workload::{engine, Backend, Budget, RunReport, Scenario};
@@ -32,6 +39,8 @@ use dlz_workload::{engine, Backend, Budget, RunReport, Scenario};
 const DEFAULT_OUT: &str = "BENCH_mq_hotpath.json";
 /// Acceptance target on the contended dequeue-heavy point.
 const TARGET_PCT: f64 = 15.0;
+/// Noise band for adaptive-vs-static stickiness throughput.
+const NOISE_PCT: f64 = 5.0;
 
 /// Applies thread/duration overrides and quick-mode shrinking.
 fn customize(mut s: Scenario, cfg: &Config, threads: usize) -> Scenario {
@@ -75,6 +84,60 @@ fn median(mut runs: Vec<RunReport>) -> RunReport {
     runs.swap_remove(runs.len() / 2)
 }
 
+/// Runs a history-recording audit scenario and asserts the checker's
+/// samples are non-vacuous; returns (report, within_bound, linearizable).
+fn run_audit(name: &str, cfg: &Config) -> (RunReport, bool, bool) {
+    let mut s = Scenario::named(name).expect("catalog scenario");
+    if cfg.quick {
+        s.budget = Budget::OpsPerWorker(1_000);
+        s.prefill = 500;
+    }
+    if cfg.was_set("seed") {
+        s.seed = cfg.seed;
+    }
+    let backend =
+        MultiQueueBackend::heap_policy(4 * s.threads, DeleteMode::Strict, s.choice_policy, 1);
+    eprintln!("running {} ({}) ...", s.name, backend.name());
+    let r = engine::run(&s, &backend);
+    assert!(r.verified(), "audit verify: {:?}", r.verify_error);
+    let samples = r.quality.summary.map(|s| s.count).unwrap_or(0);
+    assert!(
+        samples > 0,
+        "{name} produced no rank samples — the envelope would pass vacuously"
+    );
+    let within = r.quality.get("within_policy_bound") == Some(1.0);
+    let linearizable = r.quality.get("linearizable") == Some(1.0);
+    (r, within, linearizable)
+}
+
+/// Appends `snapshot` to the JSON-array trajectory at `path` (wrapping
+/// a pre-trajectory single-object file into an array first).
+fn append_snapshot(path: &str, snapshot: &str) -> String {
+    let rendered = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim();
+            if let Some(body) = trimmed.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+                let body = body.trim();
+                if body.is_empty() {
+                    format!("[{snapshot}]")
+                } else {
+                    format!("[{body},{snapshot}]")
+                }
+            } else if trimmed.starts_with('{') {
+                // Legacy single-snapshot file: wrap into a trajectory.
+                format!("[{trimmed},{snapshot}]")
+            } else {
+                format!("[{snapshot}]")
+            }
+        }
+        Err(_) => format!("[{snapshot}]"),
+    };
+    let mut f = std::fs::File::create(path).expect("create output file");
+    f.write_all(rendered.as_bytes()).expect("write output file");
+    f.write_all(b"\n").expect("write output file");
+    rendered
+}
+
 fn main() {
     let cfg = Config::from_args();
     // The contended point: at least 8 workers even on small boxes —
@@ -100,6 +163,9 @@ fn main() {
     let mut worst_gain = f64::INFINITY;
     // The acceptance target applies to the contended dequeue-heavy point.
     let mut target_gain = f64::NAN;
+    // Adaptive-vs-static comparison on the dequeue-heavy shape.
+    let mut adaptive_cmp: Option<String> = None;
+    let mut adaptive_delta = f64::NAN;
 
     for name in ["mq-hotpath-dequeue-heavy", "mq-hotpath-balanced"] {
         let scenario = customize(
@@ -116,21 +182,41 @@ fn main() {
         let m = 8 * threads;
         let make_base = || MultiQueueBackend::heap(m, DeleteMode::Strict);
         let make_opt = || {
-            MultiQueueBackend::heap_tuned(
+            MultiQueueBackend::heap_policy(
                 m,
                 DeleteMode::Strict,
-                scenario.sticky_ops,
+                scenario.choice_policy,
                 scenario.batch,
             )
         };
-        // Interleave baseline/optimized rounds so slow drifts in
-        // machine load hit both configurations equally.
+        // s_max = the static policy's s, so adaptive can at best match
+        // the static camp length and at worst narrows under contention.
+        let s_max = match scenario.choice_policy {
+            PolicyCfg::Sticky { ops } => ops,
+            PolicyCfg::AdaptiveSticky { s_max } => s_max,
+            _ => 16,
+        };
+        let make_adaptive = || {
+            MultiQueueBackend::heap_policy(
+                m,
+                DeleteMode::Strict,
+                PolicyCfg::AdaptiveSticky { s_max },
+                scenario.batch,
+            )
+        };
+        let compare_adaptive = name == "mq-hotpath-dequeue-heavy";
+        // Interleave rounds so slow drifts in machine load hit every
+        // configuration equally.
         let mut base_runs = Vec::new();
         let mut opt_runs = Vec::new();
+        let mut adaptive_runs = Vec::new();
         for round in 0..rounds {
             eprintln!("running {name} round {}/{rounds} ...", round + 1);
             base_runs.push(run_once(&scenario, &make_base));
             opt_runs.push(run_once(&scenario, &make_opt));
+            if compare_adaptive {
+                adaptive_runs.push(run_once(&scenario, &make_adaptive));
+            }
         }
         let base = median(base_runs);
         let opt = median(opt_runs);
@@ -153,7 +239,7 @@ fn main() {
         let mut o = JsonObject::new();
         o.str("scenario", name)
             .u64("threads", threads as u64)
-            .u64("sticky_ops", scenario.sticky_ops as u64)
+            .str("choice_policy", &scenario.choice_policy.label())
             .u64("batch", scenario.batch as u64)
             .f64("mops_baseline", base.mops())
             .f64("mops_optimized", opt.mops())
@@ -162,75 +248,95 @@ fn main() {
             .raw("baseline", &base.to_json())
             .raw("optimized", &opt.to_json());
         points.push(o.finish());
+
+        if compare_adaptive {
+            let adaptive = median(adaptive_runs);
+            adaptive_delta = (adaptive.mops() - opt.mops()) / opt.mops() * 100.0;
+            table.row(vec![
+                format!("{name} (adaptive)"),
+                threads.to_string(),
+                opt.backend.clone(),
+                adaptive.backend.clone(),
+                format!("{:.3}", opt.mops()),
+                format!("{:.3}", adaptive.mops()),
+                format!("{adaptive_delta:+.1}"),
+            ]);
+            let mut a = JsonObject::new();
+            a.str("scenario", name)
+                .str("static_policy", &scenario.choice_policy.label())
+                .str(
+                    "adaptive_policy",
+                    &PolicyCfg::AdaptiveSticky { s_max }.label(),
+                )
+                .f64("mops_static", opt.mops())
+                .f64("mops_adaptive", adaptive.mops())
+                .f64("adaptive_vs_static_pct", adaptive_delta)
+                .bool("within_noise", adaptive_delta.abs() <= NOISE_PCT)
+                .raw("adaptive", &adaptive.to_json());
+            adaptive_cmp = Some(a.finish());
+        }
     }
 
-    // Rank guardrail: sticky-mode checker-exact dequeue ranks must sit
-    // inside the O(s·m) envelope the implementation documents.
-    let audit_scenario = {
-        let mut s = Scenario::named("mq-hotpath-rank-audit").expect("catalog scenario");
-        if cfg.quick {
-            s.budget = Budget::OpsPerWorker(1_000);
-            s.prefill = 500;
-        }
-        if cfg.was_set("seed") {
-            s.seed = cfg.seed;
-        }
-        s
-    };
-    let audit_backend = MultiQueueBackend::heap_tuned(
-        4 * audit_scenario.threads,
-        DeleteMode::Strict,
-        audit_scenario.sticky_ops,
-        1,
-    );
-    eprintln!(
-        "running {} ({}) ...",
-        audit_scenario.name,
-        audit_backend.name()
-    );
-    let audit = engine::run(&audit_scenario, &audit_backend);
-    assert!(audit.verified(), "audit verify: {:?}", audit.verify_error);
-    let rank_samples = audit.quality.summary.map(|s| s.count).unwrap_or(0);
-    assert!(
-        rank_samples > 0,
-        "rank audit produced no samples — the envelope would pass vacuously"
-    );
-    let within = audit.quality.get("within_sticky_bound") == Some(1.0);
-    let linearizable = audit.quality.get("linearizable") == Some(1.0);
+    // Rank guardrails: checker-exact dequeue ranks must sit inside the
+    // envelope each policy reports (O(s·m) static, observed-s adaptive).
+    let (audit, within, linearizable) = run_audit("mq-hotpath-rank-audit", &cfg);
+    let (adaptive_audit, adaptive_within, adaptive_linearizable) =
+        run_audit("mq-hotpath-adaptive-audit", &cfg);
 
     let mut root = JsonObject::new();
     root.str("bench", "mq_hotpath")
+        .str("change", "pluggable ChoicePolicy + handle-first API")
         .u64("threads", threads as u64)
         .f64("target_improvement_pct", TARGET_PCT)
         .f64("dequeue_heavy_improvement_pct", target_gain)
         .bool("meets_target", target_gain >= TARGET_PCT)
         .f64("worst_improvement_pct", worst_gain)
-        .raw("points", &dlz_workload::json::array(&points))
-        .raw("rank_audit", &audit.to_json())
-        .bool("rank_within_s_m_bound", within)
-        .bool("rank_audit_linearizable", linearizable);
-    let rendered = root.finish();
+        .f64("adaptive_vs_static_pct", adaptive_delta)
+        .raw("points", &dlz_workload::json::array(&points));
+    if let Some(a) = &adaptive_cmp {
+        root.raw("adaptive_vs_static", a);
+    }
+    root.raw("rank_audit", &audit.to_json())
+        .bool("rank_within_policy_bound", within)
+        .bool("rank_audit_linearizable", linearizable)
+        .raw("adaptive_rank_audit", &adaptive_audit.to_json())
+        .bool("adaptive_rank_within_bound", adaptive_within)
+        .bool("adaptive_rank_audit_linearizable", adaptive_linearizable);
+    let snapshot = root.finish();
 
     let path = cfg.json.clone().unwrap_or_else(|| DEFAULT_OUT.to_string());
-    let mut f = std::fs::File::create(&path).expect("create output file");
-    f.write_all(rendered.as_bytes()).expect("write output file");
-    f.write_all(b"\n").expect("write output file");
-    eprintln!("wrote {path}");
+    append_snapshot(&path, &snapshot);
+    eprintln!("appended snapshot to {path}");
 
     eprintln!();
     eprint!("{}", table.render());
-    let rank_mean = audit.quality.summary.map(|s| s.mean).unwrap_or(0.0);
-    let rank_bound = audit.quality.get("rank_bound_s_m").unwrap_or(0.0);
-    eprintln!(
-        "rank audit: mean={rank_mean:.1} bound(O(s·m))={rank_bound:.1} within={within} linearizable={linearizable}"
-    );
-    if !within || !linearizable {
+    for (label, r, w, l) in [
+        ("static", &audit, within, linearizable),
+        (
+            "adaptive",
+            &adaptive_audit,
+            adaptive_within,
+            adaptive_linearizable,
+        ),
+    ] {
+        let mean = r.quality.summary.map(|s| s.mean).unwrap_or(0.0);
+        let bound = r.quality.get("rank_bound_policy").unwrap_or(0.0);
+        eprintln!(
+            "{label} rank audit: mean={mean:.1} bound={bound:.1} within={w} linearizable={l}"
+        );
+    }
+    if !within || !linearizable || !adaptive_within || !adaptive_linearizable {
         eprintln!("RANK GUARDRAIL VIOLATED");
         std::process::exit(1);
     }
     if target_gain < TARGET_PCT {
         eprintln!(
             "note: dequeue-heavy improvement {target_gain:.1}% below the {TARGET_PCT}% target on this machine"
+        );
+    }
+    if adaptive_delta.abs() > NOISE_PCT {
+        eprintln!(
+            "note: adaptive stickiness {adaptive_delta:+.1}% vs static (outside the ±{NOISE_PCT}% noise band on this machine)"
         );
     }
 }

@@ -71,4 +71,7 @@ pub use counter::{
     DChoiceCounter, ExactCounter, MultiCounter, MultiCounterBuilder, PendingIncrement,
     RelaxedCounter, ShardedCounter,
 };
-pub use queue::{DeleteMode, MultiQueue, MultiQueueBuilder, RelaxedFifo, Sticky, StickyState};
+pub use queue::{
+    AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, DeleteMode, MqHandle, MultiQueue,
+    MultiQueueBuilder, PolicyCfg, QueueView, RelaxedFifo, Stamped, Sticky, TwoChoice,
+};

@@ -1,14 +1,25 @@
 //! Relaxed concurrent queues (Section 7 of the paper).
 //!
 //! * [`MultiQueue`] — Algorithm 2: `m` lock-protected sequential
-//!   priority queues; enqueue to one random queue, dequeue from the
-//!   apparently-better of two random queues.
+//!   priority queues; a pluggable [`ChoicePolicy`] decides which queue
+//!   each operation touches (fresh two-choice sampling by default).
+//! * [`MqHandle`] — the operational surface: per-thread RNG + policy
+//!   state, the five generic operations, and the orthogonal
+//!   [`stamped`](MqHandle::stamped) history mode.
+//! * [`policy`] — the choice processes: [`TwoChoice`], [`DChoice`],
+//!   [`Sticky`], [`AdaptiveSticky`], plus the declarative
+//!   [`PolicyCfg`].
 //! * [`RelaxedFifo`] — the queue-like façade: priorities are timestamps
 //!   drawn from a [`Clock`](crate::clock::Clock), so dequeues return an
 //!   element among the roughly O(m log m) oldest (Theorem 7.1).
 
 mod multiqueue;
+pub mod policy;
 mod relaxed_fifo;
 
-pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder, Sticky, StickyState};
+pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder, Stamped};
+pub use policy::{
+    AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, PolicyCfg, QueueView, Sticky,
+    TwoChoice,
+};
 pub use relaxed_fifo::RelaxedFifo;

@@ -15,6 +15,27 @@
 //! priorities); [`RelaxedFifo`](crate::queue::RelaxedFifo) adds the
 //! timestamping of the paper's queue semantics on top.
 //!
+//! # Architecture: structure × choice policy × handle
+//!
+//! The paper's guarantee is a property of the **choice process** layered
+//! over the `m` queues, not of one hard-coded method, so the selection
+//! layer is a pluggable [`ChoicePolicy`] (two-choice, d-choice, static
+//! and adaptive stickiness — see [`policy`](crate::queue::policy)).
+//! The shared [`MultiQueue`] holds only the queues and a default
+//! [`PolicyCfg`]; all per-thread state — the RNG and the policy
+//! instance — lives in an [`MqHandle`], the operational surface:
+//!
+//! * [`MqHandle::insert`] / [`MqHandle::dequeue`] /
+//!   [`MqHandle::dequeue_k`] / [`MqHandle::insert_batch`] /
+//!   [`MqHandle::dequeue_batch`] — the five operations;
+//! * [`MqHandle::stamped`] — the orthogonal history mode: the same five
+//!   operations, each drawing an update-point stamp inside its critical
+//!   section for the Section 5 checker, instead of `*_stamped` method
+//!   clones.
+//!
+//! Callers that manage their own RNG (e.g. [`RelaxedFifo`]) use the
+//! [`MultiQueue`] ops directly, passing a policy and generator.
+//!
 //! The `ReadMin` step uses the lock-free hint published by
 //! [`LockedPq`] — by the time the chosen queue is locked, its minimum
 //! may have changed. That is not a bug: the rank analysis (Theorem 7.1)
@@ -24,24 +45,20 @@
 //!
 //! # Hot-path engineering
 //!
-//! Beyond the algorithm itself, the implementation is contention-
-//! engineered:
-//!
 //! * Each [`LockedPq`] packs lock flag, generation and entry count into
 //!   one cache-padded atomic header next to the min hint, so a `ReadMin`
-//!   touches one line and adjacent queues never false-share.
+//!   touches one line and adjacent queues never false-share. The
+//!   generation doubles as the change-rate signal
+//!   [`AdaptiveSticky`](crate::queue::AdaptiveSticky) adapts from.
 //! * Emptiness on the dequeue retry path is gated by a single padded
 //!   global approximate-size counter ([`MultiQueue::approx_size`]); the
 //!   exact O(m) sweep ([`MultiQueue::len`]) runs only to *confirm* an
 //!   empty observation, never per retry.
 //! * Retry loops use [`Backoff`] instead of spinning hot on stale hints.
-//! * A [`Sticky`] policy lets a thread keep its chosen queue for up to
-//!   `s` consecutive same-kind operations (fewer random draws and hint
-//!   reads), and [`MultiQueue::insert_batch`] /
-//!   [`MultiQueue::dequeue_batch`] amortize one lock acquisition and one
-//!   hint publish over a whole batch. Both trade rank quality for
-//!   throughput within the expected O(s·m) envelope — see
-//!   [`Sticky`] for the bound.
+//! * Sticky policies skip random draws and hint reads while camped, and
+//!   the batch operations amortize one lock acquisition and one hint
+//!   publish over a whole batch. Both trade rank quality for throughput
+//!   within the policy's documented envelope (O(s·m) for stickiness).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
@@ -49,6 +66,9 @@ use dlz_pq::locked::EMPTY_HINT;
 use dlz_pq::{Backoff, BinaryHeap, ConcurrentPq, LockedPq, SeqPriorityQueue};
 
 use crate::padded::Padded;
+use crate::queue::policy::{
+    AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, PolicyCfg, QueueView, TwoChoice,
+};
 use crate::rng::{with_thread_rng, Rng64, Xoshiro256};
 
 /// What a dequeue does when its chosen queue is contended.
@@ -62,87 +82,23 @@ pub enum DeleteMode {
     TryLock,
 }
 
-/// Stickiness policy: how many consecutive same-kind operations a
-/// thread keeps its chosen queue for.
-///
-/// With `ops = 1` (the default) every operation draws fresh random
-/// queues — Algorithm 2 as written. With `ops = s > 1` a thread reuses
-/// its last chosen queue for up to `s` consecutive inserts (or
-/// dequeues), skipping the random draws and hint reads in between;
-/// contention or an empty queue voids the stickiness early.
-///
-/// The price is rank quality: while a thread camps on one queue it may
-/// take up to `s` elements in a row from it, so the expected dequeue
-/// rank degrades from O(m) to **O(s·m)** — the same shape of bound as
-/// Theorem 7.1 with the relaxation factor scaled by `s`. The workload
-/// layer's rank metrics verify this envelope empirically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Sticky {
-    /// Consecutive same-kind operations per chosen queue (≥ 1).
-    pub ops: usize,
-}
-
-impl Default for Sticky {
-    fn default() -> Self {
-        Sticky { ops: 1 }
-    }
-}
-
-impl Sticky {
-    /// A policy keeping the chosen queue for `ops` consecutive
-    /// operations; `0` is treated as `1` (no stickiness).
-    pub fn new(ops: usize) -> Self {
-        Sticky { ops: ops.max(1) }
-    }
-
-    /// `true` if the policy actually changes behaviour.
-    pub fn is_active(&self) -> bool {
-        self.ops > 1
-    }
-}
-
-/// Per-thread stickiness state: which queue the thread is camped on and
-/// how many operations of each kind it has left there. Lives outside
-/// the shared [`MultiQueue`] (in a [`MqHandle`] or a worker) so the
-/// queue itself stays `&self`-shared with no thread-local machinery.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StickyState {
-    insert_queue: usize,
-    insert_left: usize,
-    dequeue_queue: usize,
-    dequeue_left: usize,
-}
-
-impl StickyState {
-    /// Fresh state: the first operation of each kind draws a queue.
-    pub fn new() -> Self {
-        StickyState::default()
-    }
-
-    /// Forgets both chosen queues (next ops draw fresh).
-    pub fn reset(&mut self) {
-        *self = StickyState::default();
-    }
-}
-
 /// A relaxed concurrent priority queue over `m` locked sequential queues.
 ///
 /// # Example
 /// ```
-/// use dlz_core::{MultiQueue, DeleteMode};
-/// use dlz_core::rng::Xoshiro256;
+/// use dlz_core::MultiQueue;
 ///
 /// let mq: MultiQueue<&str> = MultiQueue::<&str>::builder().queues(4).build();
-/// let mut rng = Xoshiro256::new(1);
-/// mq.insert_with(&mut rng, 30, "c");
-/// mq.insert_with(&mut rng, 10, "a");
-/// mq.insert_with(&mut rng, 20, "b");
+/// let mut h = mq.handle(1);
+/// h.insert(30, "c");
+/// h.insert(10, "a");
+/// h.insert(20, "b");
 /// // Dequeues come out in *approximately* ascending priority order;
 /// // every element is eventually returned exactly once.
-/// let mut got: Vec<_> = (0..3).map(|_| mq.dequeue_with(&mut rng).unwrap()).collect();
+/// let mut got: Vec<_> = (0..3).map(|_| h.dequeue().unwrap()).collect();
 /// got.sort();
 /// assert_eq!(got, vec![(10, "a"), (20, "b"), (30, "c")]);
-/// assert_eq!(mq.dequeue_with(&mut rng), None);
+/// assert_eq!(h.dequeue(), None);
 /// ```
 #[derive(Debug)]
 pub struct MultiQueue<V, Q = BinaryHeap<u64, V>>
@@ -154,11 +110,20 @@ where
     /// padded), so adjacent queues in this array never false-share.
     queues: Box<[LockedPq<V, Q>]>,
     mode: DeleteMode,
-    sticky: Sticky,
+    /// Default choice policy; every [`handle`](Self::handle) builds its
+    /// own per-handle instance from this config.
+    policy: PolicyCfg,
     /// Padded global approximate size: one relaxed RMW per (batch of)
     /// operation(s). Replaces the O(m) per-queue sweep on the dequeue
     /// retry path; signed so transient reorderings cannot wrap.
     size: Padded<AtomicI64>,
+}
+
+/// Draws a stamp inside the caller's critical section, or 0 when the
+/// operation runs unstamped.
+#[inline]
+fn stamp_of(stamper: Option<&AtomicU64>) -> u64 {
+    stamper.map_or(0, |s| s.fetch_add(1, Ordering::AcqRel))
 }
 
 impl<V: Send> MultiQueue<V> {
@@ -167,7 +132,8 @@ impl<V: Send> MultiQueue<V> {
         MultiQueueBuilder::default()
     }
 
-    /// Creates a MultiQueue with `m` binary-heap queues, strict deletes.
+    /// Creates a MultiQueue with `m` binary-heap queues, strict deletes,
+    /// two-choice policy.
     pub fn new(m: usize) -> Self {
         Self::with_queues(
             (0..m).map(|_| BinaryHeap::new()).collect(),
@@ -182,21 +148,22 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// # Panics
     /// If `queues` is empty.
     pub fn with_queues(queues: Vec<Q>, mode: DeleteMode) -> Self {
-        Self::with_config(queues, mode, Sticky::default())
+        Self::with_config(queues, mode, PolicyCfg::TwoChoice)
     }
 
-    /// Builds from explicit sequential queues, mode and stickiness.
+    /// Builds from explicit sequential queues, mode and default choice
+    /// policy.
     ///
     /// # Panics
     /// If `queues` is empty.
-    pub fn with_config(queues: Vec<Q>, mode: DeleteMode, sticky: Sticky) -> Self {
+    pub fn with_config(queues: Vec<Q>, mode: DeleteMode, policy: PolicyCfg) -> Self {
         assert!(!queues.is_empty(), "MultiQueue needs at least one queue");
         let queues: Box<[LockedPq<V, Q>]> = queues.into_iter().map(LockedPq::new).collect();
         let size: i64 = queues.iter().map(|q| q.approx_len() as i64).sum();
         MultiQueue {
             queues,
             mode,
-            sticky,
+            policy,
             size: Padded::new(AtomicI64::new(size)),
         }
     }
@@ -211,9 +178,16 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         self.mode
     }
 
-    /// The configured stickiness policy.
-    pub fn sticky(&self) -> Sticky {
-        self.sticky
+    /// The structure's default choice policy (what [`handle`](Self::handle)
+    /// builds instances from).
+    pub fn policy(&self) -> PolicyCfg {
+        self.policy
+    }
+
+    /// A deterministic operating handle using the structure's default
+    /// policy. Equivalent to [`MqHandle::new`].
+    pub fn handle(&self, seed: u64) -> MqHandle<'_, V, Q, AnyPolicy> {
+        MqHandle::new(self, seed)
     }
 
     /// Total entries across queues, via an O(m) sweep of the per-queue
@@ -258,101 +232,39 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         (self.size.load(Ordering::Relaxed) <= 0 || backoff.is_yielding()) && self.is_empty()
     }
 
-    /// One two-choice sample (Algorithm 2's `ReadMin` pair): the chosen
-    /// queue index, or `None` when both sampled hints read empty.
-    /// `if pi > pj: i = j` — ties stay with `i`.
-    #[inline]
-    fn pick_two(&self, rng: &mut impl Rng64) -> Option<usize> {
-        let m = self.queues.len() as u64;
-        let i = rng.bounded(m) as usize;
-        let j = rng.bounded(m) as usize;
-        let hi = self.queues[i].min_hint();
-        let hj = self.queues[j].min_hint();
-        if hi == EMPTY_HINT && hj == EMPTY_HINT {
-            return None;
-        }
-        Some(if hi <= hj { i } else { j })
+    // -----------------------------------------------------------------
+    // The five generic operations. Each takes the caller's policy and
+    // generator; `MqHandle` packages those and is the usual way in.
+    // -----------------------------------------------------------------
+
+    /// Enqueue: the policy picks the queue (Algorithm 2's Enqueue with
+    /// [`TwoChoice`]).
+    pub fn insert(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+    ) {
+        self.insert_one(policy, rng, priority, value, None);
     }
 
-    /// Enqueue with an explicit generator (Algorithm 2's Enqueue, with
-    /// the priority supplied by the caller).
-    pub fn insert_with(&self, rng: &mut impl Rng64, priority: u64, value: V) {
-        let m = self.queues.len() as u64;
-        match self.mode {
-            DeleteMode::Strict => {
-                let i = rng.bounded(m) as usize;
-                self.queues[i].insert(priority, value);
-            }
-            DeleteMode::TryLock => {
-                let mut p = priority;
-                let mut v = value;
-                loop {
-                    let i = rng.bounded(m) as usize;
-                    match self.queues[i].try_insert(p, v) {
-                        Ok(()) => break,
-                        Err((rp, rv)) => {
-                            p = rp;
-                            v = rv;
-                        }
-                    }
-                }
-            }
-        }
-        self.note_inserted(1);
-    }
-
-    /// Dequeue with an explicit generator (Algorithm 2's Dequeue).
+    /// Dequeue: the policy picks the queue (Algorithm 2's Dequeue with
+    /// [`TwoChoice`]).
     ///
     /// Returns `None` only after observing a globally empty structure;
     /// with concurrent enqueuers a `None` means "empty at some sample
     /// point", the strongest statement a relaxed queue can make.
-    pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
-        self.dequeue_tracked(rng).map(|(_, out)| out)
+    pub fn dequeue(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+    ) -> Option<(u64, V)> {
+        self.dequeue_one(policy, rng, None).map(|(p, v, _)| (p, v))
     }
 
-    /// The dequeue retry loop, reporting which queue served the entry
-    /// (so sticky callers can camp on it).
-    fn dequeue_tracked(&self, rng: &mut impl Rng64) -> Option<(usize, (u64, V))> {
-        let mut backoff = Backoff::new();
-        loop {
-            if self.confirmed_empty(&backoff) {
-                return None;
-            }
-            let Some(k) = self.pick_two(rng) else {
-                backoff.snooze();
-                continue;
-            };
-            match self.mode {
-                DeleteMode::Strict => {
-                    if let Some(out) = self.queues[k].remove_min() {
-                        self.note_removed(1);
-                        return Some((k, out));
-                    }
-                    // Stale hint and a now-empty queue: back off rather
-                    // than hammering the hint lines.
-                    backoff.snooze();
-                }
-                DeleteMode::TryLock => match self.queues[k].try_remove_min() {
-                    Ok(Some(out)) => {
-                        self.note_removed(1);
-                        return Some((k, out));
-                    }
-                    Ok(None) => backoff.snooze(), // stale hint
-                    Err(dlz_pq::locked::Contended) => {
-                        // Redraw is the point of this mode; the snooze
-                        // is near-free at first and escalates to
-                        // yielding under sustained contention so the
-                        // lock holder gets CPU (vital when
-                        // oversubscribed).
-                        backoff.snooze();
-                    }
-                },
-            }
-        }
-    }
-
-    /// Dequeue sampling the best of `k` queues instead of 2 — the
-    /// d-choice generalization from the MultiQueue literature. `k = 1`
+    /// Dequeue sampling the best of `k` queues — a one-off
+    /// [`DChoice`] draw regardless of the caller's policy. `k = 1`
     /// removes from a single random queue (rank relaxation degrades to
     /// the divergent single-choice regime); `k = 2` is Algorithm 2;
     /// larger `k` tightens the rank distribution at the price of `k`
@@ -360,155 +272,177 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     ///
     /// # Panics
     /// If `k == 0`.
-    pub fn dequeue_k_with(&self, rng: &mut impl Rng64, k: usize) -> Option<(u64, V)> {
+    pub fn dequeue_k(&self, rng: &mut impl Rng64, k: usize) -> Option<(u64, V)> {
         assert!(k >= 1, "need at least one choice");
-        let m = self.queues.len() as u64;
-        let mut backoff = Backoff::new();
+        self.dequeue_one(&mut DChoice::new(k), rng, None)
+            .map(|(p, v, _)| (p, v))
+    }
+
+    /// Inserts a whole batch into one policy-chosen queue under a
+    /// single lock acquisition, with a single hint publish and one
+    /// global-counter update. Returns the number of items inserted.
+    ///
+    /// The batch counts as *one* operation for camping policies; its
+    /// rank effect is like stickiness with `s = batch` (the batch lands
+    /// in one queue), degrading within the same O(s·m) envelope.
+    pub fn insert_batch(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        items: impl IntoIterator<Item = (u64, V)>,
+    ) -> usize {
+        self.insert_batch_inner(policy, rng, items, None)
+    }
+
+    /// Removes up to `max` entries from one policy-chosen queue under a
+    /// single lock acquisition, appending them to `out` in ascending
+    /// (per-queue) priority order. Returns the number taken.
+    ///
+    /// Returns `0` only after observing a globally empty structure —
+    /// the same emptiness contract as [`dequeue`](Self::dequeue).
+    pub fn dequeue_batch(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        max: usize,
+        out: &mut Vec<(u64, V)>,
+    ) -> usize {
+        self.dequeue_batch_inner(policy, rng, max, None, |p, v, _| out.push((p, v)))
+    }
+
+    // -----------------------------------------------------------------
+    // Deprecated Algorithm-2 shims (the pre-policy entry points).
+    // -----------------------------------------------------------------
+
+    /// Enqueue with an explicit generator, fresh two-choice sampling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `insert(&mut TwoChoice, rng, ...)` or an `MqHandle`"
+    )]
+    pub fn insert_with(&self, rng: &mut impl Rng64, priority: u64, value: V) {
+        self.insert(&mut TwoChoice, rng, priority, value);
+    }
+
+    /// Dequeue with an explicit generator, fresh two-choice sampling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `dequeue(&mut TwoChoice, rng)` or an `MqHandle`"
+    )]
+    pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
+        self.dequeue(&mut TwoChoice, rng)
+    }
+
+    // -----------------------------------------------------------------
+    // Internals: one implementation per operation, stamped or not.
+    // -----------------------------------------------------------------
+
+    /// The insert path. When `stamper` is given, the stamp is drawn
+    /// *inside the queue's critical section*, i.e. at the operation's
+    /// linearization point in the underlying linearizable queue, and
+    /// returned (0 otherwise).
+    fn insert_one(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+        stamper: Option<&AtomicU64>,
+    ) -> u64 {
         loop {
-            if self.confirmed_empty(&backoff) {
-                return None;
-            }
-            // Best hint among k samples (ties keep the earlier draw).
-            let mut best = rng.bounded(m) as usize;
-            let mut best_hint = self.queues[best].min_hint();
-            for _ in 1..k {
-                let c = rng.bounded(m) as usize;
-                let h = self.queues[c].min_hint();
-                if h < best_hint {
-                    best = c;
-                    best_hint = h;
-                }
-            }
-            if best_hint == EMPTY_HINT {
-                backoff.snooze();
-                continue;
-            }
+            let i = policy.choose_insert(rng, self);
             match self.mode {
                 DeleteMode::Strict => {
-                    if let Some(out) = self.queues[best].remove_min() {
-                        self.note_removed(1);
-                        return Some(out);
-                    }
-                    backoff.snooze();
+                    let stamp = {
+                        let mut g = self.queues[i].lock();
+                        g.add(priority, value);
+                        stamp_of(stamper)
+                    };
+                    self.note_inserted(1);
+                    policy.on_success(ChoiceOp::Insert, i, self);
+                    return stamp;
                 }
-                DeleteMode::TryLock => match self.queues[best].try_remove_min() {
-                    Ok(Some(out)) => {
-                        self.note_removed(1);
-                        return Some(out);
+                DeleteMode::TryLock => match self.queues[i].try_lock() {
+                    Some(mut g) => {
+                        g.add(priority, value);
+                        let stamp = stamp_of(stamper);
+                        drop(g);
+                        self.note_inserted(1);
+                        policy.on_success(ChoiceOp::Insert, i, self);
+                        return stamp;
                     }
-                    Ok(None) => backoff.snooze(),
-                    // Redraw after a near-free snooze that escalates to
-                    // yielding under sustained contention (see
-                    // dequeue_tracked).
-                    Err(dlz_pq::locked::Contended) => backoff.snooze(),
+                    // Contention voids any camp; the next choice draws
+                    // elsewhere (redraw is this mode's point).
+                    None => policy.on_contention(ChoiceOp::Insert, i),
                 },
             }
         }
     }
 
-    /// Sticky enqueue: keeps the queue chosen by `state` for up to
-    /// `sticky.ops` consecutive inserts (one random draw per `s` ops).
-    /// Falls back to [`insert_with`](Self::insert_with) when the policy
-    /// is inactive. In `TryLock` mode contention voids the stickiness
-    /// and redraws.
-    pub fn insert_sticky(
+    /// The dequeue retry loop (stamp drawn inside the critical section
+    /// when `stamper` is given; third tuple field is 0 otherwise).
+    fn dequeue_one(
         &self,
-        state: &mut StickyState,
+        policy: &mut impl ChoicePolicy,
         rng: &mut impl Rng64,
-        priority: u64,
-        value: V,
-    ) {
-        let s = self.sticky.ops;
-        if s <= 1 {
-            return self.insert_with(rng, priority, value);
-        }
-        let m = self.queues.len() as u64;
-        if state.insert_left == 0 {
-            state.insert_queue = rng.bounded(m) as usize;
-            state.insert_left = s;
-        }
-        state.insert_left -= 1;
-        match self.mode {
-            DeleteMode::Strict => {
-                self.queues[state.insert_queue].insert(priority, value);
+        stamper: Option<&AtomicU64>,
+    ) -> Option<(u64, V, u64)> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.confirmed_empty(&backoff) {
+                return None;
             }
-            DeleteMode::TryLock => {
-                let mut p = priority;
-                let mut v = value;
-                loop {
-                    match self.queues[state.insert_queue].try_insert(p, v) {
-                        Ok(()) => break,
-                        Err((rp, rv)) => {
-                            p = rp;
-                            v = rv;
-                            // Contention voids the stickiness: redraw
-                            // and camp on the new queue instead.
-                            state.insert_queue = rng.bounded(m) as usize;
-                        }
-                    }
+            let Some(k) = policy.choose_dequeue(rng, self) else {
+                backoff.snooze();
+                continue;
+            };
+            let attempt = match self.mode {
+                DeleteMode::Strict => {
+                    let mut g = self.queues[k].lock();
+                    Some(g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))
+                }
+                DeleteMode::TryLock => self.queues[k]
+                    .try_lock()
+                    .map(|mut g| g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper)))),
+            };
+            match attempt {
+                Some(Some(out)) => {
+                    self.note_removed(1);
+                    policy.on_success(ChoiceOp::Dequeue, k, self);
+                    return Some(out);
+                }
+                // Stale hint / drained camp (`Some(None)`) or contended
+                // lock (`None`): void any camp and back off rather than
+                // hammering the hint lines — the snooze is near-free at
+                // first and escalates to yielding under sustained
+                // contention so lock holders get CPU (vital when
+                // oversubscribed).
+                _ => {
+                    policy.on_contention(ChoiceOp::Dequeue, k);
+                    backoff.snooze();
                 }
             }
         }
-        self.note_inserted(1);
     }
 
-    /// Sticky dequeue: keeps the last successful queue for up to
-    /// `sticky.ops` consecutive dequeues, skipping the two hint reads
-    /// and random draws in between. An empty or contended sticky queue
-    /// voids the stickiness and falls back to the two-choice loop.
-    /// Rank degrades within the O(s·m) envelope documented on
-    /// [`Sticky`].
-    pub fn dequeue_sticky(
+    /// The batch-insert path: one lock acquisition, one hint publish,
+    /// one counter update; per-item stamps when `stamped` is given.
+    fn insert_batch_inner(
         &self,
-        state: &mut StickyState,
-        rng: &mut impl Rng64,
-    ) -> Option<(u64, V)> {
-        let s = self.sticky.ops;
-        if s <= 1 {
-            return self.dequeue_with(rng);
-        }
-        if state.dequeue_left > 0 {
-            state.dequeue_left -= 1;
-            let q = &self.queues[state.dequeue_queue];
-            let got = match self.mode {
-                DeleteMode::Strict => q.remove_min(),
-                // Err(Contended) → None: abandon the sticky queue.
-                DeleteMode::TryLock => q.try_remove_min().unwrap_or_default(),
-            };
-            if let Some(out) = got {
-                self.note_removed(1);
-                return Some(out);
-            }
-            state.dequeue_left = 0;
-        }
-        let (k, out) = self.dequeue_tracked(rng)?;
-        state.dequeue_queue = k;
-        state.dequeue_left = s - 1;
-        Some(out)
-    }
-
-    /// Inserts a whole batch into one randomly chosen queue under a
-    /// single lock acquisition, with a single hint publish and one
-    /// global-counter update. Returns the number of items inserted.
-    ///
-    /// Rank effect: like stickiness with `s = batch`, the batch lands
-    /// in one queue, so dequeue rank degrades within the same O(s·m)
-    /// envelope.
-    pub fn insert_batch(
-        &self,
+        policy: &mut impl ChoicePolicy,
         rng: &mut impl Rng64,
         items: impl IntoIterator<Item = (u64, V)>,
+        mut stamped: Option<(&AtomicU64, &mut Vec<u64>)>,
     ) -> usize {
-        let m = self.queues.len() as u64;
-        let mut guard = match self.mode {
-            DeleteMode::Strict => self.queues[rng.bounded(m) as usize].lock(),
-            DeleteMode::TryLock => {
-                let mut backoff = Backoff::new();
-                loop {
-                    let i = rng.bounded(m) as usize;
+        let mut backoff = Backoff::new();
+        let (i, mut guard) = loop {
+            let i = policy.choose_insert(rng, self);
+            match self.mode {
+                DeleteMode::Strict => break (i, self.queues[i].lock()),
+                DeleteMode::TryLock => {
                     if let Some(g) = self.queues[i].try_lock() {
-                        break g;
+                        break (i, g);
                     }
+                    policy.on_contention(ChoiceOp::Insert, i);
                     backoff.snooze();
                 }
             }
@@ -516,24 +450,28 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         let mut n = 0usize;
         for (p, v) in items {
             guard.add(p, v);
+            if let Some((stamper, stamps)) = stamped.as_mut() {
+                stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
+            }
             n += 1;
         }
         drop(guard); // publishes hint + count once
         self.note_inserted(n);
+        if n > 0 {
+            policy.on_success(ChoiceOp::Insert, i, self);
+        }
         n
     }
 
-    /// Removes up to `max` entries from one two-choice-selected queue
-    /// under a single lock acquisition, appending them to `out` in
-    /// ascending (per-queue) priority order. Returns the number taken.
-    ///
-    /// Returns `0` only after observing a globally empty structure —
-    /// the same emptiness contract as [`dequeue_with`](Self::dequeue_with).
-    pub fn dequeue_batch(
+    /// The batch-dequeue path; `sink` receives `(priority, value,
+    /// stamp)` per entry (stamp 0 when unstamped).
+    fn dequeue_batch_inner(
         &self,
+        policy: &mut impl ChoicePolicy,
         rng: &mut impl Rng64,
         max: usize,
-        out: &mut Vec<(u64, V)>,
+        stamper: Option<&AtomicU64>,
+        mut sink: impl FnMut(u64, V, u64),
     ) -> usize {
         if max == 0 {
             return 0;
@@ -543,7 +481,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             if self.confirmed_empty(&backoff) {
                 return 0;
             }
-            let Some(k) = self.pick_two(rng) else {
+            let Some(k) = policy.choose_dequeue(rng, self) else {
                 backoff.snooze();
                 continue;
             };
@@ -552,14 +490,15 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 DeleteMode::TryLock => self.queues[k].try_lock(),
             };
             let Some(mut g) = guard else {
+                policy.on_contention(ChoiceOp::Dequeue, k);
                 backoff.snooze();
                 continue;
             };
             let mut n = 0usize;
             while n < max {
                 match g.delete_min() {
-                    Some(e) => {
-                        out.push(e);
+                    Some((p, v)) => {
+                        sink(p, v, stamp_of(stamper));
                         n += 1;
                     }
                     None => break,
@@ -568,138 +507,12 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             drop(g); // single hint publish for the whole batch
             if n > 0 {
                 self.note_removed(n);
+                policy.on_success(ChoiceOp::Dequeue, k, self);
                 return n;
             }
+            policy.on_contention(ChoiceOp::Dequeue, k);
             backoff.snooze(); // stale hint
         }
-    }
-
-    /// Enqueue, stamping the operation's update point.
-    ///
-    /// The stamp is drawn from `stamper` *inside the queue's critical
-    /// section*, i.e. at the operation's linearization point in the
-    /// underlying linearizable queue. The distributional-linearizability
-    /// checker replays histories in stamp order (Definition 5.2's
-    /// mapping).
-    pub fn insert_stamped(
-        &self,
-        rng: &mut impl Rng64,
-        priority: u64,
-        value: V,
-        stamper: &AtomicU64,
-    ) -> u64 {
-        let m = self.queues.len() as u64;
-        let i = rng.bounded(m) as usize;
-        let stamp = self.queues[i].with_locked(|q| {
-            q.add(priority, value);
-            stamper.fetch_add(1, Ordering::AcqRel)
-        });
-        self.note_inserted(1);
-        stamp
-    }
-
-    /// Dequeue, stamping the operation's update point (see
-    /// [`insert_stamped`](Self::insert_stamped)).
-    pub fn dequeue_stamped(
-        &self,
-        rng: &mut impl Rng64,
-        stamper: &AtomicU64,
-    ) -> Option<(u64, V, u64)> {
-        self.dequeue_stamped_tracked(rng, stamper)
-            .map(|(_, out)| out)
-    }
-
-    fn dequeue_stamped_tracked(
-        &self,
-        rng: &mut impl Rng64,
-        stamper: &AtomicU64,
-    ) -> Option<(usize, (u64, V, u64))> {
-        let mut backoff = Backoff::new();
-        loop {
-            if self.confirmed_empty(&backoff) {
-                return None;
-            }
-            let Some(k) = self.pick_two(rng) else {
-                backoff.snooze();
-                continue;
-            };
-            let out = self.queues[k].with_locked(|q| {
-                q.delete_min().map(|(p, v)| {
-                    let s = stamper.fetch_add(1, Ordering::AcqRel);
-                    (p, v, s)
-                })
-            });
-            match out {
-                Some(t) => {
-                    self.note_removed(1);
-                    return Some((k, t));
-                }
-                None => backoff.snooze(),
-            }
-        }
-    }
-
-    /// Sticky variant of [`insert_stamped`](Self::insert_stamped):
-    /// identical stamping discipline, queue chosen by the sticky
-    /// policy. Behaves exactly like `insert_stamped` when the policy is
-    /// inactive, so history-recording workers can call it
-    /// unconditionally.
-    pub fn insert_sticky_stamped(
-        &self,
-        state: &mut StickyState,
-        rng: &mut impl Rng64,
-        priority: u64,
-        value: V,
-        stamper: &AtomicU64,
-    ) -> u64 {
-        let s = self.sticky.ops;
-        if s <= 1 {
-            return self.insert_stamped(rng, priority, value, stamper);
-        }
-        let m = self.queues.len() as u64;
-        if state.insert_left == 0 {
-            state.insert_queue = rng.bounded(m) as usize;
-            state.insert_left = s;
-        }
-        state.insert_left -= 1;
-        let stamp = self.queues[state.insert_queue].with_locked(|q| {
-            q.add(priority, value);
-            stamper.fetch_add(1, Ordering::AcqRel)
-        });
-        self.note_inserted(1);
-        stamp
-    }
-
-    /// Sticky variant of [`dequeue_stamped`](Self::dequeue_stamped)
-    /// (see [`dequeue_sticky`](Self::dequeue_sticky) for the policy).
-    pub fn dequeue_sticky_stamped(
-        &self,
-        state: &mut StickyState,
-        rng: &mut impl Rng64,
-        stamper: &AtomicU64,
-    ) -> Option<(u64, V, u64)> {
-        let s = self.sticky.ops;
-        if s <= 1 {
-            return self.dequeue_stamped(rng, stamper);
-        }
-        if state.dequeue_left > 0 {
-            state.dequeue_left -= 1;
-            let out = self.queues[state.dequeue_queue].with_locked(|q| {
-                q.delete_min().map(|(p, v)| {
-                    let st = stamper.fetch_add(1, Ordering::AcqRel);
-                    (p, v, st)
-                })
-            });
-            if out.is_some() {
-                self.note_removed(1);
-                return out;
-            }
-            state.dequeue_left = 0;
-        }
-        let (k, out) = self.dequeue_stamped_tracked(rng, stamper)?;
-        state.dequeue_queue = k;
-        state.dequeue_left = s - 1;
-        Some(out)
     }
 
     /// Drains everything into a sorted vector (sequential; for tests).
@@ -716,15 +529,22 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         out.sort_by_key(|(p, _)| *p);
         out
     }
+}
 
-    /// Convenience enqueue using the thread-local generator.
-    pub fn insert(&self, priority: u64, value: V) {
-        with_thread_rng(|rng| self.insert_with(rng, priority, value));
+/// Policies observe the structure through this read-only view: hint
+/// reads are Algorithm 2's lock-free `ReadMin`, and the generation is
+/// the packed header's change-rate signal.
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> QueueView for MultiQueue<V, Q> {
+    fn num_queues(&self) -> usize {
+        self.queues.len()
     }
 
-    /// Convenience dequeue using the thread-local generator.
-    pub fn dequeue(&self) -> Option<(u64, V)> {
-        with_thread_rng(|rng| self.dequeue_with(rng))
+    fn queue_hint(&self, i: usize) -> u64 {
+        self.queues[i].min_hint()
+    }
+
+    fn queue_generation(&self, i: usize) -> Option<u64> {
+        self.queues[i].generation()
     }
 }
 
@@ -732,14 +552,14 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
 /// into any code written against [`ConcurrentPq`] (e.g. the SSSP
 /// example uses the exact [`CoarsePq`](dlz_pq::CoarsePq) and the
 /// MultiQueue interchangeably). Randomness comes from the thread-local
-/// generator.
+/// generator; the choice process is fresh two-choice sampling.
 impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for MultiQueue<V, Q> {
     fn insert(&self, priority: u64, value: V) {
-        MultiQueue::insert(self, priority, value);
+        with_thread_rng(|rng| MultiQueue::insert(self, &mut TwoChoice, rng, priority, value));
     }
 
     fn remove_min(&self) -> Option<(u64, V)> {
-        self.dequeue()
+        with_thread_rng(|rng| MultiQueue::dequeue(self, &mut TwoChoice, rng))
     }
 
     fn min_hint(&self) -> u64 {
@@ -762,7 +582,7 @@ pub struct MultiQueueBuilder {
     ratio: Option<usize>,
     threads: Option<usize>,
     mode: DeleteMode,
-    sticky: Option<usize>,
+    policy: PolicyCfg,
     seed: Option<u64>,
 }
 
@@ -791,10 +611,12 @@ impl MultiQueueBuilder {
         self
     }
 
-    /// Sets the stickiness in consecutive same-kind ops per chosen
-    /// queue (default 1 = no stickiness; see [`Sticky`]).
-    pub fn sticky(mut self, ops: usize) -> Self {
-        self.sticky = Some(ops);
+    /// Sets the default choice policy (default
+    /// [`PolicyCfg::TwoChoice`]); handles built from the structure
+    /// inherit it, and [`MqHandle::with_policy`] overrides it per
+    /// handle.
+    pub fn policy(mut self, policy: PolicyCfg) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -821,63 +643,221 @@ impl MultiQueueBuilder {
         MultiQueue::with_config(
             (0..m).map(|_| BinaryHeap::new()).collect(),
             self.mode,
-            Sticky::new(self.sticky.unwrap_or(1)),
+            self.policy,
         )
     }
 }
 
-/// A deterministic handle: a MultiQueue reference plus a private RNG
-/// and the thread's [`StickyState`]. Convenient for per-thread use in
-/// benchmarks — `insert`/`dequeue` honour the queue's sticky policy
-/// automatically.
-pub struct MqHandle<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send = BinaryHeap<u64, V>> {
+/// The MultiQueue's operational surface: a structure reference plus the
+/// per-thread state the choice process needs — a private seeded RNG and
+/// a [`ChoicePolicy`] instance.
+///
+/// [`MqHandle::new`] builds the structure's default policy (runtime
+/// dispatched [`AnyPolicy`]); [`MqHandle::with_policy`] overrides it
+/// with any concrete policy, monomorphized — per-handle policies by
+/// construction, no thread-local machinery.
+///
+/// # Example
+/// ```
+/// use dlz_core::queue::{MqHandle, MultiQueue, Sticky};
+///
+/// let mq: MultiQueue<u64> = MultiQueue::new(8);
+/// // This handle camps on its chosen queues for 4 same-kind ops...
+/// let mut sticky = MqHandle::with_policy(&mq, 1, Sticky::new(4));
+/// // ...while this one keeps the structure's fresh two-choice default.
+/// let mut fresh = mq.handle(2);
+/// sticky.insert(10, 10);
+/// assert_eq!(fresh.dequeue(), Some((10, 10)));
+/// ```
+pub struct MqHandle<'a, V, Q = BinaryHeap<u64, V>, P = AnyPolicy>
+where
+    V: Send,
+    Q: SeqPriorityQueue<u64, V> + Send,
+    P: ChoicePolicy,
+{
     mq: &'a MultiQueue<V, Q>,
     rng: Xoshiro256,
-    sticky: StickyState,
+    policy: P,
 }
 
-impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q> {
-    /// Creates a handle with its own seeded generator.
+impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q, AnyPolicy> {
+    /// Creates a handle with its own seeded generator and an instance
+    /// of the structure's default policy.
     pub fn new(mq: &'a MultiQueue<V, Q>, seed: u64) -> Self {
+        MqHandle::with_policy(mq, seed, mq.policy().build())
+    }
+}
+
+impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> MqHandle<'a, V, Q, P> {
+    /// Creates a handle with its own seeded generator and an explicit
+    /// per-handle policy (overriding the structure's default).
+    pub fn with_policy(mq: &'a MultiQueue<V, Q>, seed: u64, policy: P) -> Self {
         MqHandle {
             mq,
             rng: Xoshiro256::new(seed),
-            sticky: StickyState::new(),
+            policy,
         }
     }
 
-    /// Enqueue through the handle (sticky-aware).
+    /// The underlying structure.
+    pub fn multiqueue(&self) -> &'a MultiQueue<V, Q> {
+        self.mq
+    }
+
+    /// The handle's policy instance (e.g. to read an adaptive policy's
+    /// observed stickiness after a run).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Enqueue through the handle's policy.
     pub fn insert(&mut self, priority: u64, value: V) {
         self.mq
-            .insert_sticky(&mut self.sticky, &mut self.rng, priority, value);
+            .insert(&mut self.policy, &mut self.rng, priority, value);
     }
 
-    /// Dequeue through the handle (sticky-aware).
+    /// Dequeue through the handle's policy (see
+    /// [`MultiQueue::dequeue`] for the emptiness contract).
     pub fn dequeue(&mut self) -> Option<(u64, V)> {
-        self.mq.dequeue_sticky(&mut self.sticky, &mut self.rng)
+        self.mq.dequeue(&mut self.policy, &mut self.rng)
     }
 
-    /// Batch enqueue through the handle (one lock acquisition).
+    /// Dequeue sampling the best of `k` queues, regardless of the
+    /// handle's policy (see [`MultiQueue::dequeue_k`]).
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn dequeue_k(&mut self, k: usize) -> Option<(u64, V)> {
+        self.mq.dequeue_k(&mut self.rng, k)
+    }
+
+    /// Batch enqueue under one lock acquisition (see
+    /// [`MultiQueue::insert_batch`]).
     pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (u64, V)>) -> usize {
-        self.mq.insert_batch(&mut self.rng, items)
+        self.mq.insert_batch(&mut self.policy, &mut self.rng, items)
     }
 
-    /// Batch dequeue through the handle (one lock acquisition).
+    /// Batch dequeue under one lock acquisition (see
+    /// [`MultiQueue::dequeue_batch`]).
     pub fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, V)>) -> usize {
-        self.mq.dequeue_batch(&mut self.rng, max, out)
+        self.mq
+            .dequeue_batch(&mut self.policy, &mut self.rng, max, out)
+    }
+
+    /// Switches the handle into **history mode**: the same five
+    /// operations, each drawing an update-point stamp from `stamper`
+    /// inside its critical section — i.e. at the operation's
+    /// linearization point in the underlying linearizable queue. The
+    /// distributional-linearizability checker replays histories in
+    /// stamp order (Definition 5.2's mapping).
+    ///
+    /// # Example
+    /// ```
+    /// use std::sync::atomic::AtomicU64;
+    /// use dlz_core::MultiQueue;
+    ///
+    /// let mq: MultiQueue<u64> = MultiQueue::new(4);
+    /// let stamper = AtomicU64::new(0);
+    /// let mut h = mq.handle(7);
+    /// let s0 = h.stamped(&stamper).insert(10, 10);
+    /// let (p, _, s1) = h.stamped(&stamper).dequeue().unwrap();
+    /// assert_eq!(p, 10);
+    /// assert!(s1 > s0);
+    /// ```
+    pub fn stamped<'s>(&'s mut self, stamper: &'s AtomicU64) -> Stamped<'s, 'a, V, Q, P> {
+        Stamped {
+            handle: self,
+            stamper,
+        }
+    }
+}
+
+/// The handle's history mode — see [`MqHandle::stamped`]. Same policy,
+/// same RNG, same five operations; every operation returns the update
+/// stamp drawn inside its critical section.
+pub struct Stamped<'s, 'a, V, Q = BinaryHeap<u64, V>, P = AnyPolicy>
+where
+    V: Send,
+    Q: SeqPriorityQueue<u64, V> + Send,
+    P: ChoicePolicy,
+{
+    handle: &'s mut MqHandle<'a, V, Q, P>,
+    stamper: &'s AtomicU64,
+}
+
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '_, V, Q, P> {
+    /// Stamped enqueue; returns the update stamp.
+    pub fn insert(&mut self, priority: u64, value: V) -> u64 {
+        self.handle.mq.insert_one(
+            &mut self.handle.policy,
+            &mut self.handle.rng,
+            priority,
+            value,
+            Some(self.stamper),
+        )
+    }
+
+    /// Stamped dequeue; returns `(priority, value, update stamp)`.
+    pub fn dequeue(&mut self) -> Option<(u64, V, u64)> {
+        self.handle.mq.dequeue_one(
+            &mut self.handle.policy,
+            &mut self.handle.rng,
+            Some(self.stamper),
+        )
+    }
+
+    /// Stamped best-of-`k` dequeue (see [`MqHandle::dequeue_k`]).
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn dequeue_k(&mut self, k: usize) -> Option<(u64, V, u64)> {
+        assert!(k >= 1, "need at least one choice");
+        self.handle.mq.dequeue_one(
+            &mut DChoice::new(k),
+            &mut self.handle.rng,
+            Some(self.stamper),
+        )
+    }
+
+    /// Stamped batch enqueue: one lock acquisition, one stamp per item
+    /// (pushed onto `stamps` in insertion order). Returns the count.
+    pub fn insert_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (u64, V)>,
+        stamps: &mut Vec<u64>,
+    ) -> usize {
+        self.handle.mq.insert_batch_inner(
+            &mut self.handle.policy,
+            &mut self.handle.rng,
+            items,
+            Some((self.stamper, stamps)),
+        )
+    }
+
+    /// Stamped batch dequeue: one lock acquisition, one stamp per
+    /// entry, appended to `out` as `(priority, value, stamp)`.
+    pub fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, V, u64)>) -> usize {
+        self.handle.mq.dequeue_batch_inner(
+            &mut self.handle.policy,
+            &mut self.handle.rng,
+            max,
+            Some(self.stamper),
+            |p, v, s| out.push((p, v, s)),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::policy::{AdaptiveSticky, Sticky};
     use std::sync::Arc;
 
     #[test]
     fn empty_queue_returns_none() {
         let mq: MultiQueue<u32> = MultiQueue::new(4);
-        let mut rng = Xoshiro256::new(1);
-        assert_eq!(mq.dequeue_with(&mut rng), None);
+        let mut h = mq.handle(1);
+        assert_eq!(h.dequeue(), None);
         assert!(mq.is_empty());
         assert_eq!(mq.approx_size(), 0);
     }
@@ -885,14 +865,14 @@ mod tests {
     #[test]
     fn conservation_sequential() {
         let mq: MultiQueue<u64> = MultiQueue::new(8);
-        let mut rng = Xoshiro256::new(2);
+        let mut h = mq.handle(2);
         for p in 0..1000u64 {
-            mq.insert_with(&mut rng, p, p * 10);
+            h.insert(p, p * 10);
         }
         assert_eq!(mq.len(), 1000);
         assert_eq!(mq.approx_size(), 1000);
         let mut out = Vec::new();
-        while let Some((p, v)) = mq.dequeue_with(&mut rng) {
+        while let Some((p, v)) = h.dequeue() {
             assert_eq!(v, p * 10);
             out.push(p);
         }
@@ -907,12 +887,11 @@ mod tests {
         // m = 1: both choices are the same queue, so dequeues are the
         // true minimum — the structure degenerates to an exact PQ.
         let mq: MultiQueue<()> = MultiQueue::new(1);
-        let mut rng = Xoshiro256::new(3);
+        let mut h = mq.handle(3);
         for p in [5u64, 2, 9, 1, 7] {
-            mq.insert_with(&mut rng, p, ());
+            h.insert(p, ());
         }
-        let drained: Vec<u64> =
-            std::iter::from_fn(|| mq.dequeue_with(&mut rng).map(|(p, _)| p)).collect();
+        let drained: Vec<u64> = std::iter::from_fn(|| h.dequeue().map(|(p, _)| p)).collect();
         assert_eq!(drained, vec![1, 2, 5, 7, 9]);
     }
 
@@ -922,16 +901,16 @@ mod tests {
         // multiple. (Statistical, deterministic seed.)
         let m = 8usize;
         let mq: MultiQueue<()> = MultiQueue::new(m);
-        let mut rng = Xoshiro256::new(4);
+        let mut h = mq.handle(4);
         let n = 10_000u64;
         for p in 0..n {
-            mq.insert_with(&mut rng, p, ());
+            h.insert(p, ());
         }
         use std::collections::BTreeSet;
         let mut present: BTreeSet<u64> = (0..n).collect();
         let mut max_rank = 0usize;
         for _ in 0..n {
-            let (p, ()) = mq.dequeue_with(&mut rng).unwrap();
+            let (p, ()) = h.dequeue().unwrap();
             let rank = present.range(..p).count();
             max_rank = max_rank.max(rank);
             present.remove(&p);
@@ -946,12 +925,12 @@ mod tests {
             (0..4).map(|_| BinaryHeap::new()).collect(),
             DeleteMode::TryLock,
         );
-        let mut rng = Xoshiro256::new(5);
+        let mut h = mq.handle(5);
         for p in 0..500u64 {
-            mq.insert_with(&mut rng, p, p);
+            h.insert(p, p);
         }
         let mut n = 0;
-        while mq.dequeue_with(&mut rng).is_some() {
+        while h.dequeue().is_some() {
             n += 1;
         }
         assert_eq!(n, 500);
@@ -967,10 +946,10 @@ mod tests {
             for t in 0..PRODUCERS {
                 let mq = Arc::clone(&mq);
                 s.spawn(move || {
-                    let mut rng = Xoshiro256::new(100 + t as u64);
+                    let mut h = mq.handle(100 + t as u64);
                     for i in 0..PER {
                         let p = (t as u64) * PER + i;
-                        mq.insert_with(&mut rng, p, p);
+                        h.insert(p, p);
                     }
                 });
             }
@@ -978,11 +957,11 @@ mod tests {
                 .map(|t| {
                     let mq = Arc::clone(&mq);
                     s.spawn(move || {
-                        let mut rng = Xoshiro256::new(200 + t as u64);
+                        let mut h = mq.handle(200 + t as u64);
                         let mut got = Vec::new();
                         let target = PRODUCERS as u64 * PER / CONSUMERS as u64;
                         while (got.len() as u64) < target {
-                            if let Some((_, v)) = mq.dequeue_with(&mut rng) {
+                            if let Some((_, v)) = h.dequeue() {
                                 got.push(v);
                             }
                         }
@@ -1009,12 +988,12 @@ mod tests {
             (0..4).map(|i| SkipListPq::with_seed(i as u64)).collect(),
             DeleteMode::Strict,
         );
-        let mut rng = Xoshiro256::new(6);
+        let mut h = mq.handle(6);
         for p in 0..200u64 {
-            mq.insert_with(&mut rng, p, p);
+            h.insert(p, p);
         }
         let mut n = 0;
-        while mq.dequeue_with(&mut rng).is_some() {
+        while h.dequeue().is_some() {
             n += 1;
         }
         assert_eq!(n, 200);
@@ -1024,12 +1003,12 @@ mod tests {
     fn stamped_ops_produce_unique_ordered_stamps() {
         let mq: MultiQueue<u64> = MultiQueue::new(4);
         let stamper = AtomicU64::new(0);
-        let mut rng = Xoshiro256::new(7);
+        let mut h = mq.handle(7);
         let mut stamps = Vec::new();
         for p in 0..100u64 {
-            stamps.push(mq.insert_stamped(&mut rng, p, p, &stamper));
+            stamps.push(h.stamped(&stamper).insert(p, p));
         }
-        while let Some((_, _, s)) = mq.dequeue_stamped(&mut rng, &stamper) {
+        while let Some((_, _, s)) = h.stamped(&stamper).dequeue() {
             stamps.push(s);
         }
         let mut sorted = stamps.clone();
@@ -1042,12 +1021,12 @@ mod tests {
     fn k_choice_dequeue_conserves_for_all_k() {
         for k in [1usize, 2, 4] {
             let mq: MultiQueue<u64> = MultiQueue::new(8);
-            let mut rng = Xoshiro256::new(40 + k as u64);
+            let mut h = mq.handle(40 + k as u64);
             for p in 0..500u64 {
-                mq.insert_with(&mut rng, p, p);
+                h.insert(p, p);
             }
             let mut n = 0;
-            while mq.dequeue_k_with(&mut rng, k).is_some() {
+            while h.dequeue_k(k).is_some() {
                 n += 1;
             }
             assert_eq!(n, 500, "k={k}");
@@ -1060,15 +1039,15 @@ mod tests {
         let rank_sum = |k: usize| {
             let m = 16;
             let mq: MultiQueue<u64> = MultiQueue::new(m);
-            let mut rng = Xoshiro256::new(77);
+            let mut h = mq.handle(77);
             let n = 4_000u64;
             for p in 0..n {
-                mq.insert_with(&mut rng, p, p);
+                h.insert(p, p);
             }
             let mut present: BTreeSet<u64> = (0..n).collect();
             let mut sum = 0usize;
             for _ in 0..n {
-                let (p, _) = mq.dequeue_k_with(&mut rng, k).unwrap();
+                let (p, _) = h.dequeue_k(k).unwrap();
                 sum += present.range(..p).count();
                 present.remove(&p);
             }
@@ -1085,17 +1064,17 @@ mod tests {
     #[should_panic(expected = "at least one choice")]
     fn zero_choice_dequeue_rejected() {
         let mq: MultiQueue<u64> = MultiQueue::new(2);
-        let mut rng = Xoshiro256::new(1);
-        let _ = mq.dequeue_k_with(&mut rng, 0);
+        let mut h = mq.handle(1);
+        let _ = h.dequeue_k(0);
     }
 
     #[test]
     fn drain_sorted_collects_everything() {
         let mq: MultiQueue<char> = MultiQueue::new(4);
-        let mut rng = Xoshiro256::new(8);
-        mq.insert_with(&mut rng, 3, 'c');
-        mq.insert_with(&mut rng, 1, 'a');
-        mq.insert_with(&mut rng, 2, 'b');
+        let mut h = mq.handle(8);
+        h.insert(3, 'c');
+        h.insert(1, 'a');
+        h.insert(2, 'b');
         assert_eq!(mq.drain_sorted(), vec![(1, 'a'), (2, 'b'), (3, 'c')]);
         assert!(mq.is_empty());
         assert_eq!(mq.approx_size(), 0);
@@ -1105,17 +1084,17 @@ mod tests {
     fn builder_forms() {
         let a: MultiQueue<()> = MultiQueue::<()>::builder().queues(6).build();
         assert_eq!(a.num_queues(), 6);
-        assert_eq!(a.sticky(), Sticky { ops: 1 });
+        assert_eq!(a.policy(), PolicyCfg::TwoChoice);
         let b: MultiQueue<()> = MultiQueue::<()>::builder()
             .ratio(2)
             .threads(3)
             .delete_mode(DeleteMode::TryLock)
-            .sticky(8)
+            .policy(PolicyCfg::Sticky { ops: 8 })
             .build();
         assert_eq!(b.num_queues(), 6);
         assert_eq!(b.mode(), DeleteMode::TryLock);
-        assert_eq!(b.sticky(), Sticky { ops: 8 });
-        assert!(b.sticky().is_active());
+        assert_eq!(b.policy(), PolicyCfg::Sticky { ops: 8 });
+        assert!(!b.policy().is_default());
     }
 
     #[test]
@@ -1130,6 +1109,144 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 50);
+        assert_eq!(h.multiqueue().num_queues(), 4);
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_two_choice_path() {
+        // The pre-policy entry points must stay bit-for-bit compatible:
+        // `insert_with`/`dequeue_with` on one structure and the generic
+        // ops with `TwoChoice` on an identically-seeded twin must
+        // produce the same operation sequence.
+        #![allow(deprecated)]
+        for seed in 0..16u64 {
+            let old: MultiQueue<u64> = MultiQueue::new(8);
+            let new: MultiQueue<u64> = MultiQueue::new(8);
+            let mut r1 = Xoshiro256::new(seed);
+            let mut r2 = Xoshiro256::new(seed);
+            for p in 0..300u64 {
+                old.insert_with(&mut r1, p, p);
+                new.insert(&mut TwoChoice, &mut r2, p, p);
+            }
+            loop {
+                let a = old.dequeue_with(&mut r1);
+                let b = new.dequeue(&mut TwoChoice, &mut r2);
+                assert_eq!(a, b, "seed {seed}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sticky_one_and_dchoice_two_equal_two_choice_op_for_op() {
+        // Policy equivalence on the real structure: under a fixed seed,
+        // `Sticky { ops: 1 }` and `DChoice { d: 2 }` must replay the
+        // exact operation sequence of the two-choice path.
+        for seed in 0..16u64 {
+            let reference: MultiQueue<u64> = MultiQueue::new(8);
+            let sticky1: MultiQueue<u64> = MultiQueue::new(8);
+            let dchoice2: MultiQueue<u64> = MultiQueue::new(8);
+            let mut hr = MqHandle::with_policy(&reference, seed, TwoChoice);
+            let mut hs = MqHandle::with_policy(&sticky1, seed, Sticky::new(1));
+            let mut hd = MqHandle::with_policy(&dchoice2, seed, DChoice::new(2));
+            // Interleave inserts and dequeues so choices depend on the
+            // evolving hint state, not just the RNG stream.
+            for step in 0..600u64 {
+                if step % 3 < 2 {
+                    hr.insert(step, step);
+                    hs.insert(step, step);
+                    hd.insert(step, step);
+                } else {
+                    let a = hr.dequeue();
+                    assert_eq!(a, hs.dequeue(), "sticky(1) diverged at {step}, seed {seed}");
+                    assert_eq!(
+                        a,
+                        hd.dequeue(),
+                        "dchoice(2) diverged at {step}, seed {seed}"
+                    );
+                }
+            }
+            let mut a = reference.drain_sorted();
+            a.sort_unstable();
+            let mut b = sticky1.drain_sorted();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sticky_camps_per_kind_on_the_structure() {
+        // Regression for per-kind sticky state: with interleaved
+        // inserts and dequeues on the *real structure*, every s-run of
+        // inserts must land on a single queue — dequeue successes (or
+        // stale-hint contentions) must not move or reset the insert
+        // camp. A spy policy wrapping `Sticky` records the chosen
+        // insert queues; the old shared-camp bug broke the run
+        // structure because dequeue successes re-camped the shared
+        // state.
+        struct Spy {
+            inner: Sticky,
+            insert_choices: Vec<usize>,
+        }
+        impl ChoicePolicy for Spy {
+            fn choose_insert(&mut self, rng: &mut impl Rng64, view: &impl QueueView) -> usize {
+                let q = self.inner.choose_insert(rng, view);
+                self.insert_choices.push(q);
+                q
+            }
+            fn choose_dequeue(
+                &mut self,
+                rng: &mut impl Rng64,
+                view: &impl QueueView,
+            ) -> Option<usize> {
+                self.inner.choose_dequeue(rng, view)
+            }
+            fn on_success(&mut self, op: ChoiceOp, queue: usize, view: &impl QueueView) {
+                self.inner.on_success(op, queue, view);
+            }
+            fn on_contention(&mut self, op: ChoiceOp, queue: usize) {
+                self.inner.on_contention(op, queue);
+            }
+        }
+
+        let m = 8;
+        let s = 6usize;
+        let mq: MultiQueue<u64> = MultiQueue::new(m);
+        // Prefill through a separate handle so the spy sees only the
+        // measured phase, and dequeues always succeed.
+        let mut prefill = mq.handle(10);
+        for p in 0..1_000u64 {
+            prefill.insert(p, p);
+        }
+        let spy = Spy {
+            inner: Sticky::new(s),
+            insert_choices: Vec::new(),
+        };
+        let mut h = MqHandle::with_policy(&mq, 11, spy);
+        // Strict alternation: insert, dequeue, insert, dequeue, ...
+        for p in 1_000..1_000 + 10 * s as u64 {
+            h.insert(p, p);
+            assert!(h.dequeue().is_some());
+        }
+        // Exactly s consecutive equal choices per run (strict mode:
+        // nothing voids an insert camp early).
+        let choices = &h.policy().insert_choices;
+        assert_eq!(choices.len(), 10 * s);
+        for run in choices.chunks(s) {
+            assert!(
+                run.iter().all(|&q| q == run[0]),
+                "insert camp disturbed by interleaved dequeues: {run:?}"
+            );
+        }
+        // Conservation still holds.
+        let mut n = mq.approx_size();
+        assert_eq!(n, 1_000);
+        while h.dequeue().is_some() {
+            n -= 1;
+        }
+        assert_eq!(n, 0);
     }
 
     #[test]
@@ -1138,7 +1255,7 @@ mod tests {
             let mq: MultiQueue<u64> = MultiQueue::with_config(
                 (0..8).map(|_| BinaryHeap::new()).collect(),
                 mode,
-                Sticky::new(6),
+                PolicyCfg::Sticky { ops: 6 },
             );
             let mut h = MqHandle::new(&mq, 10);
             for p in 0..2_000u64 {
@@ -1163,7 +1280,7 @@ mod tests {
             let mq: Arc<MultiQueue<u64>> = Arc::new(MultiQueue::with_config(
                 (0..16).map(|_| BinaryHeap::new()).collect(),
                 mode,
-                Sticky::new(8),
+                PolicyCfg::Sticky { ops: 8 },
             ));
             let consumed: Vec<u64> = std::thread::scope(|s| {
                 for t in 0..PRODUCERS {
@@ -1205,20 +1322,61 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_concurrent_conserves_and_respects_s_max() {
+        const THREADS: usize = 4;
+        const PER: u64 = 6_000;
+        let s_max = 16;
+        let mq: Arc<MultiQueue<u64>> = Arc::new(MultiQueue::with_config(
+            (0..16).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::Strict,
+            PolicyCfg::AdaptiveSticky { s_max },
+        ));
+        let observed: Vec<usize> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let mq = Arc::clone(&mq);
+                    s.spawn(move || {
+                        let mut h =
+                            MqHandle::with_policy(&mq, 500 + t as u64, AdaptiveSticky::new(s_max));
+                        for i in 0..PER {
+                            h.insert(t as u64 * PER + i, i);
+                            if i % 2 == 1 {
+                                let _ = h.dequeue();
+                            }
+                        }
+                        h.policy().observed_max()
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for s in observed {
+            assert!(s <= s_max, "adaptive stickiness {s} exceeded s_max {s_max}");
+            assert!(s >= 1);
+        }
+        // Drain and verify conservation.
+        let mut h = mq.handle(999);
+        let mut left = 0u64;
+        while h.dequeue().is_some() {
+            left += 1;
+        }
+        assert_eq!(left, THREADS as u64 * PER - THREADS as u64 * PER / 2);
+    }
+
+    #[test]
     fn sticky_stamped_ops_produce_unique_stamps() {
         let mq: MultiQueue<u64> = MultiQueue::with_config(
             (0..4).map(|_| BinaryHeap::new()).collect(),
             DeleteMode::Strict,
-            Sticky::new(5),
+            PolicyCfg::Sticky { ops: 5 },
         );
         let stamper = AtomicU64::new(0);
-        let mut rng = Xoshiro256::new(11);
-        let mut st = StickyState::new();
+        let mut h = mq.handle(11);
         let mut stamps = Vec::new();
         for p in 0..150u64 {
-            stamps.push(mq.insert_sticky_stamped(&mut st, &mut rng, p, p, &stamper));
+            stamps.push(h.stamped(&stamper).insert(p, p));
         }
-        while let Some((_, _, s)) = mq.dequeue_sticky_stamped(&mut st, &mut rng, &stamper) {
+        while let Some((_, _, s)) = h.stamped(&stamper).dequeue() {
             stamps.push(s);
         }
         let mut sorted = stamps.clone();
@@ -1233,18 +1391,18 @@ mod tests {
         for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
             let mq: MultiQueue<u64> =
                 MultiQueue::with_queues((0..8).map(|_| BinaryHeap::new()).collect(), mode);
-            let mut rng = Xoshiro256::new(12);
+            let mut h = mq.handle(12);
             let mut inserted = 0usize;
             for chunk in 0..100u64 {
                 let items: Vec<(u64, u64)> =
                     (0..7).map(|i| (chunk * 7 + i, chunk * 7 + i)).collect();
-                inserted += mq.insert_batch(&mut rng, items);
+                inserted += h.insert_batch(items);
             }
             assert_eq!(inserted, 700);
             assert_eq!(mq.approx_size(), 700);
             let mut out = Vec::new();
             loop {
-                let n = mq.dequeue_batch(&mut rng, 16, &mut out);
+                let n = h.dequeue_batch(16, &mut out);
                 if n == 0 {
                     break;
                 }
@@ -1259,13 +1417,32 @@ mod tests {
     }
 
     #[test]
+    fn stamped_batch_ops_stamp_every_item_uniquely() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let stamper = AtomicU64::new(0);
+        let mut h = mq.handle(13);
+        let mut stamps = Vec::new();
+        let items: Vec<(u64, u64)> = (0..50).map(|i| (i, i)).collect();
+        assert_eq!(h.stamped(&stamper).insert_batch(items, &mut stamps), 50);
+        assert_eq!(stamps.len(), 50);
+        let mut out = Vec::new();
+        while h.stamped(&stamper).dequeue_batch(8, &mut out) > 0 {}
+        assert_eq!(out.len(), 50);
+        stamps.extend(out.iter().map(|&(_, _, s)| s));
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 100, "stamps must be unique");
+        assert!(mq.is_empty());
+    }
+
+    #[test]
     fn empty_batch_is_a_noop() {
         let mq: MultiQueue<u64> = MultiQueue::new(4);
-        let mut rng = Xoshiro256::new(13);
-        assert_eq!(mq.insert_batch(&mut rng, std::iter::empty()), 0);
+        let mut h = mq.handle(13);
+        assert_eq!(h.insert_batch(std::iter::empty()), 0);
         let mut out = Vec::new();
-        assert_eq!(mq.dequeue_batch(&mut rng, 0, &mut out), 0);
-        assert_eq!(mq.dequeue_batch(&mut rng, 8, &mut out), 0);
+        assert_eq!(h.dequeue_batch(0, &mut out), 0);
+        assert_eq!(h.dequeue_batch(8, &mut out), 0);
         assert!(out.is_empty());
         assert!(mq.is_empty());
     }
@@ -1281,7 +1458,7 @@ mod tests {
         let mq: MultiQueue<u64> = MultiQueue::with_config(
             (0..m).map(|_| BinaryHeap::new()).collect(),
             DeleteMode::Strict,
-            Sticky::new(s),
+            PolicyCfg::Sticky { ops: s },
         );
         let mut h = MqHandle::new(&mq, 14);
         let n = 8_000u64;
@@ -1311,15 +1488,44 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_rank_stays_within_observed_envelope() {
+        use std::collections::BTreeSet;
+        let m = 8usize;
+        let s_max = 8usize;
+        let mq: MultiQueue<u64> = MultiQueue::with_config(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::Strict,
+            PolicyCfg::AdaptiveSticky { s_max },
+        );
+        let mut h = MqHandle::with_policy(&mq, 15, AdaptiveSticky::new(s_max));
+        let n = 8_000u64;
+        for p in 0..n {
+            h.insert(p, p);
+        }
+        let mut present: BTreeSet<u64> = (0..n).collect();
+        let mut sum = 0usize;
+        for _ in 0..n {
+            let (p, _) = h.dequeue().unwrap();
+            sum += present.range(..p).count();
+            present.remove(&p);
+        }
+        let mean = sum as f64 / n as f64;
+        let observed = h.policy().envelope_factor();
+        assert!(observed >= 1.0 && observed <= s_max as f64);
+        let bound = 30.0 * observed * m as f64;
+        assert!(mean <= bound, "mean adaptive rank {mean} above {bound}");
+    }
+
+    #[test]
     fn approx_size_tracks_len_when_quiescent() {
         let mq: MultiQueue<u64> = MultiQueue::new(4);
-        let mut rng = Xoshiro256::new(15);
+        let mut h = mq.handle(15);
         for p in 0..100u64 {
-            mq.insert_with(&mut rng, p, p);
+            h.insert(p, p);
         }
         assert_eq!(mq.approx_size(), mq.len());
         for _ in 0..40 {
-            mq.dequeue_with(&mut rng);
+            h.dequeue();
         }
         assert_eq!(mq.approx_size(), mq.len());
         assert_eq!(mq.approx_size(), 60);

@@ -11,7 +11,7 @@
 use dlz_pq::{BinaryHeap, SeqPriorityQueue};
 
 use crate::clock::{Clock, FaaClock};
-use crate::queue::{DeleteMode, MultiQueue};
+use crate::queue::{DeleteMode, MultiQueue, TwoChoice};
 use crate::rng::{with_thread_rng, Rng64};
 
 /// A relaxed FIFO queue: MultiQueue + clock-assigned priorities.
@@ -67,18 +67,18 @@ impl<V: Send, C: Clock, Q: SeqPriorityQueue<u64, V> + Send> RelaxedFifo<V, C, Q>
     /// clock at call time (Algorithm 2's `Clock.Read()`).
     pub fn enqueue_with(&self, rng: &mut impl Rng64, value: V) {
         let ts = self.clock.tick();
-        self.mq.insert_with(rng, ts, value);
+        self.mq.insert(&mut TwoChoice, rng, ts, value);
     }
 
     /// Dequeue with an explicit generator: an approximately-oldest
     /// element, or `None` if observed empty.
     pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<V> {
-        self.mq.dequeue_with(rng).map(|(_, v)| v)
+        self.mq.dequeue(&mut TwoChoice, rng).map(|(_, v)| v)
     }
 
     /// Dequeue returning the element's enqueue timestamp too.
     pub fn dequeue_with_timestamp(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
-        self.mq.dequeue_with(rng)
+        self.mq.dequeue(&mut TwoChoice, rng)
     }
 
     /// Convenience enqueue using the thread-local generator.

@@ -235,7 +235,7 @@ mod tests {
         // intervals!) until the checker catches an out-of-order
         // dequeue: the structure is demonstrably not linearizable to
         // the exact PQ spec, which is why Definition 5.2 exists.
-        use crate::queue::MultiQueue;
+        use crate::queue::{MultiQueue, TwoChoice};
         use crate::rng::Xoshiro256;
         use crate::spec::history::StampClock;
 
@@ -247,13 +247,13 @@ mod tests {
             let mut events = Vec::new();
             for p in 0..6u64 {
                 let inv = clock.stamp();
-                mq.insert_with(&mut rng, p, p);
+                mq.insert(&mut TwoChoice, &mut rng, p, p);
                 let resp = clock.stamp();
                 events.push(ev_at(PqOp::Insert { priority: p }, inv, resp));
             }
             for _ in 0..6 {
                 let inv = clock.stamp();
-                if let Some((p, _)) = mq.dequeue_with(&mut rng) {
+                if let Some((p, _)) = mq.dequeue(&mut TwoChoice, &mut rng) {
                     let resp = clock.stamp();
                     events.push(ev_at(PqOp::DeleteMin { removed: p }, inv, resp));
                 }

@@ -5,7 +5,7 @@
 use dlz_core::rng::{Rng64, SplitMix64, Xoshiro256};
 use dlz_core::spec::relaxation::quantitative_path;
 use dlz_core::spec::{CounterOp, CounterSpec, FifoOp, FifoSpec, Lts, PqOp, PqSpec, SequentialSpec};
-use dlz_core::{MultiCounter, MultiQueue, RelaxedCounter};
+use dlz_core::{MultiCounter, MultiQueue, RelaxedCounter, TwoChoice};
 use proptest::prelude::*;
 
 proptest! {
@@ -64,11 +64,11 @@ proptest! {
         let mq: MultiQueue<u64> = MultiQueue::new(m);
         let mut rng = Xoshiro256::new(seed);
         for (i, &p) in priorities.iter().enumerate() {
-            mq.insert_with(&mut rng, p, i as u64);
+            mq.insert(&mut TwoChoice, &mut rng, p, i as u64);
         }
         let mut got_p = Vec::new();
         let mut got_v = Vec::new();
-        while let Some((p, v)) = mq.dequeue_with(&mut rng) {
+        while let Some((p, v)) = mq.dequeue(&mut TwoChoice, &mut rng) {
             got_p.push(p);
             got_v.push(v);
         }

@@ -103,6 +103,19 @@ pub mod header {
     pub const fn count(word: u64) -> u64 {
         word & COUNT_MASK
     }
+
+    /// Wrapping distance from generation `from` to generation `to`
+    /// within the [`GEN_BITS`]-bit field.
+    ///
+    /// The generation bumps once per unlock, so this is "how many
+    /// critical sections completed on the queue between two snapshots"
+    /// — the cheap change-rate signal adaptive choice policies consume.
+    /// Both arguments are field values (as returned by
+    /// [`generation`]), not packed words.
+    #[inline]
+    pub const fn gen_delta(from: u64, to: u64) -> u64 {
+        to.wrapping_sub(from) & ((1 << GEN_BITS) - 1)
+    }
 }
 
 /// The cache-padded hot slot: packed header plus published min hint.
@@ -460,6 +473,24 @@ mod tests {
             assert_eq!(header::generation(w), gen & ((1 << header::GEN_BITS) - 1));
             assert_eq!(header::count(w), count.min(header::COUNT_MASK));
         }
+    }
+
+    #[test]
+    fn gen_delta_counts_unlocks_and_wraps() {
+        assert_eq!(header::gen_delta(0, 0), 0);
+        assert_eq!(header::gen_delta(3, 10), 7);
+        // Wrap across the 23-bit field boundary.
+        let top = (1 << header::GEN_BITS) - 1;
+        assert_eq!(header::gen_delta(top, 0), 1);
+        assert_eq!(header::gen_delta(top - 1, 2), 4);
+        // Matches the observable generation stream of a real queue.
+        let q: LockedPq<u32> = LockedPq::default();
+        let g0 = q.generation().expect("unlocked");
+        q.insert(1, 1);
+        q.insert(2, 2);
+        q.remove_min();
+        let g1 = q.generation().expect("unlocked");
+        assert_eq!(header::gen_delta(g0, g1), 3);
     }
 
     #[test]

@@ -5,6 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use dlz_core::rng::Xoshiro256;
+use dlz_core::spec::{
+    check_distributional, CounterOp, CounterSpec, Event, History, StampClock, ThreadLog,
+};
 use dlz_core::{DChoiceCounter, ExactCounter, MultiCounter, RelaxedCounter, ShardedCounter};
 
 use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
@@ -33,6 +36,13 @@ pub enum AnyCounter {
 /// relaxed read and, every `quality_every` reads, records the absolute
 /// deviation from the exact sum — the paper's read-error metric
 /// (Lemma 6.8). `Remove` is treated as a read: counters don't consume.
+///
+/// With `record_history` on, workers record a stamped
+/// [`CounterOp`] history (unit increments; reads with their returned
+/// values) and [`quality`](Backend::quality) replays it through the
+/// relaxed-counter checker: each read's cost is its deviation from the
+/// true count *at its linearization point* — the exact Lemma 6.8
+/// metric, rather than the racy online sample.
 #[derive(Debug)]
 pub struct CounterBackend {
     inner: AnyCounter,
@@ -40,6 +50,9 @@ pub struct CounterBackend {
     /// Sum of weights actually applied (conservation ground truth).
     expected: AtomicU64,
     deviations: Mutex<Vec<f64>>,
+    /// Stamp source and per-thread logs for history mode.
+    clock: StampClock,
+    logs: Mutex<Vec<ThreadLog<CounterOp>>>,
 }
 
 impl CounterBackend {
@@ -78,6 +91,8 @@ impl CounterBackend {
             label,
             expected: AtomicU64::new(0),
             deviations: Mutex::new(Vec::new()),
+            clock: StampClock::new(),
+            logs: Mutex::new(Vec::new()),
         }
     }
 
@@ -126,10 +141,12 @@ impl Backend for CounterBackend {
             backend: self,
             rng: Xoshiro256::new(cfg.seed),
             stripe: cfg.id % cfg.threads.max(1),
+            thread: cfg.id,
             quality_every: cfg.quality_every,
             reads_seen: 0,
             added: 0,
             deviations: Vec::new(),
+            log: cfg.record_history.then(|| ThreadLog::new(cfg.id)),
         })
     }
 
@@ -150,14 +167,50 @@ impl Backend for CounterBackend {
     }
 
     fn quality(&self) -> QualityReport {
+        let scale = self.deviation_scale();
+        // Generous constant over the m·ln m scale, as the core tests use.
+        let bound = 4.0 * scale;
+        // History mode: replay the stamped history through the
+        // relaxed-counter checker. Each read's cost is its deviation
+        // from the count at its linearization point (Lemma 6.8's
+        // metric, exact rather than sampled).
+        let logs = std::mem::take(&mut *self.logs.lock().expect("logs"));
+        if !logs.is_empty() {
+            let history = History::from_logs(logs);
+            let outcome = check_distributional(&CounterSpec, &history);
+            // Costs align 1:1 with labels in update order: the counter
+            // relaxation has no unmappable transitions (every Inc and
+            // Read applies), so nothing is skipped.
+            let labels = history.labels_in_update_order();
+            let read_costs: Vec<f64> = labels
+                .iter()
+                .zip(outcome.costs.samples())
+                .filter(|(l, _)| matches!(l, CounterOp::Read { .. }))
+                .map(|(_, c)| *c)
+                .collect();
+            let summary = QualitySummary::from_samples(&read_costs);
+            let within = if scale == 0.0 {
+                summary.max == 0.0
+            } else {
+                summary.max <= bound
+            };
+            return QualityReport::named("read_deviation")
+                .with_summary(summary)
+                .scalar("scale_m_ln_m", scale)
+                .scalar("bound", bound)
+                .scalar("within_bound", if within { 1.0 } else { 0.0 })
+                .scalar("max_gap", self.max_gap() as f64)
+                .scalar(
+                    "linearizable",
+                    if outcome.is_linearizable() { 1.0 } else { 0.0 },
+                )
+                .scalar("history_ops", history.len() as f64);
+        }
         // Drains the samples so a backend reused across several engine
         // runs (fig1b's checkpoints) reports per-run, not cumulative,
         // statistics.
         let samples = std::mem::take(&mut *self.deviations.lock().expect("deviations"));
         let summary = QualitySummary::from_samples(&samples);
-        let scale = self.deviation_scale();
-        // Generous constant over the m·ln m scale, as the core tests use.
-        let bound = 4.0 * scale;
         let within = if samples.is_empty() || scale == 0.0 {
             summary.max == 0.0
         } else {
@@ -176,10 +229,13 @@ struct CounterWorker<'a> {
     backend: &'a CounterBackend,
     rng: Xoshiro256,
     stripe: usize,
+    thread: usize,
     quality_every: u32,
     reads_seen: u32,
     added: u64,
     deviations: Vec<f64>,
+    /// Stamped `CounterOp` events (history mode only).
+    log: Option<ThreadLog<CounterOp>>,
 }
 
 impl CounterWorker<'_> {
@@ -191,35 +247,71 @@ impl CounterWorker<'_> {
             AnyCounter::Exact(c) => c.read(),
         }
     }
+
+    /// One unit increment on whatever substrate.
+    fn increment_unit(&mut self) {
+        match &self.backend.inner {
+            AnyCounter::Multi(c) => c.increment_with(&mut self.rng),
+            AnyCounter::DChoice(c) => c.increment_with(&mut self.rng),
+            AnyCounter::Sharded(c) => c.increment_stripe(self.stripe),
+            AnyCounter::Exact(c) => {
+                c.increment();
+            }
+        }
+    }
 }
 
 impl Worker for CounterWorker<'_> {
     fn execute(&mut self, op: &Op) -> bool {
+        let clock = &self.backend.clock;
         match op.kind {
             OpKind::Update => {
-                match &self.backend.inner {
-                    AnyCounter::Multi(c) => {
-                        if op.weight == 1 {
-                            c.increment_with(&mut self.rng);
-                        } else {
-                            c.add_with(&mut self.rng, op.weight);
+                if self.log.is_some() {
+                    // History mode: the spec's `Inc` is a unit
+                    // increment, so apply (and stamp) the weight as
+                    // units. The update stamp is drawn right after the
+                    // increment's atomic step — inside the operation's
+                    // interval, which is all Definition 5.2 needs.
+                    for _ in 0..op.weight {
+                        let invoke = clock.stamp();
+                        self.increment_unit();
+                        let update = clock.stamp();
+                        let response = clock.stamp();
+                        if let Some(log) = &mut self.log {
+                            log.push(Event {
+                                thread: self.thread,
+                                label: CounterOp::Inc,
+                                invoke,
+                                update,
+                                response,
+                            });
                         }
                     }
-                    // No weighted add on these substrates: apply the
-                    // weight as unit increments so totals stay exact.
-                    AnyCounter::DChoice(c) => {
-                        for _ in 0..op.weight {
-                            c.increment_with(&mut self.rng);
+                } else {
+                    match &self.backend.inner {
+                        AnyCounter::Multi(c) => {
+                            if op.weight == 1 {
+                                c.increment_with(&mut self.rng);
+                            } else {
+                                c.add_with(&mut self.rng, op.weight);
+                            }
                         }
-                    }
-                    AnyCounter::Sharded(c) => {
-                        for _ in 0..op.weight {
-                            c.increment_stripe(self.stripe);
+                        // No weighted add on these substrates: apply the
+                        // weight as unit increments so totals stay exact.
+                        AnyCounter::DChoice(c) => {
+                            for _ in 0..op.weight {
+                                c.increment_with(&mut self.rng);
+                            }
                         }
-                    }
-                    AnyCounter::Exact(c) => {
-                        for _ in 0..op.weight {
-                            c.increment();
+                        AnyCounter::Sharded(c) => {
+                            for _ in 0..op.weight {
+                                c.increment_stripe(self.stripe);
+                            }
+                        }
+                        AnyCounter::Exact(c) => {
+                            for _ in 0..op.weight {
+                                c.increment();
+                            }
                         }
                     }
                 }
@@ -227,6 +319,22 @@ impl Worker for CounterWorker<'_> {
                 true
             }
             OpKind::Remove | OpKind::Read => {
+                if self.log.is_some() {
+                    let invoke = clock.stamp();
+                    let returned = self.sampled_read();
+                    let update = clock.stamp();
+                    let response = clock.stamp();
+                    if let Some(log) = &mut self.log {
+                        log.push(Event {
+                            thread: self.thread,
+                            label: CounterOp::Read { returned },
+                            invoke,
+                            update,
+                            response,
+                        });
+                    }
+                    return true;
+                }
                 let approx = self.sampled_read();
                 self.reads_seen += 1;
                 if self.quality_every > 0 && self.reads_seen.is_multiple_of(self.quality_every) {
@@ -247,6 +355,9 @@ impl Worker for CounterWorker<'_> {
             .lock()
             .expect("deviations")
             .append(&mut self.deviations);
+        if let Some(log) = self.log.take() {
+            self.backend.logs.lock().expect("logs").push(log);
+        }
     }
 }
 

@@ -1,5 +1,5 @@
 //! Backend adapters: every structure family in the workspace behind the
-//! unified [`Backend`](crate::backend::Backend) interface.
+//! unified [`Backend`] interface.
 
 pub mod counter;
 pub mod queue;
@@ -13,6 +13,12 @@ use dlz_core::DeleteMode;
 
 use crate::backend::Backend;
 use crate::scenario::{Family, Scenario};
+
+/// `true` if the scenario asks for a tuned MultiQueue configuration
+/// (a non-default choice policy or batching).
+fn tuned(scenario: &Scenario) -> bool {
+    !scenario.choice_policy.is_default() || scenario.batch > 1
+}
 
 /// The default backend roster for a scenario: every structure of the
 /// scenario's family, sized for its thread count. This is what the
@@ -38,20 +44,20 @@ pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
                 Box::new(ConcurrentPqBackend::coarse()),
                 Box::new(ConcurrentPqBackend::locked_heap()),
             ];
-            // Scenarios with active sticky/batch dimensions also run
+            // Scenarios with an active policy/batch dimension also run
             // the tuned hot-path configurations, so one report carries
             // the before/after comparison.
-            if scenario.sticky_ops > 1 || scenario.batch > 1 {
-                backends.push(Box::new(MultiQueueBackend::heap_tuned(
+            if tuned(scenario) {
+                backends.push(Box::new(MultiQueueBackend::heap_policy(
                     m,
                     DeleteMode::Strict,
-                    scenario.sticky_ops,
+                    scenario.choice_policy,
                     scenario.batch,
                 )));
-                backends.push(Box::new(MultiQueueBackend::heap_tuned(
+                backends.push(Box::new(MultiQueueBackend::heap_policy(
                     m,
                     DeleteMode::TryLock,
-                    scenario.sticky_ops,
+                    scenario.choice_policy,
                     scenario.batch,
                 )));
             }

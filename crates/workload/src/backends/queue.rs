@@ -1,12 +1,12 @@
 //! Queue-family backends: the MultiQueue (any sequential substrate,
-//! both delete modes) and every linearizable `dlz-pq` queue.
+//! both delete modes, any choice policy) and every linearizable
+//! `dlz-pq` queue.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use dlz_core::rng::Xoshiro256;
 use dlz_core::spec::{check_distributional, Event, History, PqOp, PqSpec, StampClock, ThreadLog};
-use dlz_core::{DeleteMode, MultiQueue, Sticky, StickyState};
+use dlz_core::{AnyPolicy, ChoicePolicy, DeleteMode, MqHandle, MultiQueue, PolicyCfg};
 use dlz_pq::{
     BinaryHeap, CoarsePq, ConcurrentPq, LockedPq, PairingHeap, ParkingLotPq, SeqPriorityQueue,
     SkipListPq,
@@ -15,6 +15,9 @@ use dlz_pq::{
 use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 use crate::op::{Op, OpCounts, OpKind};
 use crate::scenario::Family;
+
+/// Generous constant over the envelope scale, as the core tests use.
+const RANK_BOUND_C: f64 = 30.0;
 
 /// Shared quality state of the queue backends.
 #[derive(Debug, Default)]
@@ -25,22 +28,39 @@ struct QueueQuality {
     /// time — a priority-space proxy for dequeue rank, exact-ish when
     /// priorities are dense and monotone.
     proxies: Mutex<Vec<f64>>,
+    /// Widest policy envelope factor any worker observed this run
+    /// (0 = no worker reported; fall back to the a-priori factor).
+    factor: Mutex<f64>,
+}
+
+impl QueueQuality {
+    fn note_factor(&self, f: f64) {
+        let mut g = self.factor.lock().expect("factor");
+        if f.is_finite() && f > *g {
+            *g = f;
+        }
+    }
 }
 
 /// The paper's MultiQueue behind the [`Backend`] interface.
 ///
 /// `Update` enqueues `(priority, priority)`; `Remove` dequeues; `Read`
 /// peeks the published min hint. With `record_history` on, operations
-/// run stamped and the recorded history is replayed through the
-/// distributional-linearizability checker (Definition 5.2), yielding
-/// the *exact* dequeue-rank cost distribution of Theorem 7.1.
+/// run through the handle's stamped history mode and the recorded
+/// history is replayed through the distributional-linearizability
+/// checker (Definition 5.2), yielding the *exact* dequeue-rank cost
+/// distribution of Theorem 7.1.
 ///
-/// The `sticky_ops` and `batch` dimensions (see the tuned
-/// constructors) drive the contention-engineered hot path: workers
-/// keep their chosen internal queue for `s` consecutive same-kind ops
-/// and buffer `k` ops per lock acquisition. History mode stamps
-/// individual operations, so it honours stickiness but ignores
-/// batching.
+/// Every worker operates through its own [`MqHandle`], so the
+/// scenario's `choice_policy` dimension (two-choice, d-choice, static
+/// or adaptive stickiness) is per-worker state by construction; the
+/// `batch` dimension buffers `k` ops per lock acquisition on top.
+/// History mode stamps individual operations, so it honours the policy
+/// but ignores batching. The quality report carries the policy's rank
+/// envelope — `RANK_BOUND_C · factor · m`, where `factor` is the
+/// widest [`envelope_factor`](dlz_core::ChoicePolicy::envelope_factor)
+/// any worker observed (`s` for sticky policies, the observed max `s`
+/// for adaptive ones).
 #[derive(Debug)]
 pub struct MultiQueueBackend<Q = BinaryHeap<u64, u64>>
 where
@@ -54,19 +74,19 @@ where
 }
 
 impl MultiQueueBackend<BinaryHeap<u64, u64>> {
-    /// Binary-heap substrate (the default configuration).
+    /// Binary-heap substrate (the default configuration: two-choice,
+    /// unbatched).
     pub fn heap(m: usize, mode: DeleteMode) -> Self {
-        Self::heap_tuned(m, mode, 1, 1)
+        Self::heap_policy(m, mode, PolicyCfg::TwoChoice, 1)
     }
 
-    /// Binary-heap substrate with explicit stickiness and batch size —
-    /// the packed/padded/sticky hot-path configuration the `mq-hotpath`
-    /// scenarios measure.
-    pub fn heap_tuned(m: usize, mode: DeleteMode, sticky_ops: usize, batch: usize) -> Self {
+    /// Binary-heap substrate with an explicit choice policy and batch
+    /// size — the configurations the `mq-hotpath` scenarios measure.
+    pub fn heap_policy(m: usize, mode: DeleteMode, policy: PolicyCfg, batch: usize) -> Self {
         Self::with_queues(
             (0..m).map(|_| BinaryHeap::new()).collect(),
             mode,
-            sticky_ops,
+            policy,
             batch,
             "heap",
         )
@@ -79,7 +99,7 @@ impl MultiQueueBackend<PairingHeap<u64, u64>> {
         Self::with_queues(
             (0..m).map(|_| PairingHeap::new()).collect(),
             mode,
-            1,
+            PolicyCfg::TwoChoice,
             1,
             "pairing",
         )
@@ -94,7 +114,7 @@ impl MultiQueueBackend<SkipListPq<u64, u64>> {
                 .map(|i| SkipListPq::with_seed(seed ^ i as u64))
                 .collect(),
             mode,
-            1,
+            PolicyCfg::TwoChoice,
             1,
             "skiplist",
         )
@@ -105,24 +125,23 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueBackend<Q> {
     fn with_queues(
         queues: Vec<Q>,
         mode: DeleteMode,
-        sticky_ops: usize,
+        policy: PolicyCfg,
         batch: usize,
         substrate: &str,
     ) -> Self {
         let m = queues.len();
-        let sticky = Sticky::new(sticky_ops);
         let batch = batch.max(1);
         let mode_tag = match mode {
             DeleteMode::Strict => "strict",
             DeleteMode::TryLock => "trylock",
         };
-        let tuning = if sticky.is_active() || batch > 1 {
-            format!(",s={},b={batch}", sticky.ops)
+        let tuning = if !policy.is_default() || batch > 1 {
+            format!(",{},b={batch}", policy.label())
         } else {
             String::new()
         };
         MultiQueueBackend {
-            mq: MultiQueue::with_config(queues, mode, sticky),
+            mq: MultiQueue::with_config(queues, mode, policy),
             batch,
             label: format!("multiqueue-{substrate}(m={m},{mode_tag}{tuning})"),
             clock: StampClock::new(),
@@ -135,9 +154,30 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueBackend<Q> {
         &self.mq
     }
 
+    /// The choice policy every worker handle is built from.
+    pub fn policy(&self) -> PolicyCfg {
+        self.mq.policy()
+    }
+
     /// Operations buffered per lock acquisition (1 = unbatched).
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The rank envelope for a given factor: `RANK_BOUND_C · f · m`.
+    fn rank_bound(&self, factor: f64) -> f64 {
+        RANK_BOUND_C * factor * self.mq.num_queues() as f64
+    }
+
+    /// The factor the report uses: widest worker-observed factor when
+    /// any worker reported one, else the policy's a-priori factor.
+    fn report_factor(&self) -> f64 {
+        let observed = std::mem::take(&mut *self.quality.factor.lock().expect("factor"));
+        if observed > 0.0 {
+            observed
+        } else {
+            self.mq.policy().envelope_factor()
+        }
     }
 }
 
@@ -153,13 +193,12 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
     fn worker<'a>(&'a self, cfg: WorkerCfg) -> Box<dyn Worker + Send + 'a> {
         Box::new(MultiQueueWorker {
             backend: self,
-            rng: Xoshiro256::new(cfg.seed),
+            handle: self.mq.handle(cfg.seed),
             thread: cfg.id,
             log: cfg.record_history.then(|| ThreadLog::new(cfg.id)),
             quality_every: cfg.quality_every,
             removes_seen: 0,
             proxies: Vec::new(),
-            sticky: StickyState::new(),
             batch: if cfg.record_history { 1 } else { self.batch },
             pending_inserts: Vec::new(),
             prefetched: VecDeque::new(),
@@ -188,12 +227,12 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
     fn quality(&self) -> QualityReport {
         let logs = std::mem::take(&mut *self.quality.logs.lock().expect("logs"));
         let m = self.mq.num_queues() as f64;
-        let s = self.mq.sticky().ops as f64;
         let scale = m * m.max(2.0).ln();
-        // The documented stickiness envelope: expected rank O(s·m),
-        // with the same generous constant the test suite uses for the
-        // s = 1 Theorem 7.1 checks.
-        let rank_bound = 30.0 * s * m;
+        // The policy's envelope: expected rank O(factor·m), with the
+        // same generous constant the test suite uses for the
+        // two-choice Theorem 7.1 checks.
+        let factor = self.report_factor();
+        let rank_bound = self.rank_bound(factor);
         if !logs.is_empty() {
             let history = History::from_logs(logs);
             let outcome = check_distributional(&PqSpec, &history);
@@ -207,46 +246,54 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
             let summary = QualitySummary::from_samples(&costs);
             // Vacuous passes are failures: with no rank samples the
             // envelope verified nothing, so report it as not-within.
-            let within = if summary.count > 0 && summary.mean <= rank_bound {
-                1.0
-            } else {
-                0.0
-            };
-            return QualityReport::named("dequeue_rank")
+            let within =
+                if summary.count > 0 && rank_bound.is_finite() && summary.mean <= rank_bound {
+                    1.0
+                } else {
+                    0.0
+                };
+            let mut report = QualityReport::named("dequeue_rank")
                 .with_summary(summary)
                 .scalar("scale_m_ln_m", scale)
-                .scalar("sticky_ops", s)
                 .scalar("batch", self.batch as f64)
-                .scalar("rank_bound_s_m", rank_bound)
-                .scalar("within_sticky_bound", within)
                 .scalar(
                     "linearizable",
                     if outcome.is_linearizable() { 1.0 } else { 0.0 },
                 )
                 .scalar("history_ops", history.len() as f64);
+            if factor.is_finite() {
+                report = report
+                    .scalar("policy_factor", factor)
+                    .scalar("rank_bound_policy", rank_bound)
+                    .scalar("within_policy_bound", within);
+            }
+            return report;
         }
         // Drained, not cloned: a backend reused across runs must report
         // per-run statistics (the history logs above use mem::take too).
         let proxies = std::mem::take(&mut *self.quality.proxies.lock().expect("proxies"));
-        QualityReport::named("dequeue_rank_proxy")
+        let mut report = QualityReport::named("dequeue_rank_proxy")
             .with_summary(QualitySummary::from_samples(&proxies))
             .scalar("scale_m_ln_m", scale)
-            .scalar("sticky_ops", s)
-            .scalar("batch", self.batch as f64)
-            .scalar("rank_bound_s_m", rank_bound)
+            .scalar("batch", self.batch as f64);
+        if factor.is_finite() {
+            report = report
+                .scalar("policy_factor", factor)
+                .scalar("rank_bound_policy", rank_bound);
+        }
+        report
     }
 }
 
 struct MultiQueueWorker<'a, Q: SeqPriorityQueue<u64, u64> + Send> {
     backend: &'a MultiQueueBackend<Q>,
-    rng: Xoshiro256,
+    /// The worker's operational surface: private RNG + policy instance.
+    handle: MqHandle<'a, u64, Q, AnyPolicy>,
     thread: usize,
     log: Option<ThreadLog<PqOp>>,
     quality_every: u32,
     removes_seen: u32,
     proxies: Vec<f64>,
-    /// Per-thread stickiness state (inactive when the policy is `s=1`).
-    sticky: StickyState,
     /// Ops buffered per lock acquisition; forced to 1 in history mode,
     /// which stamps individual operations.
     batch: usize,
@@ -264,9 +311,7 @@ struct MultiQueueWorker<'a, Q: SeqPriorityQueue<u64, u64> + Send> {
 impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
     fn flush_pending(&mut self) {
         if !self.pending_inserts.is_empty() {
-            self.backend
-                .mq
-                .insert_batch(&mut self.rng, self.pending_inserts.drain(..));
+            self.handle.insert_batch(self.pending_inserts.drain(..));
         }
     }
 
@@ -274,15 +319,17 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
     /// own buffered inserts first if the structure looks empty, so a
     /// closed-loop worker cannot starve itself.
     fn refill(&mut self, sample: bool) {
-        let mq = &self.backend.mq;
-        let hint = if sample { mq.min_hint() } else { u64::MAX };
+        let hint = if sample {
+            self.backend.mq.min_hint()
+        } else {
+            u64::MAX
+        };
         let mut tmp = std::mem::take(&mut self.scratch);
         tmp.clear();
-        if mq.dequeue_batch(&mut self.rng, self.batch, &mut tmp) == 0
-            && !self.pending_inserts.is_empty()
+        if self.handle.dequeue_batch(self.batch, &mut tmp) == 0 && !self.pending_inserts.is_empty()
         {
             self.flush_pending();
-            mq.dequeue_batch(&mut self.rng, self.batch, &mut tmp);
+            self.handle.dequeue_batch(self.batch, &mut tmp);
         }
         if sample && hint != u64::MAX {
             if let Some((p, _)) = tmp.first() {
@@ -296,20 +343,16 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
 
 impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
     fn execute(&mut self, op: &Op) -> bool {
-        let mq = &self.backend.mq;
         let clock = &self.backend.clock;
         match op.kind {
             OpKind::Update => {
                 if let Some(log) = &mut self.log {
                     let thread = self.thread;
                     let invoke = clock.stamp();
-                    let update = mq.insert_sticky_stamped(
-                        &mut self.sticky,
-                        &mut self.rng,
-                        op.priority,
-                        op.priority,
-                        clock.as_atomic(),
-                    );
+                    let update = self
+                        .handle
+                        .stamped(clock.as_atomic())
+                        .insert(op.priority, op.priority);
                     let response = clock.stamp();
                     log.push(Event {
                         thread,
@@ -326,7 +369,7 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                         self.flush_pending();
                     }
                 } else {
-                    mq.insert_sticky(&mut self.sticky, &mut self.rng, op.priority, op.priority);
+                    self.handle.insert(op.priority, op.priority);
                 }
                 true
             }
@@ -334,11 +377,7 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 if let Some(log) = &mut self.log {
                     let thread = self.thread;
                     let invoke = clock.stamp();
-                    match mq.dequeue_sticky_stamped(
-                        &mut self.sticky,
-                        &mut self.rng,
-                        clock.as_atomic(),
-                    ) {
+                    match self.handle.stamped(clock.as_atomic()).dequeue() {
                         Some((p, _, update)) => {
                             let response = clock.stamp();
                             log.push(Event {
@@ -369,8 +408,12 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                     self.removes_seen += 1;
                     let sample = self.quality_every > 0
                         && self.removes_seen.is_multiple_of(self.quality_every);
-                    let hint = if sample { mq.min_hint() } else { u64::MAX };
-                    match mq.dequeue_sticky(&mut self.sticky, &mut self.rng) {
+                    let hint = if sample {
+                        self.backend.mq.min_hint()
+                    } else {
+                        u64::MAX
+                    };
+                    match self.handle.dequeue() {
                         Some((p, _)) => {
                             if sample && hint != u64::MAX {
                                 self.proxies.push(p.saturating_sub(hint) as f64);
@@ -382,7 +425,7 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 }
             }
             OpKind::Read => {
-                std::hint::black_box(mq.min_hint());
+                std::hint::black_box(self.backend.mq.min_hint());
                 true
             }
         }
@@ -394,9 +437,7 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
         // to an op) so the conservation law sees them as residual.
         self.flush_pending();
         if !self.prefetched.is_empty() {
-            self.backend
-                .mq
-                .insert_batch(&mut self.rng, self.prefetched.drain(..));
+            self.handle.insert_batch(self.prefetched.drain(..));
         }
         if let Some(log) = self.log.take() {
             self.backend.quality.logs.lock().expect("logs").push(log);
@@ -407,6 +448,11 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
             .lock()
             .expect("proxies")
             .append(&mut self.proxies);
+        // The policy's observed envelope (e.g. adaptive stickiness'
+        // widest s) feeds the reported rank bound.
+        self.backend
+            .quality
+            .note_factor(self.handle.policy().envelope_factor());
     }
 }
 
@@ -588,6 +634,7 @@ mod tests {
         b.verify(&counts).expect("conservation");
         let q = b.quality();
         assert_eq!(q.metric, "dequeue_rank_proxy");
+        assert_eq!(q.get("policy_factor"), Some(1.0));
         assert!(q.is_finite());
     }
 
@@ -620,36 +667,54 @@ mod tests {
     }
 
     #[test]
-    fn tuned_backend_conserves_with_sticky_and_batch() {
+    fn policy_backend_conserves_with_sticky_and_batch() {
         for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
-            let b = MultiQueueBackend::heap_tuned(8, mode, 8, 8);
-            assert!(b.name().contains("s=8,b=8"), "{}", b.name());
+            let b = MultiQueueBackend::heap_policy(8, mode, PolicyCfg::Sticky { ops: 8 }, 8);
+            assert!(b.name().contains("sticky(s=8),b=8"), "{}", b.name());
             let counts = drive(&b, 3_000, false);
             b.verify(&counts)
                 .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
             let q = b.quality();
             assert_eq!(q.metric, "dequeue_rank_proxy");
-            assert_eq!(q.get("sticky_ops"), Some(8.0));
+            assert_eq!(q.get("policy_factor"), Some(8.0));
             assert_eq!(q.get("batch"), Some(8.0));
-            assert!(q.get("rank_bound_s_m").unwrap_or(0.0) > 0.0);
+            assert!(q.get("rank_bound_policy").unwrap_or(0.0) > 0.0);
         }
     }
 
     #[test]
-    fn tuned_backend_history_mode_stays_within_sticky_bound() {
+    fn adaptive_backend_reports_observed_factor() {
+        let b = MultiQueueBackend::heap_policy(
+            8,
+            DeleteMode::Strict,
+            PolicyCfg::AdaptiveSticky { s_max: 8 },
+            1,
+        );
+        assert!(b.name().contains("adaptive(s_max=8)"), "{}", b.name());
+        let counts = drive(&b, 4_000, false);
+        b.verify(&counts).expect("conservation");
+        let q = b.quality();
+        let f = q.get("policy_factor").expect("factor");
+        assert!((1.0..=8.0).contains(&f), "observed factor {f} out of range");
+        assert!(q.get("rank_bound_policy").unwrap_or(0.0) >= RANK_BOUND_C * 8.0);
+    }
+
+    #[test]
+    fn policy_backend_history_mode_stays_within_bound() {
         // History mode stamps individual ops (batching disabled) but
-        // honours stickiness; the checker-exact ranks must sit inside
-        // the reported O(s·m) envelope.
-        let b = MultiQueueBackend::heap_tuned(4, DeleteMode::Strict, 8, 8);
+        // honours the policy; the checker-exact ranks must sit inside
+        // the reported envelope.
+        let b =
+            MultiQueueBackend::heap_policy(4, DeleteMode::Strict, PolicyCfg::Sticky { ops: 8 }, 8);
         let counts = drive(&b, 2_000, true);
         b.verify(&counts).expect("conservation");
         let q = b.quality();
         assert_eq!(q.metric, "dequeue_rank");
         assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
-        assert_eq!(q.get("within_sticky_bound"), Some(1.0), "{q:?}");
+        assert_eq!(q.get("within_policy_bound"), Some(1.0), "{q:?}");
         let s = q.summary.expect("costs");
         assert!(s.count > 0);
-        assert!(s.mean <= q.get("rank_bound_s_m").expect("bound"));
+        assert!(s.mean <= q.get("rank_bound_policy").expect("bound"));
     }
 
     #[test]
@@ -657,6 +722,7 @@ mod tests {
         let b = MultiQueueBackend::heap(4, DeleteMode::Strict);
         assert_eq!(b.name(), "multiqueue-heap(m=4,strict)");
         assert_eq!(b.batch(), 1);
+        assert_eq!(b.policy(), PolicyCfg::TwoChoice);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use dlz_core::PolicyCfg;
+
 use crate::dist::{Arrival, Dist};
 use crate::op::OpMix;
 
@@ -74,11 +76,12 @@ pub struct Scenario {
     /// Sample a quality observation every this many eligible ops
     /// (read deviation / rank proxy). 0 disables sampling.
     pub quality_every: u32,
-    /// Stickiness dimension for queue backends: consecutive same-kind
-    /// ops a worker keeps its chosen internal queue for (1 = the
-    /// paper's fresh-draw-per-op behaviour). Rank degrades within the
-    /// O(s·m) envelope; the quality report carries the bound.
-    pub sticky_ops: usize,
+    /// Choice-policy dimension for queue backends: which
+    /// [`ChoicePolicy`](dlz_core::ChoicePolicy) each worker's handle
+    /// runs (two-choice, d-choice, static or adaptive stickiness).
+    /// Rank degrades within the policy's envelope (O(s·m) for
+    /// stickiness); the quality report carries the bound.
+    pub choice_policy: PolicyCfg,
     /// Batch dimension for queue backends: operations buffered per
     /// lock acquisition (1 = unbatched). Ignored in history mode,
     /// which stamps individual operations.
@@ -111,7 +114,7 @@ impl Scenario {
                 seed: 0xd15f1e1d,
                 record_history: false,
                 quality_every: 64,
-                sticky_ops: 1,
+                choice_policy: PolicyCfg::TwoChoice,
                 batch: 1,
                 latency_every: 1,
             },
@@ -142,6 +145,12 @@ impl Scenario {
                 .about("weighted adds with Zipf-skewed weights — relaxed metric-counter regime")
                 .mix(OpMix::new(80, 0, 20))
                 .weights(Dist::Zipf { n: 64, theta: 0.9 })
+                .build(),
+            Scenario::builder("counter-history-audit", Family::Counter)
+                .about("stamped counter history replayed through the relaxed-counter checker — Lemma 6.8's deviation as measured step costs")
+                .mix(OpMix::new(70, 0, 30))
+                .budget(Budget::OpsPerWorker(4_000))
+                .record_history(true)
                 .build(),
             Scenario::builder("queue-balanced", Family::Queue)
                 .about("50/50 enqueue/dequeue, monotone priorities, 10k prefill — steady state")
@@ -177,7 +186,7 @@ impl Scenario {
                 .budget(Budget::OpsPerWorker(40_000))
                 .priorities(Dist::Uniform { n: 1 << 20 })
                 .prefill(400_000)
-                .sticky_ops(16)
+                .choice_policy(PolicyCfg::Sticky { ops: 16 })
                 .batch(16)
                 .latency_every(8)
                 .build(),
@@ -187,7 +196,7 @@ impl Scenario {
                 .mix(OpMix::new(50, 50, 0))
                 .budget(Budget::OpsPerWorker(40_000))
                 .prefill(20_000)
-                .sticky_ops(16)
+                .choice_policy(PolicyCfg::Sticky { ops: 16 })
                 .batch(16)
                 .latency_every(8)
                 .build(),
@@ -198,7 +207,16 @@ impl Scenario {
                 .budget(Budget::OpsPerWorker(6_000))
                 .prefill(2_000)
                 .record_history(true)
-                .sticky_ops(16)
+                .choice_policy(PolicyCfg::Sticky { ops: 16 })
+                .build(),
+            Scenario::builder("mq-hotpath-adaptive-audit", Family::Queue)
+                .about("adaptive-stickiness stamped history through the checker — observed rank must sit inside the observed-s envelope")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(6_000))
+                .prefill(2_000)
+                .record_history(true)
+                .choice_policy(PolicyCfg::AdaptiveSticky { s_max: 16 })
                 .build(),
             Scenario::builder("stm-uniform-mix", Family::Stm)
                 .about("80% 2-slot add txns / 20% read-only txns over 64k slots — Figure 1(c)")
@@ -298,9 +316,9 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Stickiness dimension (queue backends; 1 disables).
-    pub fn sticky_ops(mut self, s: usize) -> Self {
-        self.s.sticky_ops = s.max(1);
+    /// Choice-policy dimension (queue backends; default two-choice).
+    pub fn choice_policy(mut self, policy: PolicyCfg) -> Self {
+        self.s.choice_policy = policy;
         self
     }
 
@@ -362,16 +380,34 @@ mod tests {
     }
 
     #[test]
-    fn hotpath_scenarios_carry_sticky_and_batch_dimensions() {
+    fn hotpath_scenarios_carry_policy_and_batch_dimensions() {
         let s = Scenario::named("mq-hotpath-dequeue-heavy").expect("exists");
         assert_eq!(s.family, Family::Queue);
         assert!(s.threads >= 8, "contended point needs ≥ 8 threads");
-        assert!(s.sticky_ops > 1 && s.batch > 1);
+        assert_eq!(s.choice_policy, PolicyCfg::Sticky { ops: 16 });
+        assert!(s.batch > 1);
         let audit = Scenario::named("mq-hotpath-rank-audit").expect("exists");
-        assert!(audit.record_history && audit.sticky_ops > 1);
+        assert!(audit.record_history && !audit.choice_policy.is_default());
+        let adaptive = Scenario::named("mq-hotpath-adaptive-audit").expect("exists");
+        assert!(adaptive.record_history);
+        assert_eq!(
+            adaptive.choice_policy,
+            PolicyCfg::AdaptiveSticky { s_max: 16 }
+        );
         // Pre-existing scenarios keep the paper's fresh-draw behaviour.
         let plain = Scenario::named("queue-balanced").expect("exists");
-        assert_eq!((plain.sticky_ops, plain.batch), (1, 1));
+        assert_eq!(
+            (plain.choice_policy, plain.batch),
+            (PolicyCfg::TwoChoice, 1)
+        );
+    }
+
+    #[test]
+    fn counter_history_audit_records() {
+        let s = Scenario::named("counter-history-audit").expect("exists");
+        assert_eq!(s.family, Family::Counter);
+        assert!(s.record_history);
+        assert!(matches!(s.budget, Budget::OpsPerWorker(_)));
     }
 
     #[test]

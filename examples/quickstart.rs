@@ -45,7 +45,9 @@ fn main() {
     // 2. A relaxed priority queue: 16 internal queues.
     // ------------------------------------------------------------------
     let mq: MultiQueue<&str> = MultiQueue::<&str>::builder().queues(16).build();
-    let mut rng = Xoshiro256::new(7);
+    // A handle packages the per-thread state (RNG + choice policy);
+    // the default policy is the paper's fresh two-choice sampling.
+    let mut h = mq.handle(7);
     let tasks = [
         (5u64, "write tests"),
         (1, "fix the build"),
@@ -54,10 +56,10 @@ fn main() {
         (4, "update docs"),
     ];
     for (prio, task) in tasks {
-        mq.insert_with(&mut rng, prio, task);
+        h.insert(prio, task);
     }
     println!("MultiQueue drain (approximately ascending priority):");
-    while let Some((p, task)) = mq.dequeue_with(&mut rng) {
+    while let Some((p, task)) = h.dequeue() {
         println!("  [{p}] {task}");
     }
     println!();

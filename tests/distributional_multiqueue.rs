@@ -4,11 +4,10 @@
 
 use std::sync::Mutex;
 
-use distlin::core::rng::Xoshiro256;
 use distlin::core::spec::{
     check_distributional, Event, History, PqOp, PqSpec, StampClock, ThreadLog,
 };
-use distlin::core::{DeleteMode, MultiQueue};
+use distlin::core::{DeleteMode, MqHandle, MultiQueue, TwoChoice};
 
 /// Runs a concurrent stamped workload and returns its history.
 fn stamped_workload(
@@ -21,11 +20,13 @@ fn stamped_workload(
     let logs = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for t in 0..threads {
-            let mq = &mq;
             let clock = &clock;
             let logs = &logs;
             s.spawn(move || {
-                let mut rng = Xoshiro256::new(seed ^ ((t as u64) << 20));
+                // The handle's stamped history mode replaces the old
+                // `*_stamped` method clones; two-choice keeps the
+                // paper's Algorithm 2 behaviour.
+                let mut h = MqHandle::with_policy(mq, seed ^ ((t as u64) << 20), TwoChoice);
                 let mut log = ThreadLog::new(t);
                 // Unique priorities per thread: k * threads + t.
                 let mut k = 0u64;
@@ -34,7 +35,7 @@ fn stamped_workload(
                         let p = k * threads as u64 + t as u64;
                         k += 1;
                         let inv = clock.stamp();
-                        let upd = mq.insert_stamped(&mut rng, p, p, clock.as_atomic());
+                        let upd = h.stamped(clock.as_atomic()).insert(p, p);
                         let resp = clock.stamp();
                         log.push(Event {
                             thread: t,
@@ -45,7 +46,7 @@ fn stamped_workload(
                         });
                     } else {
                         let inv = clock.stamp();
-                        if let Some((p, _, upd)) = mq.dequeue_stamped(&mut rng, clock.as_atomic()) {
+                        if let Some((p, _, upd)) = h.stamped(clock.as_atomic()).dequeue() {
                             let resp = clock.stamp();
                             log.push(Event {
                                 thread: t,

@@ -87,10 +87,10 @@ fn multiqueue_skiplist_substrate_trylock_mpmc() {
         for t in 0..PRODUCERS {
             let mq = &mq;
             s.spawn(move || {
-                let mut rng = Xoshiro256::new(500 + t as u64);
+                let mut h = mq.handle(500 + t as u64);
                 for k in 0..PER {
                     let v = t as u64 * PER + k;
-                    mq.insert_with(&mut rng, v, v);
+                    h.insert(v, v);
                 }
             });
         }
@@ -98,11 +98,11 @@ fn multiqueue_skiplist_substrate_trylock_mpmc() {
             .map(|t| {
                 let mq = &mq;
                 s.spawn(move || {
-                    let mut rng = Xoshiro256::new(900 + t as u64);
+                    let mut h = mq.handle(900 + t as u64);
                     let mut got = Vec::new();
                     let target = PRODUCERS as u64 * PER / CONSUMERS as u64;
                     while (got.len() as u64) < target {
-                        if let Some((p, v)) = mq.dequeue_with(&mut rng) {
+                        if let Some((p, v)) = h.dequeue() {
                             assert_eq!(p, v);
                             got.push(v);
                         }
@@ -182,13 +182,13 @@ fn relaxed_fifo_history_maps_onto_fifo_spec() {
             let logs = &logs;
             s.spawn(move || {
                 use distlin::core::clock::Clock;
-                let mut rng = Xoshiro256::new(4000 + t as u64);
+                let mut h = mq.handle(4000 + t as u64);
                 let mut log = Vec::new();
                 for step in 0..PER {
                     if step % 3 < 2 {
                         let id = ts.tick(); // unique FIFO identity = timestamp
                         let inv = clock.stamp();
-                        let upd = mq.insert_stamped(&mut rng, id, id, clock.as_atomic());
+                        let upd = h.stamped(clock.as_atomic()).insert(id, id);
                         let resp = clock.stamp();
                         log.push(Event {
                             thread: t,
@@ -199,8 +199,7 @@ fn relaxed_fifo_history_maps_onto_fifo_spec() {
                         });
                     } else {
                         let inv = clock.stamp();
-                        if let Some((id, _, upd)) = mq.dequeue_stamped(&mut rng, clock.as_atomic())
-                        {
+                        if let Some((id, _, upd)) = h.stamped(clock.as_atomic()).dequeue() {
                             let resp = clock.stamp();
                             log.push(Event {
                                 thread: t,
@@ -237,21 +236,20 @@ fn stamped_and_plain_ops_interoperate() {
     // must not lose elements (stamped ops are plain ops + bookkeeping).
     let mq: MultiQueue<u64> = MultiQueue::new(4);
     let clock = StampClock::new();
-    let mut rng = Xoshiro256::new(5);
+    let mut h = mq.handle(5);
     for v in 0..100u64 {
         if v % 2 == 0 {
-            mq.insert_with(&mut rng, v, v);
+            h.insert(v, v);
         } else {
-            mq.insert_stamped(&mut rng, v, v, clock.as_atomic());
+            h.stamped(clock.as_atomic()).insert(v, v);
         }
     }
     let mut n = 0;
     loop {
         let got = if n % 2 == 0 {
-            mq.dequeue_with(&mut rng).map(|(p, _)| p)
+            h.dequeue().map(|(p, _)| p)
         } else {
-            mq.dequeue_stamped(&mut rng, clock.as_atomic())
-                .map(|(p, _, _)| p)
+            h.stamped(clock.as_atomic()).dequeue().map(|(p, _, _)| p)
         };
         if got.is_none() {
             break;

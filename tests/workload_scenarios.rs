@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use distlin::core::DeleteMode;
+use distlin::core::{DeleteMode, PolicyCfg};
 use distlin::workload::backends::{
     ConcurrentPqBackend, CounterBackend, MultiQueueBackend, StmBackend,
 };
@@ -214,7 +214,7 @@ fn arrival_processes_drive_every_family() {
 }
 
 #[test]
-fn tuned_hotpath_backends_conserve_and_stay_within_sticky_rank_bound() {
+fn tuned_hotpath_backends_conserve_and_stay_within_policy_rank_bound() {
     // Throughput mode: sticky + batched workers under concurrent
     // producers/consumers — conservation must hold exactly even though
     // workers buffer inserts and prefetch dequeues.
@@ -223,11 +223,11 @@ fn tuned_hotpath_backends_conserve_and_stay_within_sticky_rank_bound() {
     s.budget = Budget::OpsPerWorker(8_000);
     s.prefill = 1_000;
     s.seed = SEED;
-    let tuned = MultiQueueBackend::heap_tuned(8, DeleteMode::Strict, s.sticky_ops, s.batch);
+    let tuned = MultiQueueBackend::heap_policy(8, DeleteMode::Strict, s.choice_policy, s.batch);
     let r = engine::run(&s, &tuned);
     assert!(r.verified(), "{:?}", r.verify_error);
     assert_eq!(r.counts.inserted(), r.counts.removes + r.residual);
-    assert!(r.backend.contains("s=16,b=16"), "{}", r.backend);
+    assert!(r.backend.contains("sticky(s=16),b=16"), "{}", r.backend);
 
     // History mode: checker-exact sticky dequeue ranks must sit inside
     // the O(s·m) envelope the backend reports alongside them.
@@ -236,16 +236,69 @@ fn tuned_hotpath_backends_conserve_and_stay_within_sticky_rank_bound() {
     audit.budget = Budget::OpsPerWorker(2_000);
     audit.prefill = 500;
     audit.seed = SEED;
-    let backend = MultiQueueBackend::heap_tuned(8, DeleteMode::Strict, audit.sticky_ops, 1);
+    let backend = MultiQueueBackend::heap_policy(8, DeleteMode::Strict, audit.choice_policy, 1);
     let r = engine::run(&audit, &backend);
     assert!(r.verified(), "{:?}", r.verify_error);
     let q = &r.quality;
     assert_eq!(q.metric, "dequeue_rank");
     assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
-    assert_eq!(q.get("within_sticky_bound"), Some(1.0), "{q:?}");
+    assert_eq!(q.get("within_policy_bound"), Some(1.0), "{q:?}");
     let ranks = q.summary.expect("ranks");
     assert!(ranks.count > 0);
-    assert!(ranks.mean <= q.get("rank_bound_s_m").expect("bound"));
+    assert!(ranks.mean <= q.get("rank_bound_policy").expect("bound"));
+}
+
+#[test]
+fn adaptive_policy_audit_stays_within_observed_envelope() {
+    // The AdaptiveSticky catalog scenario: checker-exact ranks against
+    // the observed-s envelope the workers report.
+    let mut audit = Scenario::named("mq-hotpath-adaptive-audit").expect("catalog");
+    audit.threads = 3;
+    audit.budget = Budget::OpsPerWorker(3_000);
+    audit.prefill = 500;
+    audit.seed = SEED;
+    assert_eq!(audit.choice_policy, PolicyCfg::AdaptiveSticky { s_max: 16 });
+    let backend = MultiQueueBackend::heap_policy(12, DeleteMode::Strict, audit.choice_policy, 1);
+    let r = engine::run(&audit, &backend);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    let q = &r.quality;
+    assert_eq!(q.metric, "dequeue_rank");
+    assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
+    assert_eq!(q.get("within_policy_bound"), Some(1.0), "{q:?}");
+    // The reported factor is the widest stickiness actually observed,
+    // never above the configured cap.
+    let factor = q.get("policy_factor").expect("factor");
+    assert!((1.0..=16.0).contains(&factor), "factor {factor}");
+    let ranks = q.summary.expect("ranks");
+    assert!(ranks.count > 0);
+    assert!(ranks.mean <= q.get("rank_bound_policy").expect("bound"));
+}
+
+#[test]
+fn counter_history_audit_replays_through_the_checker() {
+    // Satellite of ROADMAP PR 1: counter histories recorded and
+    // replayed — read deviations measured at linearization points.
+    let mut s = Scenario::named("counter-history-audit").expect("catalog");
+    s.threads = 3;
+    s.budget = Budget::OpsPerWorker(3_000);
+    s.seed = SEED;
+    let m = 32;
+    let backend = CounterBackend::multicounter(m);
+    let r = engine::run(&s, &backend);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    let q = &r.quality;
+    assert_eq!(q.metric, "read_deviation");
+    assert_eq!(q.get("linearizable"), Some(1.0), "{q:?}");
+    assert!(q.get("history_ops").unwrap_or(0.0) > 0.0);
+    let summary = q.summary.expect("read costs");
+    assert!(summary.count > 0, "no reads replayed");
+    // Lemma 6.8 scale at the checker's exact linearization points.
+    assert!(
+        summary.max <= 4.0 * (m as f64) * (m as f64).ln(),
+        "checked deviation {} out of scale",
+        summary.max
+    );
+    assert_eq!(q.get("within_bound"), Some(1.0), "{q:?}");
 }
 
 #[test]
