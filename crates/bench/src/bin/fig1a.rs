@@ -6,9 +6,11 @@
 //! baseline: FAA throughput *decays* with threads (cache-line
 //! ping-pong) while the MultiCounter scales, more steeply for larger C.
 //!
-//! A thin wrapper over the workload engine: one update-only closed-loop
-//! scenario per (thread count, backend) cell. The engine also checks
-//! the conservation law (no increment lost) on every cell.
+//! The thread axis is a declarative [`SweepSpec`] grid driven through
+//! `engine::run_sweep`: one update-only closed-loop cell per thread
+//! count, six backends per cell (the factory sizes sharded/MultiCounter
+//! backends from the cell's thread count). The engine also checks the
+//! conservation law (no increment lost) on every cell.
 //!
 //! ```text
 //! cargo run -p dlz-bench --release --bin fig1a
@@ -17,7 +19,7 @@
 use dlz_bench::tables::f3;
 use dlz_bench::{Config, Table};
 use dlz_workload::backends::CounterBackend;
-use dlz_workload::{engine, Backend, Budget, Family, OpMix, Scenario};
+use dlz_workload::{engine, Backend, Budget, Family, OpMix, Scenario, SweepSpec};
 
 fn main() {
     let cfg = Config::from_args();
@@ -29,6 +31,30 @@ fn main() {
         cfg.duration, ratios
     );
 
+    let base = Scenario::builder("fig1a", Family::Counter)
+        .about("update-only closed loop")
+        .budget(Budget::Timed(cfg.duration))
+        .mix(OpMix::new(100, 0, 0))
+        .seed(cfg.seed)
+        .quality_every(0)
+        .build();
+    let spec = SweepSpec::new(base).threads(&cfg.threads);
+
+    let backends_per_cell = 2 + ratios.len();
+    let reports = engine::run_sweep(&spec, |cell| {
+        let n = cell.scenario.threads;
+        let mut backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(CounterBackend::exact()),
+            Box::new(CounterBackend::sharded(n)),
+        ];
+        backends.extend(
+            ratios
+                .iter()
+                .map(|&c| Box::new(CounterBackend::multicounter(c * n)) as Box<dyn Backend>),
+        );
+        backends
+    });
+
     let mut headers = vec![
         "threads".to_string(),
         "exact(FAA)".to_string(),
@@ -38,27 +64,13 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
-    for &n in &cfg.threads {
-        let scenario = Scenario::builder("fig1a", Family::Counter)
-            .about("update-only closed loop")
-            .threads(n)
-            .budget(Budget::Timed(cfg.duration))
-            .mix(OpMix::new(100, 0, 0))
-            .seed(cfg.seed)
-            .quality_every(0)
-            .build();
-
-        let mut backends: Vec<CounterBackend> =
-            vec![CounterBackend::exact(), CounterBackend::sharded(n)];
-        backends.extend(ratios.iter().map(|&c| CounterBackend::multicounter(c * n)));
-
-        let mut cells = vec![n.to_string()];
-        for backend in &backends {
-            let report = engine::run(&scenario, backend);
+    for chunk in reports.chunks(backends_per_cell) {
+        let mut cells = vec![chunk[0].threads.to_string()];
+        for report in chunk {
             assert!(
                 report.verified(),
                 "{}: {}",
-                backend.name(),
+                report.backend,
                 report.verify_error.as_deref().unwrap_or("?")
             );
             cells.push(f3(report.mops()));

@@ -3,10 +3,11 @@
 //! the maximum gap between cells, as increments accumulate (m = 64, as
 //! in the paper).
 //!
-//! A thin wrapper over the workload engine: the same MultiCounter
-//! backend is driven through a sequence of fixed-op scenario runs (one
-//! per checkpoint); each run samples read deviation on every read and
-//! the backend reports the cell gap.
+//! The checkpoint sequence is a [`SweepSpec`] `seeds` axis driven
+//! through `engine::run_sweep_shared`: the same MultiCounter backend
+//! accumulates across all cells, exactly like the original long
+//! single-threaded run; each cell samples read deviation on every read
+//! and the backend reports the cell gap.
 //!
 //! ```text
 //! cargo run -p dlz-bench --release --bin fig1b
@@ -14,7 +15,7 @@
 
 use dlz_bench::{Config, Table};
 use dlz_workload::backends::CounterBackend;
-use dlz_workload::{engine, Backend, Budget, Family, OpMix, Scenario};
+use dlz_workload::{engine, Budget, Family, OpMix, Scenario, SweepSpec};
 
 fn main() {
     let cfg = Config::from_args();
@@ -26,10 +27,22 @@ fn main() {
     println!("Figure 1(b): counter quality, single thread, m = {m}");
     println!("x axis: #increments; series: read deviation from true count, max cell gap\n");
 
-    // One backend instance accumulates across checkpoints, exactly like
-    // the original long single-threaded run.
+    // One backend instance accumulates across checkpoint cells.
     let backend = CounterBackend::multicounter(m);
     let bound = (m as f64) * (m as f64).ln();
+
+    // ~5% reads, every one quality-sampled against the exact sum; each
+    // checkpoint re-seeds so the drawn streams differ cell to cell.
+    let base = Scenario::builder("fig1b-checkpoint", Family::Counter)
+        .about("sequential quality checkpoint")
+        .threads(1)
+        .budget(Budget::OpsPerWorker(step))
+        .mix(OpMix::new(95, 0, 5))
+        .quality_every(1)
+        .build();
+    let seeds: Vec<u64> = (1..=checkpoints).map(|k| cfg.seed ^ k).collect();
+    let spec = SweepSpec::new(base).seeds(&seeds);
+    let reports = engine::run_sweep_shared(&spec, &backend);
 
     let mut table = Table::new(&[
         "increments",
@@ -40,26 +53,17 @@ fn main() {
     ]);
     let mut worst_err = 0f64;
     let mut worst_gap = 0f64;
-    for k in 1..=checkpoints {
-        // ~5% reads, every one quality-sampled against the exact sum.
-        let scenario = Scenario::builder("fig1b-checkpoint", Family::Counter)
-            .about("sequential quality checkpoint")
-            .threads(1)
-            .budget(Budget::OpsPerWorker(step))
-            .mix(OpMix::new(95, 0, 5))
-            .seed(cfg.seed ^ k)
-            .quality_every(1)
-            .build();
-        let report = engine::run(&scenario, &backend);
+    for report in &reports {
         assert!(report.verified(), "{:?}", report.verify_error);
-
         let q = &report.quality;
         let dev = q.summary.expect("reads sampled");
         let gap = q.get("max_gap").unwrap_or(0.0);
         worst_err = worst_err.max(dev.max);
         worst_gap = worst_gap.max(gap);
         table.row(vec![
-            backend.residual().to_string(),
+            // The shared backend's exact sum *after* this cell — the
+            // accumulated increment count the x axis plots.
+            report.residual.to_string(),
             format!("{:.1}", dev.mean),
             format!("{:.0}", dev.max),
             format!("{bound:.0}"),

@@ -6,9 +6,11 @@
 //! Workload (verbatim from Section 8): transactions pick 2 array
 //! locations uniformly at random, increment both, commit. Correctness
 //! is verified after every run by checking the array sum equals
-//! 2 × committed transactions — the same check the paper used. Both the
-//! thread loop and the verification now come from the workload engine
-//! ([`StmBackend`] encodes the transaction and the safety law).
+//! 2 × committed transactions — the same check the paper used. The
+//! whole objects × threads grid is **one** [`SweepSpec`]: the object
+//! count is the key-distribution axis, threads the inner axis, and the
+//! backend factory builds a fresh exact/relaxed STM pair per cell so
+//! version clocks and arrays start clean.
 //!
 //! ```text
 //! cargo run -p dlz-bench --release --bin fig1cde -- --objects 1000000
@@ -18,18 +20,7 @@
 use dlz_bench::tables::f3;
 use dlz_bench::{Config, Table};
 use dlz_workload::backends::StmBackend;
-use dlz_workload::{engine, Backend, Budget, Dist, Family, OpMix, RunReport, Scenario};
-
-fn scenario(objects: usize, threads: usize, cfg: &Config) -> Scenario {
-    Scenario::builder("fig1cde", Family::Stm)
-        .about("2 uniform increments per txn, update-only")
-        .threads(threads)
-        .budget(Budget::Timed(cfg.duration))
-        .mix(OpMix::new(100, 0, 0))
-        .keys(Dist::Uniform { n: objects as u64 })
-        .seed(cfg.seed)
-        .build()
-}
+use dlz_workload::{engine, Backend, Budget, Dist, Family, OpMix, RunReport, Scenario, SweepSpec};
 
 fn cell(report: &RunReport, backend_name: &str) -> (f64, f64, bool) {
     if let Some(err) = &report.verify_error {
@@ -47,8 +38,41 @@ fn main() {
         cfg.duration, cfg.objects
     );
 
+    let base = Scenario::builder("fig1cde", Family::Stm)
+        .about("2 uniform increments per txn, update-only")
+        .budget(Budget::Timed(cfg.duration))
+        .mix(OpMix::new(100, 0, 0))
+        .seed(cfg.seed)
+        .build();
+    // The object count is the key-space axis; threads nest inside it,
+    // so the reports group per figure naturally.
+    let keys_axis: Vec<Dist> = cfg
+        .objects
+        .iter()
+        .map(|&o| Dist::Uniform { n: o as u64 })
+        .collect();
+    let spec = SweepSpec::new(base).keys(&keys_axis).threads(&cfg.threads);
+
+    let reports = engine::run_sweep(&spec, |cell| {
+        let objects = match cell.scenario.keys {
+            Dist::Uniform { n } => n as usize,
+            ref other => unreachable!("fig1cde keys axis is uniform, got {other:?}"),
+        };
+        let n = cell.scenario.threads;
+        // Clock sizing inside StmBackend::relaxed matches the old
+        // hand-rolled harness: m = 2·n cells, κ = 3 margin (larger
+        // m/κ inflate Δ and with it the future-window abort cost —
+        // see the clock_tuning ablation binary).
+        vec![
+            Box::new(StmBackend::exact(objects)) as Box<dyn Backend>,
+            Box::new(StmBackend::relaxed(objects, n)) as Box<dyn Backend>,
+        ]
+    });
+
     let mut all_verified = true;
-    for &objects in &cfg.objects {
+    let per_cell = 2;
+    let per_figure = cfg.threads.len() * per_cell;
+    for (k, &objects) in cfg.objects.iter().enumerate() {
         let fig = match objects {
             1_000_000 => "Figure 1(c), 1M objects",
             100_000 => "Figure 1(d), 100K objects",
@@ -65,22 +89,12 @@ fn main() {
             "relaxed/exact",
             "verified",
         ]);
-        for &n in &cfg.threads {
-            // Fresh STM per point so version clocks/arrays start clean.
-            let s = scenario(objects, n, &cfg);
-            let exact = StmBackend::exact(objects);
-            let (ex_mops, ex_abort, ex_ok) = cell(&engine::run(&s, &exact), &exact.name());
-
-            // Clock sizing inside StmBackend::relaxed matches the old
-            // hand-rolled harness: m = 2·n cells, κ = 3 margin (larger
-            // m/κ inflate Δ and with it the future-window abort cost —
-            // see the clock_tuning ablation binary).
-            let relaxed = StmBackend::relaxed(objects, n);
-            let (rx_mops, rx_abort, rx_ok) = cell(&engine::run(&s, &relaxed), &relaxed.name());
-
+        for pair in reports[k * per_figure..(k + 1) * per_figure].chunks(per_cell) {
+            let (ex_mops, ex_abort, ex_ok) = cell(&pair[0], &pair[0].backend);
+            let (rx_mops, rx_abort, rx_ok) = cell(&pair[1], &pair[1].backend);
             all_verified &= ex_ok && rx_ok;
             table.row(vec![
-                n.to_string(),
+                pair[0].threads.to_string(),
                 f3(ex_mops),
                 format!("{:.1}", ex_abort * 100.0),
                 f3(rx_mops),

@@ -21,7 +21,7 @@ use dlz_bench::{Config, Table};
 use dlz_core::DeleteMode;
 use dlz_sim::{QueueProcess, Summary};
 use dlz_workload::backends::MultiQueueBackend;
-use dlz_workload::{engine, Budget, Dist, Family, OpMix, Scenario};
+use dlz_workload::{engine, Backend, Budget, Dist, Family, OpMix, Scenario, SweepSpec};
 
 fn sequential_section(cfg: &Config) {
     println!("-- sequential rank process (reference [3]) --");
@@ -66,31 +66,34 @@ fn concurrent_section(cfg: &Config) {
         "m·ln(m)",
         "lin?",
     ]);
-    for &threads in &cfg.threads {
-        let m = (8 * threads).max(8);
-        let per_thread = cfg.steps(40_000);
-        // The original hand-rolled loop: 2/3 enqueue, 1/3 dequeue, dense
-        // per-thread monotone priorities — now a declarative scenario
-        // with history recording on.
-        let scenario = Scenario::builder("mq-rank-audit", Family::Queue)
-            .about("stamped history replayed through the checker")
-            .threads(threads)
-            .budget(Budget::OpsPerWorker(per_thread))
-            .mix(OpMix::new(67, 33, 0))
-            .priorities(Dist::Monotonic)
-            .seed(cfg.seed)
-            .record_history(true)
-            .build();
-        let backend = MultiQueueBackend::heap(m, DeleteMode::Strict);
-        let report = engine::run(&scenario, &backend);
-        assert!(report.verified(), "{:?}", report.verify_error);
+    // The original hand-rolled loop: 2/3 enqueue, 1/3 dequeue, dense
+    // per-thread monotone priorities — now a declarative sweep over the
+    // thread axis with history recording on; the factory sizes the
+    // MultiQueue (m = 8·n) from each cell's thread count.
+    let per_thread = cfg.steps(40_000);
+    let base = Scenario::builder("mq-rank-audit", Family::Queue)
+        .about("stamped history replayed through the checker")
+        .budget(Budget::OpsPerWorker(per_thread))
+        .mix(OpMix::new(67, 33, 0))
+        .priorities(Dist::Monotonic)
+        .seed(cfg.seed)
+        .record_history(true)
+        .build();
+    let spec = SweepSpec::new(base).threads(&cfg.threads);
+    let reports = engine::run_sweep(&spec, |cell| {
+        let m = (8 * cell.scenario.threads).max(8);
+        vec![Box::new(MultiQueueBackend::heap(m, DeleteMode::Strict)) as Box<dyn Backend>]
+    });
 
+    for report in &reports {
+        assert!(report.verified(), "{:?}", report.verify_error);
+        let m = (8 * report.threads).max(8);
         let q = &report.quality;
         assert_eq!(q.metric, "dequeue_rank");
         let ranks = q.summary.expect("checker costs");
         table.row(vec![
             m.to_string(),
-            threads.to_string(),
+            report.threads.to_string(),
             format!("{:.0}", q.get("history_ops").unwrap_or(0.0)),
             f3(ranks.mean),
             f3(ranks.p99),

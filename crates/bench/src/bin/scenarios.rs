@@ -7,20 +7,29 @@
 //! cargo run --release -p dlz-bench --bin scenarios -- --scenario queue-balanced
 //! cargo run --release -p dlz-bench --bin scenarios -- --scenario stm-hot-keys \
 //!     --threads 8 --duration-ms 1000 --backends relaxed --json out.json
+//!
+//! # sweep grids: threads × policies × mixes, one JSON array out
+//! cargo run --release -p dlz-bench --bin scenarios -- --sweep \
+//!     --scenario queue-balanced --threads 1,2,4,8 \
+//!     --policies two-choice,sticky=16
 //! ```
 //!
-//! The JSON array (one object per scenario × backend pair) goes to
-//! stdout; human-readable progress goes to stderr, so the output can be
-//! piped straight into `jq` or a plotting script. Overrides: `--threads`
-//! takes the *last* value of the sweep list as the worker count;
-//! `--duration-ms` replaces timed budgets; `--quick` shrinks everything.
+//! Every run is a sweep grid (the single-run path is a 1×1 grid): the
+//! JSON array holds one object per (cell × backend), each tagged with
+//! its cell name and grid coordinates. `--threads 2,4,8` runs **every**
+//! listed thread count — nothing is silently dropped. `--sweep` without
+//! `--threads` sweeps the default power-of-two thread ladder. JSON goes
+//! to stdout; human-readable progress goes to stderr, so the output can
+//! be piped straight into `jq` or a plotting script. `--quick` shrinks
+//! only the dimensions not explicitly set.
 
+use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::time::Duration;
 
 use dlz_bench::{Config, Table};
-use dlz_workload::backends::roster;
-use dlz_workload::{engine, json, Budget, RunReport, Scenario};
+use dlz_workload::backends::{policy_roster, roster};
+use dlz_workload::{engine, json, Budget, Family, RunReport, Scenario, SweepSpec};
 
 fn list(catalog: &[Scenario]) {
     let mut table = Table::new(&["scenario", "family", "threads", "description"]);
@@ -36,9 +45,12 @@ fn list(catalog: &[Scenario]) {
     println!("\nrun one: cargo run --release -p dlz-bench --bin scenarios -- --scenario <name>");
 }
 
-/// Applies CLI overrides and quick-mode shrinking to a preset.
+/// Applies CLI overrides and quick-mode shrinking to a preset's base
+/// scenario. Quick mode only shrinks dimensions the user did **not**
+/// explicitly set: `--quick --threads 8` runs 8 threads.
 fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
     if cfg.was_set("threads") {
+        // Base value only; the sweep grid carries the full list.
         s.threads = *cfg.threads.last().expect("non-empty sweep");
     }
     if cfg.was_set("seed") {
@@ -52,13 +64,43 @@ fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
     }
     if cfg.quick {
         s.budget = match s.budget {
-            Budget::Timed(d) => Budget::Timed(d.min(Duration::from_millis(50))),
+            Budget::Timed(d) if !cfg.was_set("duration-ms") => {
+                Budget::Timed(d.min(Duration::from_millis(50)))
+            }
             Budget::OpsPerWorker(n) => Budget::OpsPerWorker((n / 10).max(100)),
+            other => other,
         };
-        s.threads = s.threads.min(2);
+        if !cfg.was_set("threads") {
+            s.threads = s.threads.min(2);
+        }
         s.prefill = s.prefill.min(2_000);
     }
     s
+}
+
+/// Builds the sweep grid for one catalog preset: the customized base
+/// plus the CLI axes. Without `--sweep` and without explicit axes this
+/// is a 1×1 grid — the single-run path.
+fn build_spec(base: Scenario, cfg: &Config) -> SweepSpec {
+    let family = base.family;
+    let mut spec = SweepSpec::new(base);
+    if cfg.sweep || cfg.was_set("threads") {
+        spec = spec.threads(&cfg.threads);
+    }
+    if !cfg.policies.is_empty() {
+        if family == Family::Queue {
+            spec = spec.policies(&cfg.policies);
+        } else {
+            eprintln!(
+                "note: --policies only applies to queue scenarios; ignored for this {} scenario",
+                family.label()
+            );
+        }
+    }
+    if !cfg.mixes.is_empty() {
+        spec = spec.mixes(&cfg.mixes);
+    }
+    spec
 }
 
 fn main() {
@@ -85,37 +127,81 @@ fn main() {
     };
 
     let mut reports: Vec<RunReport> = Vec::new();
-    let mut summary = Table::new(&[
-        "scenario", "backend", "threads", "mops", "p50_ns", "p99_ns", "quality", "verified",
-    ]);
+    // Every roster backend seen, selected or not — listed when a
+    // --backends filter matches nothing.
+    let mut roster_names: BTreeSet<String> = BTreeSet::new();
+    let mut matched = 0usize;
     for preset in selected {
-        let scenario = customize(preset, &cfg);
-        for backend in roster(&scenario) {
-            if !cfg.backend_selected(&backend.name()) {
-                continue;
-            }
-            eprintln!("running {} on {} ...", scenario.name, backend.name());
-            let report = engine::run(&scenario, backend.as_ref());
-            let q = &report.quality;
-            let quality_cell = match q.summary {
-                Some(s) => format!("{}: p99={:.1}", q.metric, s.p99),
-                None => match q.get("abort_rate") {
-                    Some(r) => format!("abort_rate={:.3}", r),
-                    None => q.metric.clone(),
-                },
-            };
-            summary.row(vec![
-                report.scenario.clone(),
-                report.backend.clone(),
-                report.threads.to_string(),
-                format!("{:.3}", report.mops()),
-                report.latency.p50_ns.to_string(),
-                report.latency.p99_ns.to_string(),
-                quality_cell,
-                report.verified().to_string(),
-            ]);
-            reports.push(report);
+        let base = customize(preset, &cfg);
+        if cfg.was_set("duration-ms") && matches!(base.budget, Budget::OpsPerWorker(_)) {
+            // An ineffective override must not pass silently.
+            eprintln!(
+                "warning: --duration-ms has no effect on '{}' (fixed-op budget {:?})",
+                base.name, base.budget
+            );
         }
+        let spec = build_spec(base, &cfg);
+        reports.extend(engine::run_sweep(&spec, |cell| {
+            // Along a policy axis, run only backends that act on the
+            // swept policy — same set in every cell, so the series is
+            // rectangular and no policy-oblivious backend gets tagged
+            // with a label it ignored. Other sweeps keep the full
+            // family roster.
+            let cell_roster = if cell.coords.iter().any(|(k, _)| k == "policy") {
+                policy_roster(&cell.scenario)
+            } else {
+                roster(&cell.scenario)
+            };
+            let mut kept: Vec<Box<dyn dlz_workload::Backend>> = Vec::new();
+            for backend in cell_roster {
+                let name = backend.name();
+                roster_names.insert(name.clone());
+                if cfg.backend_selected(&name) {
+                    eprintln!("running {} on {name} ...", cell.name);
+                    kept.push(backend);
+                }
+            }
+            matched += kept.len();
+            kept
+        }));
+    }
+
+    if !cfg.backends.is_empty() && matched == 0 {
+        eprintln!(
+            "error: --backends filter [{}] matched no backend; roster:",
+            cfg.backends.join(",")
+        );
+        for name in &roster_names {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+
+    let mut summary = Table::new(&[
+        "cell", "backend", "threads", "mops", "p50_ns", "p99_ns", "quality", "verified",
+    ]);
+    for report in &reports {
+        let q = &report.quality;
+        let quality_cell = match q.summary {
+            Some(s) => format!("{}: p99={:.1}", q.metric, s.p99),
+            None => match q.get("abort_rate") {
+                Some(r) => format!("abort_rate={:.3}", r),
+                None => q.metric.clone(),
+            },
+        };
+        summary.row(vec![
+            report
+                .cell
+                .clone()
+                .unwrap_or_else(|| report.scenario.clone()),
+            report.backend.clone(),
+            report.threads.to_string(),
+            format!("{:.3}", report.mops()),
+            report.latency.p50_ns.to_string(),
+            report.latency.p99_ns.to_string(),
+            quality_cell,
+            report.verified().to_string(),
+        ]);
     }
 
     let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
@@ -136,11 +222,84 @@ fn main() {
         for r in &unverified {
             eprintln!(
                 "VERIFY FAILED: {} on {}: {}",
-                r.scenario,
+                r.cell.as_deref().unwrap_or(&r.scenario),
                 r.backend,
                 r.verify_error.as_deref().unwrap_or("?")
             );
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlz_core::PolicyCfg;
+
+    #[test]
+    fn quick_only_shrinks_dimensions_the_user_did_not_set() {
+        // Regression: `--quick --threads 8` used to clamp to 2 threads
+        // because customize() applied the quick shrink after the
+        // explicit --threads override.
+        let cfg = Config::parse(vec!["--quick".into(), "--threads".into(), "8".into()]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert_eq!(s.threads, 8, "--quick must not clamp an explicit --threads");
+        // Unset dimensions still shrink.
+        assert!(matches!(s.budget, Budget::Timed(d) if d <= Duration::from_millis(50)));
+
+        // Without an explicit thread count, quick still clamps.
+        let cfg = Config::parse(vec!["--quick".into()]);
+        let s = customize(
+            Scenario::named("mq-hotpath-dequeue-heavy").expect("catalog"),
+            &cfg,
+        );
+        assert_eq!(s.threads, 2);
+
+        // An explicit duration survives quick mode too.
+        let cfg = Config::parse(vec!["--quick".into(), "--duration-ms".into(), "400".into()]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert_eq!(s.budget, Budget::Timed(Duration::from_millis(400)));
+    }
+
+    #[test]
+    fn build_spec_expands_cli_axes() {
+        let cfg = Config::parse(vec![
+            "--sweep".into(),
+            "--threads".into(),
+            "1,2".into(),
+            "--policies".into(),
+            "two-choice,sticky=16".into(),
+        ]);
+        let base = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 4, "2 threads × 2 policies");
+        let cells = spec.cells();
+        assert!(cells[0].name.starts_with("queue-balanced/t=1/policy="));
+        assert!(cells
+            .iter()
+            .any(|c| c.scenario.choice_policy == PolicyCfg::Sticky { ops: 16 }));
+
+        // Single-run path: a 1×1 grid, nothing dropped.
+        let cfg = Config::parse(vec![]);
+        let base = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 1);
+
+        // `--threads 2,4,8` without --sweep runs every listed count.
+        let cfg = Config::parse(vec!["--threads".into(), "2,4,8".into()]);
+        let base = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 3, "an explicit sweep list must not be dropped");
+        let threads: Vec<usize> = spec.cells().iter().map(|c| c.scenario.threads).collect();
+        assert_eq!(threads, vec![2, 4, 8]);
+
+        // --policies on a non-queue family is ignored (with a note).
+        let cfg = Config::parse(vec!["--policies".into(), "sticky=4".into()]);
+        let base = customize(
+            Scenario::named("counter-read-heavy").expect("catalog"),
+            &cfg,
+        );
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 1);
     }
 }

@@ -10,14 +10,24 @@
 //! | `--threads 1,2,4` | `DLZ_THREADS` | thread counts to sweep |
 //! | `--duration-ms 300` | `DLZ_DURATION_MS` | per-point duration |
 //! | `--objects N` | `DLZ_OBJECTS` | TL2 array size(s) |
-//! | `--quick` | `DLZ_QUICK=1` | shrink everything for CI smoke |
+//! | `--quick` | `DLZ_QUICK=1` | shrink everything *not explicitly set* for CI smoke |
 //! | `--seed S` | `DLZ_SEED` | base RNG seed |
 //! | `--list` | | `scenarios`: list the catalog and exit |
 //! | `--scenario NAME` | | `scenarios`: run one named scenario |
 //! | `--backends a,b` | | `scenarios`: substring filter on backends |
 //! | `--json FILE` | | `scenarios`: also write the JSON to FILE |
+//! | `--sweep` | `DLZ_SWEEP=1` | `scenarios`: expand the full sweep grid |
+//! | `--policies a,b` | `DLZ_POLICIES` | choice-policy axis (`two-choice,sticky=16,...`) |
+//! | `--mixes a,b` | `DLZ_MIXES` | op-mix axis (`50/50/0,90/0/10,...`) |
+//!
+//! Malformed flags are **usage errors**: [`Config::from_args`] prints
+//! the message to stderr and exits with status 2 (it never panics);
+//! [`Config::try_parse`] returns the error for tests and embedders.
 
 use std::time::Duration;
+
+use dlz_core::PolicyCfg;
+use dlz_workload::OpMix;
 
 /// Parsed configuration.
 #[derive(Debug, Clone)]
@@ -28,7 +38,9 @@ pub struct Config {
     pub duration: Duration,
     /// TL2 object counts (fig1cde only).
     pub objects: Vec<usize>,
-    /// Quick mode: shrink runs for smoke-testing.
+    /// Quick mode: shrink runs for smoke-testing. Only dimensions the
+    /// user did **not** explicitly set are shrunk — `--quick
+    /// --threads 8` runs 8 threads.
     pub quick: bool,
     /// Base seed for deterministic components.
     pub seed: u64,
@@ -40,6 +52,13 @@ pub struct Config {
     pub backends: Vec<String>,
     /// `scenarios`: also write the JSON report array to this file.
     pub json: Option<String>,
+    /// `scenarios`: expand the full sweep grid (threads × policies ×
+    /// mixes) instead of a single point per scenario.
+    pub sweep: bool,
+    /// Choice-policy axis values (`--policies two-choice,sticky=16`).
+    pub policies: Vec<PolicyCfg>,
+    /// Op-mix axis values (`--mixes 50/50/0,90/0/10`).
+    pub mixes: Vec<OpMix>,
     /// Names of flags/envs explicitly set (so binaries can distinguish
     /// "defaulted" from "requested").
     set_flags: Vec<String>,
@@ -67,15 +86,27 @@ impl Default for Config {
             scenario: None,
             backends: Vec::new(),
             json: None,
+            sweep: false,
+            policies: Vec::new(),
+            mixes: Vec::new(),
             set_flags: Vec::new(),
         }
     }
 }
 
 impl Config {
-    /// Parses `std::env::args` plus environment fallbacks.
+    /// Parses `std::env::args` plus environment fallbacks. A malformed
+    /// flag is a usage error: the message goes to stderr and the
+    /// process exits with status 2.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1).collect())
+        match Self::try_parse(std::env::args().skip(1).collect()) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("see crates/bench/src/config.rs for the flag table");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// `true` if the flag (or its env fallback) was explicitly set.
@@ -83,12 +114,23 @@ impl Config {
         self.set_flags.iter().any(|f| f == flag)
     }
 
-    /// Parses an explicit argument vector (tests).
+    /// Parses an explicit argument vector, panicking on malformed input
+    /// (tests and embedders that want the old behaviour; binaries use
+    /// [`Config::from_args`], which exits 2 instead).
     pub fn parse(args: Vec<String>) -> Self {
+        Self::try_parse(args).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parses an explicit argument vector plus environment fallbacks,
+    /// returning a usage-error message on malformed input.
+    pub fn try_parse(args: Vec<String>) -> Result<Self, String> {
         let mut cfg = Config::default();
         // Environment first, flags override.
         if let Ok(v) = std::env::var("DLZ_THREADS") {
-            cfg.threads = parse_list(&v);
+            cfg.threads = parse_list(&v, "DLZ_THREADS", "a thread count")?;
+            if cfg.threads.contains(&0) {
+                return Err("DLZ_THREADS values must be >= 1".into());
+            }
             cfg.set_flags.push("threads".into());
         }
         if let Ok(v) = std::env::var("DLZ_DURATION_MS") {
@@ -98,11 +140,14 @@ impl Config {
             }
         }
         if let Ok(v) = std::env::var("DLZ_OBJECTS") {
-            cfg.objects = parse_list(&v);
+            cfg.objects = parse_list(&v, "DLZ_OBJECTS", "an object count")?;
             cfg.set_flags.push("objects".into());
         }
         if std::env::var("DLZ_QUICK").as_deref() == Ok("1") {
             cfg.quick = true;
+        }
+        if std::env::var("DLZ_SWEEP").as_deref() == Ok("1") {
+            cfg.sweep = true;
         }
         if let Ok(v) = std::env::var("DLZ_SEED") {
             if let Ok(s) = v.parse::<u64>() {
@@ -110,56 +155,95 @@ impl Config {
                 cfg.set_flags.push("seed".into());
             }
         }
+        if let Ok(v) = std::env::var("DLZ_POLICIES") {
+            cfg.policies = parse_policies(&v)?;
+            cfg.set_flags.push("policies".into());
+        }
+        if let Ok(v) = std::env::var("DLZ_MIXES") {
+            cfg.mixes = parse_mixes(&v)?;
+            cfg.set_flags.push("mixes".into());
+        }
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--threads" => {
-                    let v = it.next().expect("--threads needs a value");
-                    cfg.threads = parse_list(&v);
+                    let v = need(&mut it, "--threads")?;
+                    cfg.threads = parse_list(&v, "--threads", "a thread count")?;
+                    if cfg.threads.contains(&0) {
+                        return Err("--threads values must be >= 1".into());
+                    }
                     cfg.set_flags.push("threads".into());
                 }
                 "--duration-ms" => {
-                    let v = it.next().expect("--duration-ms needs a value");
-                    cfg.duration = Duration::from_millis(v.parse().expect("ms"));
+                    let v = need(&mut it, "--duration-ms")?;
+                    let ms: u64 = v.parse().map_err(|_| {
+                        format!("--duration-ms expects a whole number of milliseconds, got '{v}'")
+                    })?;
+                    cfg.duration = Duration::from_millis(ms);
                     cfg.set_flags.push("duration-ms".into());
                 }
                 "--objects" => {
-                    let v = it.next().expect("--objects needs a value");
-                    cfg.objects = parse_list(&v);
+                    let v = need(&mut it, "--objects")?;
+                    cfg.objects = parse_list(&v, "--objects", "an object count")?;
                     cfg.set_flags.push("objects".into());
                 }
                 "--seed" => {
-                    let v = it.next().expect("--seed needs a value");
-                    cfg.seed = v.parse().expect("seed");
+                    let v = need(&mut it, "--seed")?;
+                    cfg.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed expects an unsigned integer, got '{v}'"))?;
                     cfg.set_flags.push("seed".into());
                 }
                 "--quick" => cfg.quick = true,
+                "--sweep" => cfg.sweep = true,
                 "--list" => cfg.list = true,
                 "--scenario" => {
-                    let v = it.next().expect("--scenario needs a name");
+                    let v = need(&mut it, "--scenario")?;
                     cfg.scenario = Some(v);
                 }
                 "--backends" => {
-                    let v = it.next().expect("--backends needs a value");
+                    let v = need(&mut it, "--backends")?;
                     cfg.backends = v
                         .split(',')
                         .filter(|p| !p.is_empty())
                         .map(|p| p.trim().to_lowercase())
                         .collect();
                 }
+                "--policies" => {
+                    let v = need(&mut it, "--policies")?;
+                    cfg.policies = parse_policies(&v)?;
+                    cfg.set_flags.push("policies".into());
+                }
+                "--mixes" => {
+                    let v = need(&mut it, "--mixes")?;
+                    cfg.mixes = parse_mixes(&v)?;
+                    cfg.set_flags.push("mixes".into());
+                }
                 "--json" => {
-                    let v = it.next().expect("--json needs a path");
+                    let v = need(&mut it, "--json")?;
                     cfg.json = Some(v);
                 }
-                other => panic!("unknown flag {other}; see crates/bench/src/config.rs"),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; see crates/bench/src/config.rs"
+                    ))
+                }
             }
         }
+        // Quick mode only shrinks dimensions the user did NOT set
+        // explicitly: `--quick --threads 8` runs 8 threads.
         if cfg.quick {
-            cfg.duration = cfg.duration.min(Duration::from_millis(50));
-            cfg.threads.truncate(2);
-            cfg.objects = cfg.objects.iter().map(|&o| o.min(10_000)).collect();
+            if !cfg.was_set("duration-ms") {
+                cfg.duration = cfg.duration.min(Duration::from_millis(50));
+            }
+            if !cfg.was_set("threads") {
+                cfg.threads.truncate(2);
+            }
+            if !cfg.was_set("objects") {
+                cfg.objects = cfg.objects.iter().map(|&o| o.min(10_000)).collect();
+            }
         }
-        cfg
+        Ok(cfg)
     }
 
     /// Scales a step count down in quick mode.
@@ -181,14 +265,55 @@ impl Config {
     }
 }
 
-fn parse_list<T: std::str::FromStr>(s: &str) -> Vec<T>
-where
-    T::Err: std::fmt::Debug,
-{
-    s.split(',')
+/// The next argument, or a usage error naming the flag that needed it.
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str, what: &str) -> Result<Vec<T>, String> {
+    let out: Result<Vec<T>, String> = s
+        .split(',')
         .filter(|p| !p.is_empty())
-        .map(|p| p.trim().parse().expect("list element"))
-        .collect()
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: '{p}' is not {what}"))
+        })
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated choice-policy list
+/// (`two-choice,sticky=16,d-choice=4,adaptive=8`).
+fn parse_policies(s: &str) -> Result<Vec<PolicyCfg>, String> {
+    let out: Result<Vec<PolicyCfg>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(PolicyCfg::parse)
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("--policies needs at least one policy".into());
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated op-mix list (`50/50/0,90/0/10`).
+fn parse_mixes(s: &str) -> Result<Vec<OpMix>, String> {
+    let out: Result<Vec<OpMix>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(OpMix::parse)
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("--mixes needs at least one mix".into());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -203,7 +328,10 @@ mod tests {
         assert!(c.duration >= Duration::from_millis(1));
         assert_eq!(c.objects.len(), 3);
         assert!(!c.list);
+        assert!(!c.sweep);
         assert!(c.scenario.is_none());
+        assert!(c.policies.is_empty());
+        assert!(c.mixes.is_empty());
     }
 
     #[test]
@@ -228,12 +356,31 @@ mod tests {
     }
 
     #[test]
-    fn quick_mode_shrinks() {
+    fn quick_mode_shrinks_unset_dimensions() {
         let c = Config::parse(vec!["--quick".into()]);
         assert!(c.quick);
         assert!(c.duration <= Duration::from_millis(50));
         assert!(c.threads.len() <= 2);
         assert_eq!(c.steps(1_000_000), 20_000);
+    }
+
+    #[test]
+    fn quick_mode_respects_explicit_overrides() {
+        // Regression: `--quick --threads 8` used to clamp to 2 threads
+        // because the quick shrink ran after the override.
+        let c = Config::parse(vec!["--quick".into(), "--threads".into(), "8".into()]);
+        assert_eq!(
+            c.threads,
+            vec![8],
+            "explicit --threads must survive --quick"
+        );
+        // Order must not matter either.
+        let c = Config::parse(vec!["--threads".into(), "4,8".into(), "--quick".into()]);
+        assert_eq!(c.threads, vec![4, 8]);
+        let c = Config::parse(vec!["--quick".into(), "--duration-ms".into(), "400".into()]);
+        assert_eq!(c.duration, Duration::from_millis(400));
+        let c = Config::parse(vec!["--quick".into(), "--objects".into(), "500000".into()]);
+        assert_eq!(c.objects, vec![500_000]);
     }
 
     #[test]
@@ -256,9 +403,71 @@ mod tests {
     }
 
     #[test]
+    fn sweep_axes_parse() {
+        let c = Config::parse(vec![
+            "--sweep".into(),
+            "--policies".into(),
+            "two-choice,sticky=16,adaptive=8".into(),
+            "--mixes".into(),
+            "50/50/0,90/0/10".into(),
+        ]);
+        assert!(c.sweep);
+        assert_eq!(
+            c.policies,
+            vec![
+                PolicyCfg::TwoChoice,
+                PolicyCfg::Sticky { ops: 16 },
+                PolicyCfg::AdaptiveSticky { s_max: 8 },
+            ]
+        );
+        assert_eq!(c.mixes, vec![OpMix::new(50, 50, 0), OpMix::new(90, 0, 10)]);
+        assert!(c.was_set("policies"));
+        assert!(c.was_set("mixes"));
+    }
+
+    #[test]
     fn empty_backend_filter_selects_all() {
         let c = Config::parse(vec![]);
         assert!(c.backend_selected("anything"));
+    }
+
+    #[test]
+    fn malformed_values_are_usage_errors_not_panics() {
+        // Regression: `--duration-ms abc` used to panic with a raw
+        // `expect("ms")`.
+        let e = Config::try_parse(vec!["--duration-ms".into(), "abc".into()]).unwrap_err();
+        assert!(e.contains("--duration-ms"), "{e}");
+        assert!(e.contains("abc"), "{e}");
+        let e = Config::try_parse(vec!["--seed".into(), "xyz".into()]).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+        let e = Config::try_parse(vec!["--threads".into(), "1,two".into()]).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = Config::try_parse(vec!["--threads".into(), "0".into()]).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = Config::try_parse(vec!["--policies".into(), "frobnicate".into()]).unwrap_err();
+        assert!(e.contains("frobnicate"), "{e}");
+        let e = Config::try_parse(vec!["--mixes".into(), "50/50".into()]).unwrap_err();
+        assert!(e.contains("50/50"), "{e}");
+    }
+
+    #[test]
+    fn trailing_flags_are_usage_errors_not_panics() {
+        // Regression: a trailing `--threads` used to panic with
+        // `expect("--threads needs a value")`.
+        for flag in [
+            "--threads",
+            "--duration-ms",
+            "--objects",
+            "--seed",
+            "--scenario",
+            "--backends",
+            "--policies",
+            "--mixes",
+            "--json",
+        ] {
+            let e = Config::try_parse(vec![flag.into()]).unwrap_err();
+            assert_eq!(e, format!("{flag} needs a value"));
+        }
     }
 
     #[test]

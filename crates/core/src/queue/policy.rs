@@ -591,6 +591,65 @@ impl PolicyCfg {
             PolicyCfg::AdaptiveSticky { s_max } => format!("adaptive(s_max={s_max})"),
         }
     }
+
+    /// Parses a policy description — the inverse of [`label`](Self::label)
+    /// plus the compact CLI forms:
+    ///
+    /// * `two-choice` (also `twochoice`, `2choice`)
+    /// * `d-choice=4` (also `dchoice4`, `d-choice(d=4)`)
+    /// * `sticky=16` (also `sticky16`, `sticky(s=16)`)
+    /// * `adaptive=16` (also `adaptive16`, `adaptive(s_max=16)`)
+    pub fn parse(s: &str) -> Result<PolicyCfg, String> {
+        // Normalize the label round-trip forms down to `name=N`.
+        let t = s
+            .trim()
+            .to_lowercase()
+            .replace("(s_max=", "=")
+            .replace("(s=", "=")
+            .replace("(d=", "=")
+            .replace(['(', ')'], "");
+        let (name, num) = match t.find(|c: char| c.is_ascii_digit()) {
+            Some(i) if i > 0 => (&t[..i], &t[i..]),
+            _ => (t.as_str(), ""),
+        };
+        let name = name.trim_end_matches(['=', '-', '_']);
+        let parse_num = |what: &str| -> Result<usize, String> {
+            num.parse::<usize>()
+                .map_err(|_| format!("policy '{s}': '{num}' is not a valid {what}"))
+        };
+        match name {
+            "two-choice" | "twochoice" | "two_choice" | "2choice" => {
+                if num.is_empty() {
+                    Ok(PolicyCfg::TwoChoice)
+                } else {
+                    // A numeric suffix on a no-parameter policy is most
+                    // likely a typo for sticky=N / d-choice=N — reject
+                    // rather than silently drop it.
+                    Err(format!("policy '{s}': two-choice takes no parameter"))
+                }
+            }
+            "d-choice" | "dchoice" | "d" => Ok(PolicyCfg::DChoice { d: parse_num("d")? }),
+            "sticky" | "s" => Ok(PolicyCfg::Sticky {
+                ops: parse_num("camp length")?,
+            }),
+            "adaptive" | "adaptivesticky" | "adaptive-sticky" | "adaptive_sticky" => {
+                Ok(PolicyCfg::AdaptiveSticky {
+                    s_max: parse_num("s_max")?,
+                })
+            }
+            _ => Err(format!(
+                "unknown policy '{s}' (expected two-choice, d-choice=N, sticky=N or adaptive=N)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyCfg {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyCfg::parse(s)
+    }
 }
 
 /// Runtime-dispatched policy: any [`PolicyCfg`] as a live instance.
@@ -856,6 +915,48 @@ mod tests {
         match (PolicyCfg::AdaptiveSticky { s_max: 0 }).build() {
             AnyPolicy::AdaptiveSticky(p) => assert_eq!(p.s_max(), 1),
             other => panic!("wrong build: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_parse_accepts_compact_and_label_forms() {
+        for (text, want) in [
+            ("two-choice", PolicyCfg::TwoChoice),
+            ("twochoice", PolicyCfg::TwoChoice),
+            ("2choice", PolicyCfg::TwoChoice),
+            ("d-choice=4", PolicyCfg::DChoice { d: 4 }),
+            ("dchoice4", PolicyCfg::DChoice { d: 4 }),
+            ("sticky=16", PolicyCfg::Sticky { ops: 16 }),
+            ("sticky16", PolicyCfg::Sticky { ops: 16 }),
+            ("Sticky(s=8)", PolicyCfg::Sticky { ops: 8 }),
+            ("adaptive=16", PolicyCfg::AdaptiveSticky { s_max: 16 }),
+            ("adaptive8", PolicyCfg::AdaptiveSticky { s_max: 8 }),
+        ] {
+            assert_eq!(PolicyCfg::parse(text), Ok(want), "{text}");
+            // FromStr delegates.
+            assert_eq!(text.parse::<PolicyCfg>(), Ok(want));
+        }
+        // Every label round-trips through parse.
+        for cfg in [
+            PolicyCfg::TwoChoice,
+            PolicyCfg::DChoice { d: 3 },
+            PolicyCfg::Sticky { ops: 16 },
+            PolicyCfg::AdaptiveSticky { s_max: 16 },
+        ] {
+            assert_eq!(PolicyCfg::parse(&cfg.label()), Ok(cfg), "{}", cfg.label());
+        }
+        for bad in [
+            "",
+            "sticky",
+            "sticky=x",
+            "frobnicate",
+            "d-choice",
+            // A numeric suffix on the parameterless policy is rejected,
+            // not silently dropped.
+            "two-choice16",
+            "twochoice8",
+        ] {
+            assert!(PolicyCfg::parse(bad).is_err(), "{bad} should not parse");
         }
     }
 

@@ -73,9 +73,42 @@ pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
     }
 }
 
+/// The roster for one cell of a **policy sweep**: only backends that
+/// actually act on the scenario's `choice_policy` (the policy-driven
+/// MultiQueue in both delete modes), so every cell along the policy
+/// axis runs the same backend set and every report's policy label is
+/// truthful. Works for the default policy too (`heap_policy` with
+/// two-choice is the comparable baseline point), unlike [`roster`],
+/// which adds tuned variants only when the policy deviates and would
+/// tag policy-oblivious backends with the swept label.
+///
+/// Returns an empty vector for non-queue families (no backend acts on
+/// a policy there).
+pub fn policy_roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
+    if scenario.family != Family::Queue {
+        return Vec::new();
+    }
+    let m = (4 * scenario.threads).max(8);
+    vec![
+        Box::new(MultiQueueBackend::heap_policy(
+            m,
+            DeleteMode::Strict,
+            scenario.choice_policy,
+            scenario.batch,
+        )),
+        Box::new(MultiQueueBackend::heap_policy(
+            m,
+            DeleteMode::TryLock,
+            scenario.choice_policy,
+            scenario.batch,
+        )),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlz_core::PolicyCfg;
 
     #[test]
     fn roster_covers_every_family_with_two_plus_backends() {
@@ -86,5 +119,25 @@ mod tests {
                 assert_eq!(b.family(), s.family, "{}", b.name());
             }
         }
+    }
+
+    #[test]
+    fn policy_roster_is_uniform_across_the_policy_axis() {
+        let mut s = Scenario::named("queue-balanced").expect("catalog");
+        // Same backend set (by count and delete modes) for the default
+        // and a deviating policy — no ragged series along the axis.
+        s.choice_policy = PolicyCfg::TwoChoice;
+        let default_names: Vec<String> = policy_roster(&s).iter().map(|b| b.name()).collect();
+        s.choice_policy = PolicyCfg::Sticky { ops: 16 };
+        let sticky_names: Vec<String> = policy_roster(&s).iter().map(|b| b.name()).collect();
+        assert_eq!(default_names.len(), 2);
+        assert_eq!(sticky_names.len(), 2);
+        // Every backend in a policy cell really acts on the policy.
+        for n in &sticky_names {
+            assert!(n.contains("sticky(s=16)"), "{n}");
+        }
+        // Non-queue families have no policy-acting backend.
+        let c = Scenario::named("counter-read-heavy").expect("catalog");
+        assert!(policy_roster(&c).is_empty());
     }
 }

@@ -82,6 +82,17 @@ fn zeta(n: u64, theta: f64) -> f64 {
 }
 
 impl Dist {
+    /// Short human-readable label used in sweep-cell names and grid
+    /// coordinates (e.g. `uniform(65536)`, `zipf(16384,0.9)`).
+    pub fn label(&self) -> String {
+        match self {
+            Dist::Fixed(v) => format!("fixed({v})"),
+            Dist::Uniform { n } => format!("uniform({n})"),
+            Dist::Zipf { n, theta } => format!("zipf({n},{theta})"),
+            Dist::Monotonic => "monotonic".to_string(),
+        }
+    }
+
     /// Builds the sampler for worker `worker` of `threads`.
     ///
     /// # Panics
@@ -173,6 +184,18 @@ pub enum Arrival {
         /// Idle time between bursts.
         pause: Duration,
     },
+}
+
+impl Arrival {
+    /// Short human-readable label used in sweep-cell names and grid
+    /// coordinates (e.g. `closed`, `open(50000/s)`, `bursty(256,2ms)`).
+    pub fn label(&self) -> String {
+        match self {
+            Arrival::Closed => "closed".to_string(),
+            Arrival::Open { rate_per_worker } => format!("open({rate_per_worker}/s)"),
+            Arrival::Bursty { burst, pause } => format!("bursty({burst},{pause:?})"),
+        }
+    }
 }
 
 #[cfg(test)]

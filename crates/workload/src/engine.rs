@@ -21,6 +21,7 @@ use crate::metrics::{LatencySummary, WorkerMetrics};
 use crate::op::{Op, OpCounts, OpKind, OpMix};
 use crate::report::{skeleton, RunReport};
 use crate::scenario::{Budget, Scenario};
+use crate::sweep::{SweepCell, SweepSpec};
 
 /// Distinct, reproducible seed for worker `worker`'s stream `stream`.
 fn stream_seed(base: u64, worker: usize, stream: u64) -> u64 {
@@ -290,6 +291,49 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
     report
 }
 
+/// Tags a report with its sweep-cell identity.
+fn tag(mut report: RunReport, cell: &SweepCell) -> RunReport {
+    report.cell = Some(cell.name.clone());
+    report.grid = cell.coords.clone();
+    report
+}
+
+/// Runs every cell of a sweep grid and returns one report per
+/// (cell × backend), each tagged with its cell name and grid
+/// coordinates (see [`RunReport::cell`] / [`RunReport::grid`]).
+///
+/// `backends_for` is the backend factory, invoked **once per cell**
+/// with the concrete cell (its scenario carries the cell's thread
+/// count, policy, skew, …); every backend it returns is run against
+/// that cell's scenario, in order. Returning an empty vector skips the
+/// cell. Cells execute sequentially in the deterministic
+/// [`SweepSpec::cells`] order, so a fixed-seed grid reproduces its
+/// per-cell op counts exactly.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    mut backends_for: impl FnMut(&SweepCell) -> Vec<Box<dyn Backend>>,
+) -> Vec<RunReport> {
+    let mut reports = Vec::new();
+    for cell in spec.cells() {
+        for backend in backends_for(&cell) {
+            reports.push(tag(run(&cell.scenario, backend.as_ref()), &cell));
+        }
+    }
+    reports
+}
+
+/// Runs every cell of a sweep grid against **one shared backend
+/// instance**, which accumulates state across cells — the
+/// checkpoint-sequence pattern (e.g. Figure 1(b)'s quality-vs-total
+/// increments curve uses a `seeds` axis over one MultiCounter).
+/// Returns one tagged report per cell, in grid order.
+pub fn run_sweep_shared(spec: &SweepSpec, backend: &dyn Backend) -> Vec<RunReport> {
+    spec.cells()
+        .iter()
+        .map(|cell| tag(run(&cell.scenario, backend), cell))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +498,82 @@ mod tests {
         let s = small("t-mismatch", Family::Counter).build();
         let b = ConcurrentPqBackend::coarse();
         let _ = run(&s, &b);
+    }
+
+    #[test]
+    fn sweep_reports_carry_cells_and_reproduce_counts() {
+        use dlz_core::PolicyCfg;
+        let spec = || {
+            let base = small("t-sweep", Family::Queue)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(1_000))
+                .prefill(200)
+                .build();
+            SweepSpec::new(base)
+                .threads(&[1, 2])
+                .policies(&[PolicyCfg::TwoChoice, PolicyCfg::Sticky { ops: 4 }])
+        };
+        let go = || {
+            run_sweep(&spec(), |cell| {
+                vec![Box::new(MultiQueueBackend::heap_policy(
+                    8,
+                    DeleteMode::Strict,
+                    cell.scenario.choice_policy,
+                    1,
+                )) as Box<dyn Backend>]
+            })
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                x.verified(),
+                "{}: {:?}",
+                x.cell.as_deref().unwrap(),
+                x.verify_error
+            );
+            // Same seed + same grid → identical per-cell op counts.
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.counts.updates, y.counts.updates);
+            assert_eq!(x.counts.removes + x.residual, y.counts.removes + y.residual);
+            // Each report is tagged with its coordinates.
+            let cell = x.cell.as_deref().expect("sweep tag");
+            assert!(cell.starts_with("t-sweep/t="), "{cell}");
+            assert_eq!(x.grid.len(), 2);
+            assert_eq!(x.grid[0].0, "t");
+            assert_eq!(x.grid[1].0, "policy");
+            assert_eq!(x.grid[1].1, x.policy);
+        }
+        // The threads axis really ran different worker counts.
+        assert_eq!(a[0].threads, 1);
+        assert_eq!(a[1].threads, 2);
+        assert_eq!(
+            a[0].counts.updates + a[0].counts.removes + a[0].counts.removes_empty,
+            1_000
+        );
+    }
+
+    #[test]
+    fn shared_backend_sweep_accumulates_across_cells() {
+        let base = small("t-shared", Family::Counter)
+            .mix(OpMix::new(100, 0, 0))
+            .budget(Budget::OpsPerWorker(500))
+            .threads(1)
+            .build();
+        let spec = SweepSpec::new(base).seeds(&[11, 22, 33]);
+        let backend = CounterBackend::multicounter(8);
+        let reports = run_sweep_shared(&spec, &backend);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.verified(), "{:?}", r.verify_error);
+            // One shared instance: the residual (exact sum) grows by 500
+            // increments per checkpoint cell.
+            assert_eq!(r.residual, 500 * (i as u64 + 1));
+            assert_eq!(
+                r.cell.as_deref(),
+                Some(format!("t-shared/seed={}", [11, 22, 33][i]).as_str())
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   (see [`backends`]).
 //! * [`engine::run`] — the concurrent driver: barrier start, sharded
 //!   metrics, deterministic fixed-op or wall-clock budgets.
+//! * [`SweepSpec`] / [`engine::run_sweep`] — declarative sweep grids:
+//!   a base scenario × axes (threads, choice policy, mix, skew, batch,
+//!   arrival, seed) expanded into named cells
+//!   (`queue-balanced/t=8/policy=sticky(s=16)`), executed cell by cell,
+//!   one grid-tagged [`RunReport`] per (cell × backend).
 //! * [`metrics`] — log-bucketed latency histogram (p50/p99/p999 at ~3%
 //!   resolution) merged from per-worker shards.
 //! * Quality wiring — counter backends sample read deviation against
@@ -58,12 +63,14 @@ pub mod metrics;
 pub mod op;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 pub use dist::{Arrival, Dist, Sampler};
 pub use driver::{count_until_stopped, run_throughput, Throughput};
-pub use engine::run;
+pub use engine::{run, run_sweep, run_sweep_shared};
 pub use metrics::{LatencySummary, LogHistogram, WorkerMetrics};
 pub use op::{Op, OpCounts, OpKind, OpMix};
 pub use report::RunReport;
 pub use scenario::{Budget, Family, Scenario, ScenarioBuilder};
+pub use sweep::{SweepCell, SweepSpec};

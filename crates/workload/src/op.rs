@@ -68,6 +68,35 @@ impl OpMix {
         }
     }
 
+    /// Short label used in sweep-cell names and grid coordinates:
+    /// `update-remove-read`, e.g. `50-50-0`. [`OpMix::parse`] is the
+    /// inverse.
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.update, self.remove, self.read)
+    }
+
+    /// Parses an `update-remove-read` weight triple. Accepts `-`, `/`
+    /// or `:` as the separator (`90/0/10`, `50-50-0`, `60:30:10`).
+    pub fn parse(s: &str) -> Result<OpMix, String> {
+        let parts: Vec<&str> = s.split(['-', '/', ':']).collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "op mix '{s}' must be an update-remove-read triple like 50/50/0"
+            ));
+        }
+        let mut w = [0u32; 3];
+        for (slot, part) in w.iter_mut().zip(&parts) {
+            *slot = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("op mix '{s}': '{part}' is not a weight"))?;
+        }
+        if w.iter().all(|&x| x == 0) {
+            return Err(format!("op mix '{s}' needs at least one nonzero weight"));
+        }
+        Ok(OpMix::new(w[0], w[1], w[2]))
+    }
+
     /// Total weight.
     pub fn total(&self) -> u32 {
         self.update + self.remove + self.read
@@ -149,6 +178,22 @@ mod tests {
     #[should_panic(expected = "nonzero weight")]
     fn empty_mix_rejected() {
         let _ = OpMix::new(0, 0, 0);
+    }
+
+    #[test]
+    fn mix_label_parse_roundtrip() {
+        for mix in [
+            OpMix::new(50, 50, 0),
+            OpMix::new(90, 0, 10),
+            OpMix::new(60, 30, 10),
+        ] {
+            assert_eq!(OpMix::parse(&mix.label()), Ok(mix));
+        }
+        assert_eq!(OpMix::parse("90/0/10"), Ok(OpMix::new(90, 0, 10)));
+        assert_eq!(OpMix::parse("60:30:10"), Ok(OpMix::new(60, 30, 10)));
+        assert!(OpMix::parse("50/50").is_err(), "two fields");
+        assert!(OpMix::parse("a/b/c").is_err(), "non-numeric");
+        assert!(OpMix::parse("0-0-0").is_err(), "all-zero mix");
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub struct RunReport {
     pub budget: Budget,
     /// Arrival process the run used.
     pub arrival: Arrival,
+    /// Choice-policy label the scenario carried (queue backends act on
+    /// it; other families echo the default).
+    pub policy: String,
+    /// Sweep-cell name when the run came from
+    /// [`engine::run_sweep`](crate::engine::run_sweep)
+    /// (e.g. `queue-balanced/t=8/policy=sticky(s=16)`); `None` for a
+    /// plain [`engine::run`](crate::engine::run).
+    pub cell: Option<String>,
+    /// Swept grid coordinates as `(axis, value-label)` pairs; empty
+    /// outside sweeps and for 1×1 grids with no explicit axes.
+    pub grid: Vec<(String, String)>,
 }
 
 impl RunReport {
@@ -66,8 +77,17 @@ impl RunReport {
             .str("family", self.family)
             .str("backend", &self.backend)
             .u64("threads", self.threads as u64)
+            .str("policy", &self.policy)
             .u64("seed", self.seed)
             .u64("prefill", self.prefill);
+        if let Some(cell) = &self.cell {
+            o.str("cell", cell);
+            o.obj("grid", |g| {
+                for (k, v) in &self.grid {
+                    g.str(k, v);
+                }
+            });
+        }
         match self.budget {
             Budget::OpsPerWorker(n) => {
                 o.obj("budget", |b| {
@@ -157,6 +177,9 @@ pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
         verify_error: None,
         budget: scenario.budget,
         arrival: scenario.arrival,
+        policy: scenario.choice_policy.label(),
+        cell: None,
+        grid: Vec::new(),
     }
 }
 
@@ -184,9 +207,30 @@ mod tests {
             "\"metric\":\"read_deviation\"",
             "\"bound\":4",
             "\"verified\":true",
+            "\"policy\":\"two-choice\"",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
+        // Not a sweep run: no cell/grid keys.
+        assert!(!j.contains("\"cell\":"));
+        assert!(!j.contains("\"grid\":"));
+    }
+
+    #[test]
+    fn sweep_cell_and_grid_render() {
+        let s = Scenario::builder("t", Family::Queue).build();
+        let mut r = skeleton(&s, "b".into());
+        r.cell = Some("t/t=8/policy=sticky(s=16)".into());
+        r.grid = vec![
+            ("t".into(), "8".into()),
+            ("policy".into(), "sticky(s=16)".into()),
+        ];
+        let j = r.to_json();
+        assert!(j.contains("\"cell\":\"t/t=8/policy=sticky(s=16)\""), "{j}");
+        assert!(
+            j.contains("\"grid\":{\"t\":\"8\",\"policy\":\"sticky(s=16)\"}"),
+            "{j}"
+        );
     }
 
     #[test]
