@@ -1,0 +1,330 @@
+//! **histcheck** — offline replay of serialized history artifacts.
+//!
+//! Loads `.histjsonl` artifacts (files, or directories walked
+//! recursively) written by `scenarios --export-histories`, re-runs the
+//! exact distributional-linearizability check on each, and reports the
+//! verdict together with the rank-vs-envelope cost distribution —
+//! decoupling expensive checking from traffic generation, so a grid of
+//! policy-tagged histories can be audited long after the sweep that
+//! produced it (or shipped to an external monitor).
+//!
+//! ```text
+//! cargo run --release -p dlz-bench --bin scenarios -- --quick --sweep \
+//!     --scenario queue-balanced-audit --threads 1,2 \
+//!     --policies two-choice,sticky=4 --export-histories hist/
+//! cargo run --release -p dlz-bench --bin histcheck -- hist/
+//! ```
+//!
+//! One JSON object per artifact goes to stdout (an array; `--json FILE`
+//! also writes it to a file); the human-readable verdict table goes to
+//! stderr. Because the replay is the same code path the engine ran
+//! in-process, the summary statistics reproduce the exported run's
+//! `quality` block bit for bit.
+//!
+//! Exit status: `0` all artifacts linearizable, `1` at least one
+//! verdict failed (unmappable operation, broken stamp discipline, or a
+//! real-time violation), `2` an artifact could not be loaded (the
+//! error names the file and the 1-based line of the damage) or the
+//! usage was wrong. An exceeded envelope is *reported* (`within_bound:
+//! false` plus a stderr warning) but is not a verdict failure — the
+//! in-process engine treats it as data too, and some baselines (e.g.
+//! the sharded counter, which has no bounded single-sample read) sit
+//! outside the two-choice bound by design.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dlz_bench::Table;
+use dlz_core::spec::{replay_artifact, HistoryArtifact, ReplayOutcome};
+use dlz_workload::backends::counter::DEVIATION_BOUND_C;
+use dlz_workload::backends::queue::RANK_BOUND_C;
+use dlz_workload::{json, QualitySummary};
+
+fn usage() -> ! {
+    eprintln!("usage: histcheck [--json FILE] <artifact.histjsonl | directory>...");
+    std::process::exit(2);
+}
+
+fn fail_load(path: &Path, msg: impl std::fmt::Display) -> ! {
+    eprintln!("histcheck: {}: {msg}", path.display());
+    std::process::exit(2);
+}
+
+/// Collects every `.histjsonl` under the given paths (files verbatim,
+/// directories recursively), sorted for deterministic output.
+fn collect(paths: &[PathBuf]) -> Vec<PathBuf> {
+    fn walk(path: &Path, out: &mut Vec<PathBuf>) {
+        // Never follow symlinks inside a walk: a cycle in the artifact
+        // tree must not overflow the stack (failures here are loud
+        // exits, never aborts).
+        if path
+            .symlink_metadata()
+            .map(|m| m.file_type().is_symlink())
+            .unwrap_or(false)
+        {
+            return;
+        }
+        if path.is_dir() {
+            let entries = match std::fs::read_dir(path) {
+                Ok(e) => e,
+                Err(e) => fail_load(path, format!("cannot read directory: {e}")),
+            };
+            for entry in entries {
+                match entry {
+                    Ok(e) => walk(&e.path(), out),
+                    Err(e) => fail_load(path, format!("cannot read directory entry: {e}")),
+                }
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("histjsonl") {
+            out.push(path.to_path_buf());
+        }
+    }
+    let mut out = Vec::new();
+    for p in paths {
+        if !p.exists() {
+            fail_load(p, "no such file or directory");
+        }
+        if p.is_file() {
+            // Explicitly named files are checked whatever their
+            // extension; filtering applies to directory walks only.
+            out.push(p.clone());
+        } else {
+            walk(p, &mut out);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The kind-specific metric name, absolute envelope and pass/fail —
+/// mirroring the in-process quality computation exactly.
+fn envelope(a: &HistoryArtifact, s: &QualitySummary) -> (&'static str, f64, bool) {
+    match a.kind() {
+        // An infinite factor means the policy makes no envelope claim
+        // (the engine omits `within_policy_bound` there too): nothing
+        // to exceed, so the artifact passes on its verdict alone.
+        "pq" if a.envelope_factor.is_finite() => {
+            let bound = RANK_BOUND_C * a.envelope_factor * a.queues.unwrap_or(0) as f64;
+            // Vacuous passes are failures, as in the engine: with no
+            // rank samples the envelope verified nothing.
+            let within = s.count > 0 && s.mean <= bound;
+            ("dequeue_rank", bound, within)
+        }
+        "pq" => ("dequeue_rank", f64::INFINITY, true),
+        "counter" => {
+            let bound = DEVIATION_BOUND_C * a.envelope_factor;
+            let within = if a.envelope_factor == 0.0 {
+                s.max == 0.0
+            } else {
+                s.max <= bound
+            };
+            ("read_deviation", bound, within)
+        }
+        _ => ("dequeue_position", f64::INFINITY, true),
+    }
+}
+
+/// Log₂-bucketed histogram of the metric costs: `[le, count]` pairs
+/// where `le` is the bucket's inclusive upper bound (0, 1, 2, 4, ...).
+fn cost_histogram(costs: &[f64]) -> Vec<(u64, u64)> {
+    let mut buckets: Vec<u64> = Vec::new();
+    for &c in costs {
+        let idx = if c <= 0.0 {
+            0
+        } else {
+            (c.max(1.0)).log2().ceil() as usize + 1
+        };
+        if buckets.len() <= idx {
+            buckets.resize(idx + 1, 0);
+        }
+        buckets[idx] += 1;
+    }
+    buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+        .collect()
+}
+
+struct Checked {
+    path: PathBuf,
+    artifact: HistoryArtifact,
+    outcome: ReplayOutcome,
+    summary: QualitySummary,
+    metric: &'static str,
+    bound: f64,
+    within: bool,
+    hist: Vec<(u64, u64)>,
+}
+
+fn check(path: PathBuf) -> Checked {
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail_load(&path, e),
+    };
+    let artifact = match HistoryArtifact::from_json_lines(&text) {
+        Ok(a) => a,
+        // The loud failure mode the format is designed for: file + line.
+        Err(e) => fail_load(&path, e),
+    };
+    let outcome = replay_artifact(&artifact);
+    let costs = artifact.metric_costs(&outcome);
+    let summary = QualitySummary::from_samples(&costs);
+    let (metric, bound, within) = envelope(&artifact, &summary);
+    let hist = cost_histogram(&costs);
+    Checked {
+        path,
+        artifact,
+        outcome,
+        summary,
+        metric,
+        bound,
+        within,
+        hist,
+    }
+}
+
+fn to_json(c: &Checked) -> String {
+    let a = &c.artifact;
+    let mut o = json::JsonObject::new();
+    o.str("path", &c.path.display().to_string())
+        .str("kind", a.kind())
+        .str("policy", &a.policy)
+        .f64("envelope_factor", a.envelope_factor)
+        .u64("threads", a.threads as u64)
+        .u64("events", a.len() as u64);
+    if let Some(q) = a.queues {
+        o.u64("queues", q as u64);
+    }
+    if let Some(s) = &a.source {
+        o.str("source", s);
+    }
+    if let Some(cell) = &a.cell {
+        o.str("cell", cell);
+    }
+    if !a.grid.is_empty() {
+        o.obj("grid", |g| {
+            for (k, v) in &a.grid {
+                g.str(k, v);
+            }
+        });
+    }
+    o.str("metric", c.metric)
+        .bool("linearizable", c.outcome.is_linearizable())
+        .bool("well_formed", c.outcome.well_formed)
+        .bool("real_time_ok", c.outcome.real_time_ok)
+        .u64("unmappable", c.outcome.unmappable.len() as u64)
+        .obj("summary", |s| {
+            s.u64("count", c.summary.count)
+                .f64("mean", c.summary.mean)
+                .f64("p50", c.summary.p50)
+                .f64("p99", c.summary.p99)
+                .f64("max", c.summary.max);
+        })
+        .f64("bound", c.bound)
+        .bool("within_bound", c.within);
+    let hist: Vec<String> = c.hist.iter().map(|(le, n)| format!("[{le},{n}]")).collect();
+    o.raw("cost_hist", &json::array(&hist));
+    o.finish()
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(v),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    let files = collect(&paths);
+    if files.is_empty() {
+        eprintln!("histcheck: no .histjsonl artifacts under the given paths");
+        std::process::exit(2);
+    }
+
+    let checked: Vec<Checked> = files.into_iter().map(check).collect();
+
+    let mut table = Table::new(&[
+        "artifact", "kind", "policy", "events", "mean", "p99", "max", "bound", "within", "verdict",
+    ]);
+    for c in &checked {
+        let key = c
+            .artifact
+            .cell
+            .clone()
+            .unwrap_or_else(|| c.path.display().to_string());
+        table.row(vec![
+            key,
+            c.artifact.kind().to_string(),
+            c.artifact.policy.clone(),
+            c.artifact.len().to_string(),
+            format!("{:.3}", c.summary.mean),
+            format!("{:.1}", c.summary.p99),
+            format!("{:.1}", c.summary.max),
+            if c.bound.is_finite() {
+                format!("{:.1}", c.bound)
+            } else {
+                "-".to_string()
+            },
+            c.within.to_string(),
+            if c.outcome.is_linearizable() {
+                "linearizable".to_string()
+            } else {
+                "FAILED".to_string()
+            },
+        ]);
+    }
+
+    let rendered: Vec<String> = checked.iter().map(to_json).collect();
+    let array = json::array(&rendered);
+    println!("{array}");
+    if let Some(path) = &json_path {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail_load(Path::new(path), format!("cannot create: {e}")));
+        f.write_all(array.as_bytes()).expect("write --json file");
+        f.write_all(b"\n").expect("write --json file");
+        eprintln!("wrote {} verdicts to {path}", checked.len());
+    }
+
+    eprintln!();
+    eprint!("{}", table.render());
+    let mut failed = false;
+    for c in &checked {
+        if !c.outcome.is_linearizable() {
+            failed = true;
+            eprintln!(
+                "VERDICT FAILED: {}: well_formed={} real_time_ok={} unmappable={}",
+                c.path.display(),
+                c.outcome.well_formed,
+                c.outcome.real_time_ok,
+                c.outcome.unmappable.len()
+            );
+        } else if !c.within {
+            // Reported, not fatal: the envelope is a quality statement,
+            // and the in-process engine treats it as data too.
+            eprintln!(
+                "note: envelope exceeded: {}: {} mean {:.3} / max {:.1} vs bound {:.1}",
+                c.path.display(),
+                c.metric,
+                c.summary.mean,
+                c.summary.max,
+                c.bound
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -25,11 +25,13 @@
 
 use std::collections::BTreeSet;
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
+use dlz_bench::config::DEFAULT_DIST_N;
 use dlz_bench::{Config, Table};
 use dlz_workload::backends::{policy_roster, roster};
-use dlz_workload::{engine, json, Budget, Family, RunReport, Scenario, SweepSpec};
+use dlz_workload::{engine, json, Budget, Dist, Family, RunReport, Scenario, SweepSpec};
 
 fn list(catalog: &[Scenario]) {
     let mut table = Table::new(&["scenario", "family", "threads", "description"]);
@@ -75,6 +77,17 @@ fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
         }
         s.prefill = s.prefill.min(2_000);
     }
+    if let Some(dir) = &cfg.export_histories {
+        if s.record_history {
+            s.export = Some(PathBuf::from(dir));
+        } else {
+            // An ineffective flag must not pass silently.
+            eprintln!(
+                "note: --export-histories skips '{}' (the scenario records no history)",
+                s.name
+            );
+        }
+    }
     s
 }
 
@@ -99,6 +112,30 @@ fn build_spec(base: Scenario, cfg: &Config) -> SweepSpec {
     }
     if !cfg.mixes.is_empty() {
         spec = spec.mixes(&cfg.mixes);
+    }
+    if !cfg.keys.is_empty() {
+        spec = spec.keys(&cfg.keys);
+    }
+    if !cfg.prios.is_empty() {
+        spec = spec.priorities(&cfg.prios);
+    }
+    if !cfg.zipf.is_empty() {
+        // Skew shorthand: one Zipf axis over the listed thetas, applied
+        // to the family's natural skew dimension — priorities for queue
+        // scenarios (their keys are unused), keys everywhere else.
+        let dists: Vec<Dist> = cfg
+            .zipf
+            .iter()
+            .map(|&theta| Dist::Zipf {
+                n: DEFAULT_DIST_N,
+                theta,
+            })
+            .collect();
+        spec = if family == Family::Queue {
+            spec.priorities(&dists)
+        } else {
+            spec.keys(&dists)
+        };
     }
     spec
 }
@@ -301,5 +338,57 @@ mod tests {
         );
         let spec = build_spec(base, &cfg);
         assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn skew_axes_follow_the_family() {
+        // Queue scenarios skew their priorities ...
+        let cfg = Config::parse(vec!["--zipf".into(), "0.6,0.9".into()]);
+        let base = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 2);
+        let cells = spec.cells();
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c.scenario.priorities, Dist::Zipf { .. })));
+        assert!(cells[0].name.contains("/prio=zipf("), "{}", cells[0].name);
+
+        // ... counter (and STM) scenarios skew their keys.
+        let base = customize(
+            Scenario::named("counter-read-heavy").expect("catalog"),
+            &cfg,
+        );
+        let cells = build_spec(base, &cfg).cells();
+        assert_eq!(cells.len(), 2);
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c.scenario.keys, Dist::Zipf { .. })));
+
+        // Explicit --keys/--prios apply verbatim and compose.
+        let cfg = Config::parse(vec![
+            "--keys".into(),
+            "uniform:64,zipf:128:0.9".into(),
+            "--prios".into(),
+            "monotonic".into(),
+        ]);
+        let base = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 2, "2 keys × 1 prio");
+        assert!(spec.cells()[0].name.contains("keys=uniform(64)"));
+    }
+
+    #[test]
+    fn export_histories_applies_only_to_history_scenarios() {
+        let cfg = Config::parse(vec!["--export-histories".into(), "histdir".into()]);
+        let audit = customize(
+            Scenario::named("queue-balanced-audit").expect("catalog"),
+            &cfg,
+        );
+        assert_eq!(
+            audit.export.as_deref(),
+            Some(std::path::Path::new("histdir"))
+        );
+        let plain = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert!(plain.export.is_none(), "no history, nothing to export");
     }
 }

@@ -19,6 +19,14 @@
 //! | `--sweep` | `DLZ_SWEEP=1` | `scenarios`: expand the full sweep grid |
 //! | `--policies a,b` | `DLZ_POLICIES` | choice-policy axis (`two-choice,sticky=16,...`) |
 //! | `--mixes a,b` | `DLZ_MIXES` | op-mix axis (`50/50/0,90/0/10,...`) |
+//! | `--keys a,b` | | key-distribution axis (`uniform:1024,zipf:16384:0.9,...`) |
+//! | `--prios a,b` | | priority-distribution axis (same grammar) |
+//! | `--zipf 0.6,0.9` | | skew shorthand: a Zipf axis over the listed thetas |
+//! | `--export-histories DIR` | | `scenarios`: serialize each history run's artifact under DIR |
+//!
+//! The `Dist` grammar for `--keys`/`--prios`: `uniform:N`, `zipf:N:THETA`
+//! (or `zipf:THETA` with the default 65536-key space), `fixed:V`,
+//! `monotonic`.
 //!
 //! Malformed flags are **usage errors**: [`Config::from_args`] prints
 //! the message to stderr and exits with status 2 (it never panics);
@@ -27,7 +35,10 @@
 use std::time::Duration;
 
 use dlz_core::PolicyCfg;
-use dlz_workload::OpMix;
+use dlz_workload::{Dist, OpMix};
+
+/// Default key space for `--zipf` and `zipf:THETA` shorthands.
+pub const DEFAULT_DIST_N: u64 = 1 << 16;
 
 /// Parsed configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +70,17 @@ pub struct Config {
     pub policies: Vec<PolicyCfg>,
     /// Op-mix axis values (`--mixes 50/50/0,90/0/10`).
     pub mixes: Vec<OpMix>,
+    /// Key-distribution axis values (`--keys uniform:1024,zipf:16384:0.9`).
+    pub keys: Vec<Dist>,
+    /// Priority-distribution axis values (`--prios monotonic,zipf:0.9`).
+    pub prios: Vec<Dist>,
+    /// Zipf-skew shorthand (`--zipf 0.6,0.9,0.99`): a Zipf axis over
+    /// the listed thetas with the default key space, applied to the
+    /// family's natural skew dimension (priorities for queue scenarios,
+    /// keys otherwise). Mutually exclusive with `--keys`/`--prios`.
+    pub zipf: Vec<f64>,
+    /// `scenarios`: directory to serialize history artifacts into.
+    pub export_histories: Option<String>,
     /// Names of flags/envs explicitly set (so binaries can distinguish
     /// "defaulted" from "requested").
     set_flags: Vec<String>,
@@ -89,6 +111,10 @@ impl Default for Config {
             sweep: false,
             policies: Vec::new(),
             mixes: Vec::new(),
+            keys: Vec::new(),
+            prios: Vec::new(),
+            zipf: Vec::new(),
+            export_histories: None,
             set_flags: Vec::new(),
         }
     }
@@ -219,6 +245,25 @@ impl Config {
                     cfg.mixes = parse_mixes(&v)?;
                     cfg.set_flags.push("mixes".into());
                 }
+                "--keys" => {
+                    let v = need(&mut it, "--keys")?;
+                    cfg.keys = parse_dists(&v, "--keys")?;
+                    cfg.set_flags.push("keys".into());
+                }
+                "--prios" => {
+                    let v = need(&mut it, "--prios")?;
+                    cfg.prios = parse_dists(&v, "--prios")?;
+                    cfg.set_flags.push("prios".into());
+                }
+                "--zipf" => {
+                    let v = need(&mut it, "--zipf")?;
+                    cfg.zipf = parse_thetas(&v)?;
+                    cfg.set_flags.push("zipf".into());
+                }
+                "--export-histories" => {
+                    let v = need(&mut it, "--export-histories")?;
+                    cfg.export_histories = Some(v);
+                }
                 "--json" => {
                     let v = need(&mut it, "--json")?;
                     cfg.json = Some(v);
@@ -229,6 +274,11 @@ impl Config {
                     ))
                 }
             }
+        }
+        if !cfg.zipf.is_empty() && (!cfg.keys.is_empty() || !cfg.prios.is_empty()) {
+            return Err(
+                "--zipf is shorthand for a Zipf --keys/--prios axis; pass one or the other".into(),
+            );
         }
         // Quick mode only shrinks dimensions the user did NOT set
         // explicitly: `--quick --threads 8` runs 8 threads.
@@ -298,6 +348,93 @@ fn parse_policies(s: &str) -> Result<Vec<PolicyCfg>, String> {
     let out = out?;
     if out.is_empty() {
         return Err("--policies needs at least one policy".into());
+    }
+    Ok(out)
+}
+
+/// Parses one `Dist` description: `uniform:N`, `zipf:N:THETA`,
+/// `zipf:THETA` (default 65536-value space), `fixed:V`, `monotonic`.
+pub fn parse_dist(tok: &str) -> Result<Dist, String> {
+    let t = tok.trim().to_lowercase();
+    let (name, rest) = match t.split_once(':') {
+        Some((n, r)) => (n, Some(r)),
+        None => (t.as_str(), None),
+    };
+    let num = |what: &str, r: &str| -> Result<u64, String> {
+        r.parse::<u64>()
+            .map_err(|_| format!("dist '{tok}': '{r}' is not {what}"))
+    };
+    match (name, rest) {
+        ("monotonic" | "mono", None) => Ok(Dist::Monotonic),
+        ("monotonic" | "mono", Some(_)) => Err(format!("dist '{tok}': monotonic takes no parameter")),
+        ("uniform" | "u", Some(r)) => {
+            let n = num("a value count", r)?;
+            if n == 0 {
+                return Err(format!("dist '{tok}': uniform needs n >= 1"));
+            }
+            Ok(Dist::Uniform { n })
+        }
+        ("fixed" | "f", Some(r)) => Ok(Dist::Fixed(num("a value", r)?)),
+        ("zipf" | "z", Some(r)) => {
+            let (n, theta_text) = match r.split_once(':') {
+                Some((n_text, theta)) => (num("a value count", n_text)?, theta),
+                None => (DEFAULT_DIST_N, r),
+            };
+            if n < 2 {
+                return Err(format!("dist '{tok}': zipf needs n >= 2"));
+            }
+            let theta = parse_theta(tok, theta_text)?;
+            Ok(Dist::Zipf { n, theta })
+        }
+        ("uniform" | "u" | "fixed" | "f" | "zipf" | "z", None) => {
+            Err(format!("dist '{tok}' needs a parameter (e.g. uniform:1024)"))
+        }
+        _ => Err(format!(
+            "unknown dist '{tok}' (expected uniform:N, zipf:N:THETA, zipf:THETA, fixed:V or monotonic)"
+        )),
+    }
+}
+
+/// A Zipf skew exponent; must lie in (0, 1) — the sampler would panic
+/// on anything else, and a usage error beats a panic.
+fn parse_theta(ctx: &str, text: &str) -> Result<f64, String> {
+    let theta: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| format!("'{ctx}': '{text}' is not a Zipf theta"))?;
+    if theta > 0.0 && theta < 1.0 {
+        Ok(theta)
+    } else {
+        Err(format!(
+            "'{ctx}': Zipf theta must lie in (0, 1), got {theta}"
+        ))
+    }
+}
+
+/// Parses a comma-separated `Dist` list (`uniform:1024,zipf:16384:0.9`).
+fn parse_dists(s: &str, flag: &str) -> Result<Vec<Dist>, String> {
+    let out: Result<Vec<Dist>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(parse_dist)
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one distribution"));
+    }
+    Ok(out)
+}
+
+/// Parses the `--zipf` theta list (`0.6,0.9,0.99`).
+fn parse_thetas(s: &str) -> Result<Vec<f64>, String> {
+    let out: Result<Vec<f64>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| parse_theta("--zipf", p))
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("--zipf needs at least one theta".into());
     }
     Ok(out)
 }
@@ -426,6 +563,79 @@ mod tests {
     }
 
     #[test]
+    fn dist_grammar_parses_compact_forms() {
+        let c = Config::parse(vec![
+            "--keys".into(),
+            "uniform:1024,zipf:16384:0.9,fixed:7,monotonic".into(),
+            "--prios".into(),
+            "zipf:0.99".into(),
+        ]);
+        assert_eq!(
+            c.keys,
+            vec![
+                Dist::Uniform { n: 1024 },
+                Dist::Zipf {
+                    n: 16384,
+                    theta: 0.9
+                },
+                Dist::Fixed(7),
+                Dist::Monotonic,
+            ]
+        );
+        assert_eq!(
+            c.prios,
+            vec![Dist::Zipf {
+                n: DEFAULT_DIST_N,
+                theta: 0.99
+            }]
+        );
+        assert!(c.was_set("keys") && c.was_set("prios"));
+    }
+
+    #[test]
+    fn zipf_shorthand_and_exclusivity() {
+        let c = Config::parse(vec!["--zipf".into(), "0.6,0.9,0.99".into()]);
+        assert_eq!(c.zipf, vec![0.6, 0.9, 0.99]);
+        let e = Config::try_parse(vec![
+            "--zipf".into(),
+            "0.9".into(),
+            "--keys".into(),
+            "uniform:8".into(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("--zipf"), "{e}");
+    }
+
+    #[test]
+    fn malformed_dists_are_usage_errors() {
+        for bad in [
+            "uniform",
+            "uniform:0",
+            "uniform:x",
+            "zipf:1.5",
+            "zipf:0",
+            "zipf:8:2.0",
+            "zipf:1:0.9",
+            "frob:3",
+            "monotonic:4",
+        ] {
+            let e = Config::try_parse(vec!["--keys".into(), bad.into()]).expect_err(bad);
+            assert!(e.contains(bad.split(':').next().unwrap()), "{bad}: {e}");
+        }
+        let e = Config::try_parse(vec!["--zipf".into(), "0.9,nope".into()]).unwrap_err();
+        assert!(e.contains("nope"), "{e}");
+        let e = Config::try_parse(vec!["--zipf".into(), "1.2".into()]).unwrap_err();
+        assert!(e.contains("(0, 1)"), "{e}");
+    }
+
+    #[test]
+    fn export_histories_flag_parses() {
+        let c = Config::parse(vec!["--export-histories".into(), "hist/dir".into()]);
+        assert_eq!(c.export_histories.as_deref(), Some("hist/dir"));
+        assert!(Config::parse(vec![]).export_histories.is_none());
+    }
+
+    #[test]
     fn empty_backend_filter_selects_all() {
         let c = Config::parse(vec![]);
         assert!(c.backend_selected("anything"));
@@ -463,6 +673,10 @@ mod tests {
             "--backends",
             "--policies",
             "--mixes",
+            "--keys",
+            "--prios",
+            "--zipf",
+            "--export-histories",
             "--json",
         ] {
             let e = Config::try_parse(vec![flag.into()]).unwrap_err();

@@ -1,0 +1,595 @@
+//! Hand-rolled JSON layer shared across the workspace (the build is
+//! dependency-free, so no serde).
+//!
+//! Two halves:
+//!
+//! * **Emission** — [`JsonObject`], [`escape_into`], [`array()`]: the
+//!   incremental writers the workload reports and the history artifacts
+//!   serialize through (this used to live in `dlz-workload::json`; it
+//!   moved here so `dlz-core` artifacts can emit without a dependency
+//!   inversion).
+//! * **Parsing** — [`parse`] into [`JsonValue`]: a small strict parser
+//!   for consuming what the emitters wrote (history artifacts, grid
+//!   JSON). Unsigned-integer literals are kept exact as
+//!   [`JsonValue::U64`], so `u64` stamps and priorities round-trip
+//!   losslessly instead of dying in an `f64`.
+//!
+//! Errors carry the byte offset of the failure ([`JsonError`]); callers
+//! that parse line-oriented formats wrap them with line numbers.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental JSON object writer.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when not finite — bare NaN/inf are
+    /// invalid JSON).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a `null` field.
+    pub fn null(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a nested object built by `f`.
+    pub fn obj(&mut self, k: &str, f: impl FnOnce(&mut JsonObject)) -> &mut Self {
+        self.key(k);
+        let mut inner = JsonObject::new();
+        f(&mut inner);
+        self.buf.push_str(&inner.finish());
+        self
+    }
+
+    /// Adds pre-rendered JSON verbatim.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders a list of pre-rendered JSON values as an array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Nonnegative integer literals that fit a `u64` are kept exact as
+/// [`JsonValue::U64`]; every other number (fractions, exponents,
+/// negatives, overflow) becomes [`JsonValue::F64`]. Object fields keep
+/// their document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A nonnegative integer literal, kept lossless.
+    U64(u64),
+    /// Any other numeric literal.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up an object field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64` (integer literals only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integer literals convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// A parse failure: where (byte offset into the input) and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the parsed text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting depth bound: deeper documents are rejected rather than
+/// risking a parser stack overflow (an abort, not an `Err`).
+const MAX_DEPTH: usize = 128;
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing data is an error).
+pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected '{}'", *c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        let mut integral = true;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            integral = false;
+            self.pos += 1;
+        }
+        while let Some(c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        text.parse::<f64>().map(JsonValue::F64).map_err(|_| {
+            self.pos = start;
+            self.err(format!("bad number '{text}'"))
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.err(format!("bad \\u escape '{hex}'")))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                Some(&c) if c < 0x20 => return Err(self.err("unescaped control character")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar verbatim (input is a &str,
+                    // so the byte run is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_rendering() {
+        let mut o = JsonObject::new();
+        o.str("name", "a\"b\\c\nd")
+            .u64("n", 42)
+            .f64("x", 1.5)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .null("nothing")
+            .obj("nested", |i| {
+                i.u64("k", 1);
+            });
+        let s = o.finish();
+        assert_eq!(
+            s,
+            r#"{"name":"a\"b\\c\nd","n":42,"x":1.5,"bad":null,"ok":true,"nothing":null,"nested":{"k":1}}"#
+        );
+    }
+
+    #[test]
+    fn array_rendering() {
+        assert_eq!(array(&["1".into(), "{}".into()]), "[1,{}]");
+        assert_eq!(array(&[]), "[]");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "\u{1}");
+        assert_eq!(out, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let v = parse(r#"{"a":[1,true,null,"x\n"],"b":{"c":-2.5e3}}"#).expect("parse");
+        let a = v.get("a").expect("a").as_array().expect("array");
+        assert_eq!(a[0], JsonValue::U64(1));
+        assert_eq!(a[1], JsonValue::Bool(true));
+        assert!(a[2].is_null());
+        assert_eq!(a[3].as_str(), Some("x\n"));
+        let c = v.get("b").and_then(|b| b.get("c")).expect("b.c");
+        assert_eq!(c.as_f64(), Some(-2500.0));
+        assert_eq!(c.as_u64(), None, "negative numbers are not u64");
+    }
+
+    #[test]
+    fn u64_literals_are_lossless() {
+        let big = u64::MAX;
+        let v = parse(&format!("[{big}]")).expect("parse");
+        assert_eq!(v.as_array().unwrap()[0].as_u64(), Some(big));
+        // 2^53+1 is where f64 starts dropping integers.
+        let v = parse("9007199254740993").expect("parse");
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let mut o = JsonObject::new();
+        o.str("s", "tab\there \"q\" \\ done")
+            .u64("u", u64::MAX)
+            .f64("f", 0.125)
+            .bool("b", false)
+            .null("n")
+            .obj("o", |i| {
+                i.u64("k", 7);
+            })
+            .raw("a", "[1,2]");
+        let text = o.finish();
+        let v = parse(&text).expect("parse what we emit");
+        assert_eq!(
+            v.get("s").unwrap().as_str(),
+            Some("tab\there \"q\" \\ done")
+        );
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(0.125));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert!(v.get("n").unwrap().is_null());
+        assert_eq!(v.get("o").unwrap().get("k").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        let v = parse(r#""\u0041\u00e9\ud83d\ude00""#).expect("parse");
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for bad in [
+            "[1,",
+            "{\"a\":}",
+            "{",
+            "\"unterminated",
+            "tru",
+            "01x",
+            "[1 2]",
+            "nullx",
+            "\u{1}",
+        ] {
+            let e = parse(bad).expect_err(bad);
+            assert!(e.offset <= bad.len(), "{bad}: {e:?}");
+        }
+        // Deep nesting is an error, not a stack overflow.
+        let deep = "[".repeat(4096);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_trailing_data_is_not() {
+        assert_eq!(
+            parse(" { \"a\" : 1 } \n").expect("ws").get("a").unwrap(),
+            &JsonValue::U64(1)
+        );
+        assert!(parse("{} {}").is_err());
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod clock;
 pub mod counter;
+pub mod json;
 pub mod padded;
 pub mod queue;
 pub mod rng;

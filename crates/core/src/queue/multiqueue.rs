@@ -311,28 +311,6 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     }
 
     // -----------------------------------------------------------------
-    // Deprecated Algorithm-2 shims (the pre-policy entry points).
-    // -----------------------------------------------------------------
-
-    /// Enqueue with an explicit generator, fresh two-choice sampling.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `insert(&mut TwoChoice, rng, ...)` or an `MqHandle`"
-    )]
-    pub fn insert_with(&self, rng: &mut impl Rng64, priority: u64, value: V) {
-        self.insert(&mut TwoChoice, rng, priority, value);
-    }
-
-    /// Dequeue with an explicit generator, fresh two-choice sampling.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `dequeue(&mut TwoChoice, rng)` or an `MqHandle`"
-    )]
-    pub fn dequeue_with(&self, rng: &mut impl Rng64) -> Option<(u64, V)> {
-        self.dequeue(&mut TwoChoice, rng)
-    }
-
-    // -----------------------------------------------------------------
     // Internals: one implementation per operation, stamped or not.
     // -----------------------------------------------------------------
 
@@ -1110,33 +1088,6 @@ mod tests {
         }
         assert_eq!(n, 50);
         assert_eq!(h.multiqueue().num_queues(), 4);
-    }
-
-    #[test]
-    fn deprecated_shims_match_the_two_choice_path() {
-        // The pre-policy entry points must stay bit-for-bit compatible:
-        // `insert_with`/`dequeue_with` on one structure and the generic
-        // ops with `TwoChoice` on an identically-seeded twin must
-        // produce the same operation sequence.
-        #![allow(deprecated)]
-        for seed in 0..16u64 {
-            let old: MultiQueue<u64> = MultiQueue::new(8);
-            let new: MultiQueue<u64> = MultiQueue::new(8);
-            let mut r1 = Xoshiro256::new(seed);
-            let mut r2 = Xoshiro256::new(seed);
-            for p in 0..300u64 {
-                old.insert_with(&mut r1, p, p);
-                new.insert(&mut TwoChoice, &mut r2, p, p);
-            }
-            loop {
-                let a = old.dequeue_with(&mut r1);
-                let b = new.dequeue(&mut TwoChoice, &mut r2);
-                assert_eq!(a, b, "seed {seed}");
-                if a.is_none() {
-                    break;
-                }
-            }
-        }
     }
 
     #[test]

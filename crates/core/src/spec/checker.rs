@@ -8,8 +8,10 @@
 //! malformed stamp discipline, a real-time violation), the outcome says
 //! so and where.
 
+use crate::spec::artifact::{ArtifactHistory, HistoryArtifact};
 use crate::spec::history::History;
 use crate::spec::relaxation::{CostDistribution, QuantitativeRelaxation};
+use crate::spec::specs::{CounterSpec, FifoSpec, PqSpec};
 
 /// Result of replaying a history against a relaxation.
 #[derive(Debug)]
@@ -69,11 +71,24 @@ where
     }
 }
 
+/// Replays a deserialized [`HistoryArtifact`] through its kind's
+/// canonical relaxation — the offline twin of the in-process path, so
+/// `serialize → parse → replay_artifact` produces the same
+/// [`ReplayOutcome`] (verdict, costs, unmappable indices) as checking
+/// the history before it was ever written out.
+pub fn replay_artifact(artifact: &HistoryArtifact) -> ReplayOutcome {
+    match &artifact.history {
+        ArtifactHistory::Pq(h) => check_distributional(&PqSpec, h),
+        ArtifactHistory::Counter(h) => check_distributional(&CounterSpec, h),
+        ArtifactHistory::Fifo(h) => check_distributional(&FifoSpec, h),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::history::{Event, History, StampClock, ThreadLog};
-    use crate::spec::specs::{CounterOp, CounterSpec, PqOp, PqSpec};
+    use crate::spec::specs::{CounterOp, PqOp};
 
     fn ev<L>(label: L, stamp: u64) -> Event<L> {
         Event {

@@ -23,7 +23,14 @@
 //! step, so stamp order is a legal linearization order (stamps lie
 //! within operation intervals), and replaying in stamp order yields the
 //! sequential path whose costs Definition 5.2 talks about.
+//!
+//! Recorded histories are also *durable evidence*: [`artifact`] gives
+//! them a versioned, policy-tagged serialized form (`.histjsonl`), and
+//! [`checker::replay_artifact`] re-derives the identical verdict from a
+//! deserialized artifact — so external monitors can audit a history
+//! long after the run that produced it.
 
+pub mod artifact;
 pub mod checker;
 pub mod exact;
 pub mod history;
@@ -31,7 +38,8 @@ pub mod lts;
 pub mod relaxation;
 pub mod specs;
 
-pub use checker::{check_distributional, ReplayOutcome};
+pub use artifact::{ArtifactError, ArtifactHistory, HistoryArtifact};
+pub use checker::{check_distributional, replay_artifact, ReplayOutcome};
 pub use exact::{check_linearizable, Linearizability};
 pub use history::{Event, History, StampClock, ThreadLog};
 pub use lts::{Lts, SequentialSpec};

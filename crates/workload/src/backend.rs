@@ -1,6 +1,8 @@
 //! The unified backend interface every structure in the workspace
 //! implements to be drivable by the engine.
 
+use dlz_core::spec::HistoryArtifact;
+
 use crate::op::{Op, OpCounts};
 use crate::scenario::Family;
 
@@ -47,6 +49,19 @@ pub trait Backend: Sync {
     /// Backend-specific quality metrics accumulated during the run
     /// (read deviation, dequeue rank, abort rate, ...).
     fn quality(&self) -> QualityReport;
+
+    /// Drains the last run's recorded stamped history as a serializable
+    /// [`HistoryArtifact`] with the backend-known metadata (structure
+    /// kind, policy label, envelope factor, queue count) already filled
+    /// in; the engine adds run metadata (threads, source, sweep cell).
+    ///
+    /// History-recording backends stash the artifact while
+    /// [`quality`](Self::quality) replays the history, so this must be
+    /// called *after* `quality()`. Backends that record no history
+    /// return `None` (the default).
+    fn take_history_artifact(&self) -> Option<HistoryArtifact> {
+        None
+    }
 }
 
 /// One worker's session against a backend.

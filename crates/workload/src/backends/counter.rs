@@ -6,13 +6,21 @@ use std::sync::Mutex;
 
 use dlz_core::rng::Xoshiro256;
 use dlz_core::spec::{
-    check_distributional, CounterOp, CounterSpec, Event, History, StampClock, ThreadLog,
+    check_distributional, CounterOp, CounterSpec, Event, History, HistoryArtifact, StampClock,
+    ThreadLog,
 };
 use dlz_core::{DChoiceCounter, ExactCounter, MultiCounter, RelaxedCounter, ShardedCounter};
 
 use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 use crate::op::{Op, OpCounts, OpKind};
 use crate::scenario::Family;
+
+/// Generous constant over the `m·ln m` deviation scale, as the core
+/// tests use: the reported read-deviation bound is
+/// `DEVIATION_BOUND_C · scale`. Public so offline checkers
+/// (`histcheck`) reconstruct the *same* envelope from an artifact's
+/// `envelope_factor`.
+pub const DEVIATION_BOUND_C: f64 = 4.0;
 
 /// Any counter from `dlz-core`, with explicit-RNG calls where the
 /// concrete type offers them (keeping runs deterministic per seed).
@@ -53,6 +61,9 @@ pub struct CounterBackend {
     /// Stamp source and per-thread logs for history mode.
     clock: StampClock,
     logs: Mutex<Vec<ThreadLog<CounterOp>>>,
+    /// The last run's history, packaged for export (stashed by
+    /// `quality()`, drained by `take_history_artifact()`).
+    artifact: Mutex<Option<HistoryArtifact>>,
 }
 
 impl CounterBackend {
@@ -93,6 +104,7 @@ impl CounterBackend {
             deviations: Mutex::new(Vec::new()),
             clock: StampClock::new(),
             logs: Mutex::new(Vec::new()),
+            artifact: Mutex::new(None),
         }
     }
 
@@ -168,8 +180,7 @@ impl Backend for CounterBackend {
 
     fn quality(&self) -> QualityReport {
         let scale = self.deviation_scale();
-        // Generous constant over the m·ln m scale, as the core tests use.
-        let bound = 4.0 * scale;
+        let bound = DEVIATION_BOUND_C * scale;
         // History mode: replay the stamped history through the
         // relaxed-counter checker. Each read's cost is its deviation
         // from the count at its linearization point (Lemma 6.8's
@@ -194,7 +205,7 @@ impl Backend for CounterBackend {
             } else {
                 summary.max <= bound
             };
-            return QualityReport::named("read_deviation")
+            let report = QualityReport::named("read_deviation")
                 .with_summary(summary)
                 .scalar("scale_m_ln_m", scale)
                 .scalar("bound", bound)
@@ -205,6 +216,11 @@ impl Backend for CounterBackend {
                     if outcome.is_linearizable() { 1.0 } else { 0.0 },
                 )
                 .scalar("history_ops", history.len() as f64);
+            // Package the checked history for export; the deviation
+            // scale travels as the envelope factor (bound = 4·scale).
+            *self.artifact.lock().expect("artifact") =
+                Some(HistoryArtifact::counter(history, scale));
+            return report;
         }
         // Drains the samples so a backend reused across several engine
         // runs (fig1b's checkpoints) reports per-run, not cumulative,
@@ -222,6 +238,10 @@ impl Backend for CounterBackend {
             .scalar("bound", bound)
             .scalar("within_bound", if within { 1.0 } else { 0.0 })
             .scalar("max_gap", self.max_gap() as f64)
+    }
+
+    fn take_history_artifact(&self) -> Option<HistoryArtifact> {
+        self.artifact.lock().expect("artifact").take()
     }
 }
 

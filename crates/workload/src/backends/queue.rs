@@ -5,7 +5,9 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use dlz_core::spec::{check_distributional, Event, History, PqOp, PqSpec, StampClock, ThreadLog};
+use dlz_core::spec::{
+    check_distributional, Event, History, HistoryArtifact, PqOp, PqSpec, StampClock, ThreadLog,
+};
 use dlz_core::{AnyPolicy, ChoicePolicy, DeleteMode, MqHandle, MultiQueue, PolicyCfg};
 use dlz_pq::{
     BinaryHeap, CoarsePq, ConcurrentPq, LockedPq, PairingHeap, ParkingLotPq, SeqPriorityQueue,
@@ -16,8 +18,11 @@ use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 use crate::op::{Op, OpCounts, OpKind};
 use crate::scenario::Family;
 
-/// Generous constant over the envelope scale, as the core tests use.
-const RANK_BOUND_C: f64 = 30.0;
+/// Generous constant over the envelope scale, as the core tests use:
+/// the reported rank bound is `RANK_BOUND_C · factor · m`. Public so
+/// offline checkers (`histcheck`) reconstruct the *same* envelope from
+/// an artifact's `envelope_factor` and queue count.
+pub const RANK_BOUND_C: f64 = 30.0;
 
 /// Shared quality state of the queue backends.
 #[derive(Debug, Default)]
@@ -31,6 +36,10 @@ struct QueueQuality {
     /// Widest policy envelope factor any worker observed this run
     /// (0 = no worker reported; fall back to the a-priori factor).
     factor: Mutex<f64>,
+    /// The last run's history, packaged for export. Stashed by
+    /// `quality()` (which replays it), drained by
+    /// `take_history_artifact()`.
+    artifact: Mutex<Option<HistoryArtifact>>,
 }
 
 impl QueueQuality {
@@ -267,6 +276,40 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
                     .scalar("rank_bound_policy", rank_bound)
                     .scalar("within_policy_bound", within);
             }
+            // Rank-proxy calibration: history workers also sample the
+            // cheap priority-space proxy, so the checker-exact mean
+            // dequeue rank calibrates it — the ratio lets non-history
+            // runs interpret their proxy numbers.
+            let proxies = std::mem::take(&mut *self.quality.proxies.lock().expect("proxies"));
+            if outcome.is_linearizable() && !proxies.is_empty() {
+                let proxy_mean = proxies.iter().sum::<f64>() / proxies.len() as f64;
+                report = report.scalar("rank_proxy_mean", proxy_mean);
+                // With nothing unmappable, costs align 1:1 with labels
+                // in update order; average the dequeues only (inserts
+                // always cost 0 and would dilute the rank).
+                let (mut sum, mut n) = (0.0f64, 0u64);
+                for (l, c) in history
+                    .labels_in_update_order()
+                    .iter()
+                    .zip(outcome.costs.samples())
+                {
+                    if matches!(l, PqOp::DeleteMin { .. }) {
+                        sum += *c;
+                        n += 1;
+                    }
+                }
+                if n > 0 && proxy_mean > 0.0 {
+                    report = report.scalar("rank_proxy_calibration", (sum / n as f64) / proxy_mean);
+                }
+            }
+            // Package the checked history for export: the policy label
+            // and (observed) envelope factor travel with the events.
+            *self.quality.artifact.lock().expect("artifact") = Some(HistoryArtifact::pq(
+                history,
+                self.mq.policy().label(),
+                factor,
+                self.mq.num_queues(),
+            ));
             return report;
         }
         // Drained, not cloned: a backend reused across runs must report
@@ -282,6 +325,10 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
                 .scalar("rank_bound_policy", rank_bound);
         }
         report
+    }
+
+    fn take_history_artifact(&self) -> Option<HistoryArtifact> {
+        self.quality.artifact.lock().expect("artifact").take()
     }
 }
 
@@ -374,19 +421,34 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 true
             }
             OpKind::Remove => {
-                if let Some(log) = &mut self.log {
+                if self.log.is_some() {
+                    // History mode also samples the cheap rank proxy so
+                    // the checker-exact ranks can calibrate it.
+                    self.removes_seen += 1;
+                    let sample = self.quality_every > 0
+                        && self.removes_seen.is_multiple_of(self.quality_every);
+                    let hint = if sample {
+                        self.backend.mq.min_hint()
+                    } else {
+                        u64::MAX
+                    };
                     let thread = self.thread;
                     let invoke = clock.stamp();
                     match self.handle.stamped(clock.as_atomic()).dequeue() {
                         Some((p, _, update)) => {
                             let response = clock.stamp();
-                            log.push(Event {
-                                thread,
-                                label: PqOp::DeleteMin { removed: p },
-                                invoke,
-                                update,
-                                response,
-                            });
+                            if sample && hint != u64::MAX {
+                                self.proxies.push(p.saturating_sub(hint) as f64);
+                            }
+                            if let Some(log) = &mut self.log {
+                                log.push(Event {
+                                    thread,
+                                    label: PqOp::DeleteMin { removed: p },
+                                    invoke,
+                                    update,
+                                    response,
+                                });
+                            }
                             true
                         }
                         None => false,

@@ -9,6 +9,7 @@
 //! latency from the *scheduled* arrival time, so queueing delay is
 //! captured rather than hidden (no coordinated omission).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -195,9 +196,60 @@ fn drive(
 
 /// Runs `scenario` against `backend` and returns the full report.
 ///
+/// When the scenario sets an [`export`](Scenario::export) directory and
+/// the backend recorded a stamped history, the history is serialized as
+/// a policy-tagged [`HistoryArtifact`](dlz_core::spec::HistoryArtifact)
+/// under `<export>/<scenario-name>/<backend>.histjsonl` (sweep runs key
+/// by cell name instead — see [`run_sweep`]).
+///
 /// # Panics
-/// If the scenario's family does not match the backend's.
+/// If the scenario's family does not match the backend's, or if a
+/// requested history export cannot be written.
 pub fn run(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
+    run_cell(scenario, backend, None)
+}
+
+/// One run, tagged with its sweep cell (when any) and exported (when
+/// asked): the shared tail of [`run`], [`run_sweep`] and
+/// [`run_sweep_shared`].
+fn run_cell(scenario: &Scenario, backend: &dyn Backend, cell: Option<&SweepCell>) -> RunReport {
+    let mut report = run_inner(scenario, backend);
+    if let Some(cell) = cell {
+        report.cell = Some(cell.name.clone());
+        report.grid = cell.coords.clone();
+    }
+    report.rank_proxy_calibration = report.quality.get("rank_proxy_calibration");
+    if let Some(dir) = &scenario.export {
+        export_history(dir, scenario, backend, &report);
+    }
+    report
+}
+
+/// Serializes the backend's recorded history (if any) as one artifact
+/// keyed by the run's cell name (scenario name outside sweeps) and
+/// backend label: `<dir>/<cell>/<backend>.histjsonl`. Cell names embed
+/// their grid coordinates as path segments, so a whole sweep becomes a
+/// grid-indexed directory tree.
+fn export_history(dir: &Path, scenario: &Scenario, backend: &dyn Backend, report: &RunReport) {
+    let Some(mut artifact) = backend.take_history_artifact() else {
+        return;
+    };
+    artifact.threads = scenario.threads;
+    artifact.source = Some(report.backend.clone());
+    artifact.cell = report.cell.clone();
+    artifact.grid = report.grid.clone();
+    let key = report.cell.as_deref().unwrap_or(&report.scenario);
+    let path = dir.join(key).join(format!("{}.histjsonl", report.backend));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("create history-export dir {}: {e}", parent.display()));
+    }
+    std::fs::write(&path, artifact.to_json_lines())
+        .unwrap_or_else(|e| panic!("write history artifact {}: {e}", path.display()));
+}
+
+/// The measured run itself (no tagging, no export).
+fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
     assert_eq!(
         scenario.family,
         backend.family(),
@@ -291,13 +343,6 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
     report
 }
 
-/// Tags a report with its sweep-cell identity.
-fn tag(mut report: RunReport, cell: &SweepCell) -> RunReport {
-    report.cell = Some(cell.name.clone());
-    report.grid = cell.coords.clone();
-    report
-}
-
 /// Runs every cell of a sweep grid and returns one report per
 /// (cell × backend), each tagged with its cell name and grid
 /// coordinates (see [`RunReport::cell`] / [`RunReport::grid`]).
@@ -316,7 +361,7 @@ pub fn run_sweep(
     let mut reports = Vec::new();
     for cell in spec.cells() {
         for backend in backends_for(&cell) {
-            reports.push(tag(run(&cell.scenario, backend.as_ref()), &cell));
+            reports.push(run_cell(&cell.scenario, backend.as_ref(), Some(&cell)));
         }
     }
     reports
@@ -330,7 +375,7 @@ pub fn run_sweep(
 pub fn run_sweep_shared(spec: &SweepSpec, backend: &dyn Backend) -> Vec<RunReport> {
     spec.cells()
         .iter()
-        .map(|cell| tag(run(&cell.scenario, backend), cell))
+        .map(|cell| run_cell(&cell.scenario, backend, Some(cell)))
         .collect()
 }
 
@@ -574,6 +619,87 @@ mod tests {
                 Some(format!("t-shared/seed={}", [11, 22, 33][i]).as_str())
             );
         }
+    }
+
+    #[test]
+    fn history_run_exports_a_replayable_artifact() {
+        use dlz_core::spec::{replay_artifact, HistoryArtifact};
+        let dir = std::env::temp_dir().join(format!("dlz-engine-export-{}", std::process::id()));
+        let s = small("t-export", Family::Queue)
+            .mix(OpMix::new(60, 40, 0))
+            .budget(Budget::OpsPerWorker(800))
+            .prefill(200)
+            .record_history(true)
+            .export(dir.clone())
+            .build();
+        let b = MultiQueueBackend::heap(8, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        // Keyed by scenario name (no sweep cell) and backend label.
+        let path = dir
+            .join("t-export")
+            .join(format!("{}.histjsonl", r.backend));
+        let text = std::fs::read_to_string(&path).expect("artifact written");
+        std::fs::remove_dir_all(&dir).ok();
+        let a = HistoryArtifact::from_json_lines(&text).expect("artifact parses");
+        assert_eq!(a.threads, s.threads);
+        assert_eq!(a.source.as_deref(), Some(r.backend.as_str()));
+        assert_eq!(a.policy, r.policy);
+        assert!(a.cell.is_none() && a.grid.is_empty());
+        assert_eq!(a.len() as f64, r.quality.get("history_ops").expect("ops"));
+        let outcome = replay_artifact(&a);
+        assert!(outcome.is_linearizable());
+        assert_eq!(r.quality.get("linearizable"), Some(1.0));
+    }
+
+    #[test]
+    fn non_history_run_exports_nothing() {
+        let dir = std::env::temp_dir().join(format!("dlz-engine-noexport-{}", std::process::id()));
+        let s = small("t-noexport", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .prefill(100)
+            .export(dir.clone())
+            .build();
+        let b = MultiQueueBackend::heap(4, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified());
+        assert!(
+            !dir.join("t-noexport").exists(),
+            "no history recorded, so no artifact may be written"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_run_reports_rank_proxy_calibration() {
+        // Single worker + uniform priorities over 8 queues: the proxy
+        // (removed − global min hint) draws strictly positive samples,
+        // so the exact-rank calibration ratio is well defined.
+        let s = small("t-calib", Family::Queue)
+            .threads(1)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(3_000))
+            .prefill(500)
+            .priorities(Dist::Uniform { n: 1 << 20 })
+            .quality_every(4)
+            .record_history(true)
+            .build();
+        let b = MultiQueueBackend::heap(8, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert!(r.quality.get("rank_proxy_mean").expect("proxy mean") > 0.0);
+        let c = r
+            .rank_proxy_calibration
+            .expect("calibration on history runs");
+        assert!(c.is_finite() && c > 0.0, "calibration {c}");
+        assert!(r.to_json().contains("\"rank_proxy_calibration\":"));
+        // Non-history runs carry no calibration field.
+        let plain = run(
+            &small("t-plain", Family::Queue).prefill(100).build(),
+            &MultiQueueBackend::heap(8, DeleteMode::Strict),
+        );
+        assert!(plain.rank_proxy_calibration.is_none());
+        assert!(!plain.to_json().contains("rank_proxy_calibration"));
     }
 
     #[test]

@@ -1,146 +1,8 @@
-//! Minimal JSON emission (the workspace is dependency-free, so no
-//! serde). Only what reports need: objects, strings, numbers, booleans,
-//! nulls, nesting.
+//! Minimal JSON layer — re-exported from [`dlz_core::json`], where the
+//! emitter moved (together with a strict parser) when history artifacts
+//! gained a serialized form: `dlz-core` cannot depend on this crate, and
+//! keeping two hand-rolled JSON layers alive would guarantee drift.
+//! Everything reports used from here (`JsonObject`, `escape_into`,
+//! `array`) keeps its old path.
 
-/// Appends `s` to `out` as a JSON string literal (with quotes).
-pub fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Incremental JSON object writer.
-#[derive(Debug, Default)]
-pub struct JsonObject {
-    buf: String,
-    any: bool,
-}
-
-impl JsonObject {
-    /// Starts an empty object.
-    pub fn new() -> Self {
-        JsonObject::default()
-    }
-
-    fn key(&mut self, k: &str) {
-        if self.any {
-            self.buf.push(',');
-        }
-        self.any = true;
-        escape_into(&mut self.buf, k);
-        self.buf.push(':');
-    }
-
-    /// Adds a string field.
-    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
-        self.key(k);
-        escape_into(&mut self.buf, v);
-        self
-    }
-
-    /// Adds an unsigned integer field.
-    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
-        self.key(k);
-        self.buf.push_str(&v.to_string());
-        self
-    }
-
-    /// Adds a float field (`null` when not finite — bare NaN/inf are
-    /// invalid JSON).
-    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
-        self.key(k);
-        if v.is_finite() {
-            self.buf.push_str(&format!("{v}"));
-        } else {
-            self.buf.push_str("null");
-        }
-        self
-    }
-
-    /// Adds a boolean field.
-    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
-        self.key(k);
-        self.buf.push_str(if v { "true" } else { "false" });
-        self
-    }
-
-    /// Adds a `null` field.
-    pub fn null(&mut self, k: &str) -> &mut Self {
-        self.key(k);
-        self.buf.push_str("null");
-        self
-    }
-
-    /// Adds a nested object built by `f`.
-    pub fn obj(&mut self, k: &str, f: impl FnOnce(&mut JsonObject)) -> &mut Self {
-        self.key(k);
-        let mut inner = JsonObject::new();
-        f(&mut inner);
-        self.buf.push_str(&inner.finish());
-        self
-    }
-
-    /// Adds pre-rendered JSON verbatim.
-    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
-        self.key(k);
-        self.buf.push_str(json);
-        self
-    }
-
-    /// Closes the object and returns the JSON text.
-    pub fn finish(self) -> String {
-        format!("{{{}}}", self.buf)
-    }
-}
-
-/// Renders a list of pre-rendered JSON values as an array.
-pub fn array(items: &[String]) -> String {
-    format!("[{}]", items.join(","))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn object_rendering() {
-        let mut o = JsonObject::new();
-        o.str("name", "a\"b\\c\nd")
-            .u64("n", 42)
-            .f64("x", 1.5)
-            .f64("bad", f64::NAN)
-            .bool("ok", true)
-            .null("nothing")
-            .obj("nested", |i| {
-                i.u64("k", 1);
-            });
-        let s = o.finish();
-        assert_eq!(
-            s,
-            r#"{"name":"a\"b\\c\nd","n":42,"x":1.5,"bad":null,"ok":true,"nothing":null,"nested":{"k":1}}"#
-        );
-    }
-
-    #[test]
-    fn array_rendering() {
-        assert_eq!(array(&["1".into(), "{}".into()]), "[1,{}]");
-        assert_eq!(array(&[]), "[]");
-    }
-
-    #[test]
-    fn control_chars_escaped() {
-        let mut out = String::new();
-        escape_into(&mut out, "\u{1}");
-        assert_eq!(out, "\"\\u0001\"");
-    }
-}
+pub use dlz_core::json::{array, escape_into, parse, JsonError, JsonObject, JsonValue};

@@ -52,6 +52,12 @@ pub struct RunReport {
     /// Swept grid coordinates as `(axis, value-label)` pairs; empty
     /// outside sweeps and for 1×1 grids with no explicit axes.
     pub grid: Vec<(String, String)>,
+    /// Ratio of the checker-exact mean dequeue rank to the mean
+    /// `dequeue_rank_proxy` sample, measured on history scenarios —
+    /// the correction factor that makes the cheap proxy interpretable
+    /// on non-history runs. `None` when the run recorded no history or
+    /// the proxy drew no (or only zero) samples.
+    pub rank_proxy_calibration: Option<f64>,
 }
 
 impl RunReport {
@@ -149,6 +155,9 @@ impl RunReport {
                 qo.f64(name, *value);
             }
         });
+        if let Some(c) = self.rank_proxy_calibration {
+            o.f64("rank_proxy_calibration", c);
+        }
         o.u64("residual", self.residual);
         o.bool("verified", self.verified());
         match &self.verify_error {
@@ -180,6 +189,7 @@ pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
         policy: scenario.choice_policy.label(),
         cell: None,
         grid: Vec::new(),
+        rank_proxy_calibration: None,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Declarative scenario configuration and the named catalog.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dlz_core::PolicyCfg;
@@ -73,6 +74,13 @@ pub struct Scenario {
     /// distributional-linearizability checker after the run (queue
     /// family only; memory ∝ op count, so pair with small budgets).
     pub record_history: bool,
+    /// Directory to serialize the recorded history into as a
+    /// policy-tagged [`HistoryArtifact`](dlz_core::spec::HistoryArtifact)
+    /// (`.histjsonl`). Each run writes one artifact keyed by its sweep
+    /// cell (or scenario name outside sweeps) and backend label, so a
+    /// whole sweep yields a grid-indexed directory offline checkers can
+    /// consume. No effect unless the run records a history.
+    pub export: Option<PathBuf>,
     /// Sample a quality observation every this many eligible ops
     /// (read deviation / rank proxy). 0 disables sampling.
     pub quality_every: u32,
@@ -113,6 +121,7 @@ impl Scenario {
                 prefill: 0,
                 seed: 0xd15f1e1d,
                 record_history: false,
+                export: None,
                 quality_every: 64,
                 choice_policy: PolicyCfg::TwoChoice,
                 batch: 1,
@@ -171,6 +180,13 @@ impl Scenario {
                     pause: Duration::from_millis(2),
                 })
                 .prefill(5_000)
+                .build(),
+            Scenario::builder("queue-balanced-audit", Family::Queue)
+                .about("queue-balanced's 50/50 steady state with stamped history + checker replay — the history-export flagship")
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(4_000))
+                .prefill(1_000)
+                .record_history(true)
                 .build(),
             Scenario::builder("queue-rank-audit", Family::Queue)
                 .about("small fixed-op run with stamped history replayed through the checker")
@@ -316,6 +332,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Export directory for serialized history artifacts (see
+    /// [`Scenario::export`]).
+    pub fn export(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.s.export = Some(dir.into());
+        self
+    }
+
     /// Choice-policy dimension (queue backends; default two-choice).
     pub fn choice_policy(mut self, policy: PolicyCfg) -> Self {
         self.s.choice_policy = policy;
@@ -400,6 +423,19 @@ mod tests {
             (plain.choice_policy, plain.batch),
             (PolicyCfg::TwoChoice, 1)
         );
+    }
+
+    #[test]
+    fn balanced_audit_records_and_export_is_a_dimension() {
+        let s = Scenario::named("queue-balanced-audit").expect("exists");
+        assert_eq!(s.family, Family::Queue);
+        assert!(s.record_history);
+        assert!(matches!(s.budget, Budget::OpsPerWorker(_)));
+        assert!(s.export.is_none(), "presets never hard-code an export path");
+        let e = Scenario::builder("x", Family::Queue)
+            .export("hist/dir")
+            .build();
+        assert_eq!(e.export.as_deref(), Some(std::path::Path::new("hist/dir")));
     }
 
     #[test]

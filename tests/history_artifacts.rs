@@ -1,0 +1,184 @@
+//! Integration tests for the history-artifact subsystem: the serialized
+//! form must be a faithful twin of the in-process path. Serialize →
+//! parse → replay has to give the identical verdict and rank statistics
+//! as in-process checking, across choice policies and both delete
+//! modes; a sweep with an export directory must yield one grid-indexed,
+//! policy-tagged artifact per (cell × backend).
+
+use distlin::core::spec::{replay_artifact, HistoryArtifact};
+use distlin::core::{DeleteMode, PolicyCfg};
+use distlin::workload::backends::{policy_roster, CounterBackend, MultiQueueBackend};
+use distlin::workload::{
+    engine, Backend, Budget, Family, OpMix, QualitySummary, Scenario, SweepSpec,
+};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlz-artifacts-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Asserts that replaying `artifact` offline reproduces the in-process
+/// quality numbers (`report.quality`) exactly — same f64s, not
+/// approximately.
+fn assert_replay_matches_quality(
+    artifact: &HistoryArtifact,
+    quality: &distlin::workload::QualityReport,
+) {
+    let outcome = replay_artifact(artifact);
+    let costs = artifact.metric_costs(&outcome);
+    let summary = QualitySummary::from_samples(&costs);
+    let expected = quality.summary.expect("history metric has samples");
+    assert_eq!(summary.count, expected.count);
+    assert_eq!(summary.mean, expected.mean, "mean must match bit for bit");
+    assert_eq!(summary.p50, expected.p50);
+    assert_eq!(summary.p99, expected.p99);
+    assert_eq!(summary.max, expected.max);
+    let linearizable = quality.get("linearizable") == Some(1.0);
+    assert_eq!(outcome.is_linearizable(), linearizable);
+}
+
+#[test]
+fn pq_round_trip_is_verdict_identical_across_policies_and_modes() {
+    let policies = [
+        PolicyCfg::TwoChoice,
+        PolicyCfg::DChoice { d: 3 },
+        PolicyCfg::Sticky { ops: 8 },
+        PolicyCfg::AdaptiveSticky { s_max: 8 },
+    ];
+    for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+        for policy in policies {
+            let s = Scenario::builder("rt", Family::Queue)
+                .threads(2)
+                .budget(Budget::OpsPerWorker(1_200))
+                .mix(OpMix::new(55, 45, 0))
+                .prefill(300)
+                .record_history(true)
+                .choice_policy(policy)
+                .seed(0xab5e_11ed)
+                .build();
+            let b = MultiQueueBackend::heap_policy(8, mode, policy, 1);
+            let r = engine::run(&s, &b);
+            assert!(r.verified(), "{policy:?}/{mode:?}: {:?}", r.verify_error);
+            let artifact = b.take_history_artifact().expect("history was recorded");
+            assert_eq!(artifact.policy, policy.label());
+            assert_eq!(artifact.queues, Some(8));
+            assert!(artifact.envelope_factor >= 1.0);
+
+            // In-process numbers reproduce from the in-memory artifact...
+            assert_replay_matches_quality(&artifact, &r.quality);
+
+            // ...and from its serialized round trip, byte-identically.
+            let text = artifact.to_json_lines();
+            let parsed = HistoryArtifact::from_json_lines(&text)
+                .unwrap_or_else(|e| panic!("{policy:?}/{mode:?}: {e}"));
+            assert_eq!(parsed.to_json_lines(), text, "serialize∘parse ≠ identity");
+            assert_replay_matches_quality(&parsed, &r.quality);
+
+            let a = replay_artifact(&artifact);
+            let p = replay_artifact(&parsed);
+            assert_eq!(a.costs.samples(), p.costs.samples());
+            assert_eq!(a.unmappable, p.unmappable);
+            assert_eq!(a.well_formed, p.well_formed);
+            assert_eq!(a.real_time_ok, p.real_time_ok);
+        }
+    }
+}
+
+#[test]
+fn counter_round_trip_is_verdict_identical() {
+    let s = Scenario::builder("rt-counter", Family::Counter)
+        .threads(2)
+        .budget(Budget::OpsPerWorker(1_500))
+        .mix(OpMix::new(70, 0, 30))
+        .record_history(true)
+        .seed(0xfeed_beef)
+        .build();
+    let b = CounterBackend::multicounter(16);
+    let r = engine::run(&s, &b);
+    assert!(r.verified(), "{:?}", r.verify_error);
+    assert_eq!(r.quality.metric, "read_deviation");
+    let artifact = b.take_history_artifact().expect("history recorded");
+    assert_eq!(artifact.kind(), "counter");
+    assert_eq!(artifact.policy, "none");
+    assert!(artifact.envelope_factor > 0.0, "m·ln m scale travels along");
+    assert_replay_matches_quality(&artifact, &r.quality);
+    let parsed = HistoryArtifact::from_json_lines(&artifact.to_json_lines()).expect("parses");
+    assert_replay_matches_quality(&parsed, &r.quality);
+}
+
+/// The PR's acceptance criterion: a 2-threads × 2-policies sweep with an
+/// export directory yields one artifact per (cell × backend), each
+/// embedding policy label + envelope factor + grid coordinates, and
+/// `histcheck`-style offline replay reproduces every cell's in-process
+/// verdict and per-rank distribution bit for bit.
+#[test]
+fn exported_sweep_grid_replays_bit_for_bit() {
+    let dir = scratch("sweep");
+    let mut base = Scenario::named("queue-balanced-audit").expect("catalog");
+    base.budget = Budget::OpsPerWorker(600);
+    base.prefill = 200;
+    base.export = Some(dir.clone());
+    let spec = SweepSpec::new(base)
+        .threads(&[1, 2])
+        .policies(&[PolicyCfg::TwoChoice, PolicyCfg::Sticky { ops: 4 }]);
+    let reports = engine::run_sweep(&spec, |cell| policy_roster(&cell.scenario));
+    assert_eq!(reports.len(), 8, "4 cells × 2 delete modes");
+
+    for r in &reports {
+        assert!(r.verified(), "{:?}: {:?}", r.cell, r.verify_error);
+        let cell = r.cell.as_deref().expect("sweep runs are cell-tagged");
+        let path = dir.join(cell).join(format!("{}.histjsonl", r.backend));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()));
+        let artifact = HistoryArtifact::from_json_lines(&text).expect("artifact parses");
+
+        // Schema embeds the full provenance.
+        assert_eq!(artifact.policy, r.policy, "policy label travels");
+        assert!(artifact.envelope_factor.is_finite());
+        assert_eq!(artifact.threads, r.threads);
+        assert_eq!(artifact.cell.as_deref(), Some(cell));
+        assert_eq!(artifact.grid, r.grid, "grid coordinates travel");
+        assert_eq!(artifact.source.as_deref(), Some(r.backend.as_str()));
+
+        // Offline replay == in-process verdict + distribution.
+        assert_replay_matches_quality(&artifact, &r.quality);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_truncated_artifacts_error_with_line_numbers() {
+    let s = Scenario::builder("rt-corrupt", Family::Queue)
+        .threads(1)
+        .budget(Budget::OpsPerWorker(200))
+        .mix(OpMix::new(60, 40, 0))
+        .prefill(50)
+        .record_history(true)
+        .build();
+    let b = MultiQueueBackend::heap(4, DeleteMode::Strict);
+    let _ = engine::run(&s, &b);
+    let text = b
+        .take_history_artifact()
+        .expect("history recorded")
+        .to_json_lines();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 10);
+
+    // Mid-file garbage names its line.
+    let mut garbled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    garbled[7] = "not json at all".into();
+    let e = HistoryArtifact::from_json_lines(&garbled.join("\n")).unwrap_err();
+    assert_eq!(e.line, 8, "{e}");
+
+    // Truncation names the first missing line.
+    let cut = lines[..5].join("\n");
+    let e = HistoryArtifact::from_json_lines(&cut).unwrap_err();
+    assert_eq!(e.line, 6, "{e}");
+    assert!(e.msg.contains("truncated"), "{e}");
+
+    // A half-written final line (torn write) is malformed, not a panic.
+    let torn = &text[..text.len() - 20];
+    let e = HistoryArtifact::from_json_lines(torn).unwrap_err();
+    assert_eq!(e.line, lines.len(), "{e}");
+}

@@ -2,7 +2,11 @@
 //! per-cell op counts under a fixed seed, and the shape of the emitted
 //! JSON array (it must parse, and every cell object must carry its
 //! scenario, backend, threads and policy label plus grid coordinates).
+//! The schema validation runs through the workspace's own JSON parser
+//! (`dlz_core::json`) — the same code `histcheck` trusts to read
+//! history artifacts.
 
+use distlin::core::json::{parse, JsonValue};
 use distlin::core::{DeleteMode, PolicyCfg};
 use distlin::workload::backends::MultiQueueBackend;
 use distlin::workload::{
@@ -70,225 +74,29 @@ fn sweep_json_array_parses_and_carries_grid_schema() {
     let array = json::array(&rendered);
 
     // The emitted array must be valid JSON end to end.
-    let value = parse_json(&array).expect("grid JSON must parse");
-    let cells = match value {
-        Json::Array(items) => items,
-        other => panic!("expected a JSON array, got {other:?}"),
-    };
+    let value = parse(&array).expect("grid JSON must parse");
+    let cells = value.as_array().expect("expected a JSON array");
     assert_eq!(cells.len(), reports.len());
 
     for (cell, report) in cells.iter().zip(&reports) {
-        let obj = match cell {
-            Json::Object(fields) => fields,
-            other => panic!("expected an object per cell, got {other:?}"),
-        };
+        assert!(cell.as_object().is_some(), "expected an object per cell");
         let get = |key: &str| {
-            obj.iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .unwrap_or_else(|| panic!("cell missing '{key}': {obj:?}"))
+            cell.get(key)
+                .unwrap_or_else(|| panic!("cell missing '{key}': {cell:?}"))
         };
         // Required schema: scenario, backend, threads, policy label.
-        assert_eq!(get("scenario"), &Json::String("it-sweep".into()));
-        assert!(matches!(get("backend"), Json::String(s) if s.contains("multiqueue")));
-        assert_eq!(get("threads"), &Json::Number(report.threads as f64));
-        assert_eq!(get("policy"), &Json::String(report.policy.clone()));
-        // Grid coordinates embedded in the object.
-        let cell_name = match get("cell") {
-            Json::String(s) => s.clone(),
-            other => panic!("cell name not a string: {other:?}"),
-        };
+        assert_eq!(get("scenario").as_str(), Some("it-sweep"));
+        assert!(get("backend").as_str().expect("str").contains("multiqueue"));
+        assert_eq!(get("threads").as_u64(), Some(report.threads as u64));
+        assert_eq!(get("policy").as_str(), Some(report.policy.as_str()));
+        // Grid coordinates embedded in the object, in axis order.
+        let cell_name = get("cell").as_str().expect("cell name is a string");
         assert!(cell_name.starts_with("it-sweep/t="), "{cell_name}");
-        let grid = match get("grid") {
-            Json::Object(fields) => fields,
-            other => panic!("grid not an object: {other:?}"),
-        };
+        let grid = get("grid").as_object().expect("grid is an object");
         assert_eq!(grid.len(), 2);
         assert_eq!(grid[0].0, "t");
-        assert_eq!(grid[0].1, Json::String(report.threads.to_string()));
+        assert_eq!(grid[0].1, JsonValue::Str(report.threads.to_string()));
         assert_eq!(grid[1].0, "policy");
-        assert_eq!(grid[1].1, Json::String(report.policy.clone()));
+        assert_eq!(grid[1].1, JsonValue::Str(report.policy.clone()));
     }
-}
-
-// --- A minimal JSON parser (the workspace is dependency-free): just
-// --- enough to validate the grid artifact's schema in tests.
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-fn parse_json(s: &str) -> Result<Json, String> {
-    let bytes: Vec<char> = s.chars().collect();
-    let mut pos = 0usize;
-    let v = parse_value(&bytes, &mut pos)?;
-    skip_ws(&bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at {pos}"));
-    }
-    Ok(v)
-}
-
-fn skip_ws(b: &[char], pos: &mut usize) {
-    while *pos < b.len() && b[*pos].is_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
-    if b.get(*pos) == Some(&c) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{c}' at {pos}, found {:?}", b.get(*pos)))
-    }
-}
-
-fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some('{') => parse_object(b, pos),
-        Some('[') => parse_array(b, pos),
-        Some('"') => Ok(Json::String(parse_string(b, pos)?)),
-        Some('t') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some('f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some('n') => parse_lit(b, pos, "null", Json::Null),
-        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(b, pos),
-        other => Err(format!("unexpected {other:?} at {pos}")),
-    }
-}
-
-fn parse_lit(b: &[char], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    for c in lit.chars() {
-        expect(b, pos, c)?;
-    }
-    Ok(v)
-}
-
-fn parse_number(b: &[char], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], '-' | '+' | '.' | 'e' | 'E' | '0'..='9') {
-        *pos += 1;
-    }
-    let text: String = b[start..*pos].iter().collect();
-    text.parse::<f64>()
-        .map(Json::Number)
-        .map_err(|_| format!("bad number '{text}' at {start}"))
-}
-
-fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, '"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some('"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some('\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let hex: String = b[*pos + 1..*pos + 5].iter().collect();
-                        let code = u32::from_str_radix(&hex, 16)
-                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                out.push(c);
-                *pos += 1;
-            }
-        }
-    }
-}
-
-fn parse_array(b: &[char], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, '[')?;
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&']') {
-        *pos += 1;
-        return Ok(Json::Array(items));
-    }
-    loop {
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(',') => *pos += 1,
-            Some(']') => {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            other => return Err(format!("expected ',' or ']' at {pos}, found {other:?}")),
-        }
-    }
-}
-
-fn parse_object(b: &[char], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, '{')?;
-    let mut fields = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&'}') {
-        *pos += 1;
-        return Ok(Json::Object(fields));
-    }
-    loop {
-        skip_ws(b, pos);
-        let key = parse_string(b, pos)?;
-        skip_ws(b, pos);
-        expect(b, pos, ':')?;
-        let value = parse_value(b, pos)?;
-        fields.push((key, value));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(',') => *pos += 1,
-            Some('}') => {
-                *pos += 1;
-                return Ok(Json::Object(fields));
-            }
-            other => return Err(format!("expected ',' or '}}' at {pos}, found {other:?}")),
-        }
-    }
-}
-
-#[test]
-fn mini_parser_sanity() {
-    assert_eq!(
-        parse_json(r#"{"a":[1,true,null,"x\n"],"b":{"c":-2.5e3}}"#),
-        Ok(Json::Object(vec![
-            (
-                "a".into(),
-                Json::Array(vec![
-                    Json::Number(1.0),
-                    Json::Bool(true),
-                    Json::Null,
-                    Json::String("x\n".into()),
-                ])
-            ),
-            (
-                "b".into(),
-                Json::Object(vec![("c".into(), Json::Number(-2500.0))])
-            ),
-        ]))
-    );
-    assert!(parse_json("[1,").is_err());
-    assert!(parse_json("{\"a\":}").is_err());
 }
