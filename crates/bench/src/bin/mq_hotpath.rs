@@ -166,6 +166,9 @@ fn main() {
     // Adaptive-vs-static comparison on the dequeue-heavy shape.
     let mut adaptive_cmp: Option<String> = None;
     let mut adaptive_delta = f64::NAN;
+    // The balanced scenario + its optimized median, kept for the
+    // telemetry-overhead point below.
+    let mut balanced_opt: Option<(Scenario, f64)> = None;
 
     for name in ["mq-hotpath-dequeue-heavy", "mq-hotpath-balanced"] {
         let scenario = customize(
@@ -226,6 +229,9 @@ fn main() {
         if name == "mq-hotpath-dequeue-heavy" {
             target_gain = gain;
         }
+        if name == "mq-hotpath-balanced" {
+            balanced_opt = Some((scenario.clone(), opt.mops()));
+        }
         table.row(vec![
             name.to_string(),
             threads.to_string(),
@@ -277,6 +283,67 @@ fn main() {
         }
     }
 
+    // Telemetry-overhead point: the optimized balanced configuration
+    // with interval snapshots off vs on. "Off" must match the optimized
+    // median above within noise (the interval tracker is one untaken
+    // branch per op when disabled); snapshots at the configured
+    // interval (default 100 ms) must cost at most a few percent.
+    let (telemetry_scenario, opt_mops) = balanced_opt.expect("balanced scenario ran");
+    let interval = cfg.telemetry_interval;
+    let mut on_scenario = telemetry_scenario.clone();
+    on_scenario.telemetry_interval = Some(interval);
+    let telemetry_m = 8 * threads;
+    let make_telem = || {
+        MultiQueueBackend::heap_policy(
+            telemetry_m,
+            DeleteMode::Strict,
+            telemetry_scenario.choice_policy,
+            telemetry_scenario.batch,
+        )
+    };
+    let mut off_runs = Vec::new();
+    let mut on_runs = Vec::new();
+    for round in 0..rounds {
+        eprintln!(
+            "running telemetry overhead round {}/{rounds} ...",
+            round + 1
+        );
+        off_runs.push(run_once(&telemetry_scenario, &make_telem));
+        on_runs.push(run_once(&on_scenario, &make_telem));
+    }
+    let off = median(off_runs);
+    let on = median(on_runs);
+    let off_delta = (off.mops() - opt_mops) / opt_mops * 100.0;
+    let snapshot_overhead = (off.mops() - on.mops()) / off.mops() * 100.0;
+    let intervals_recorded = on
+        .telemetry
+        .as_ref()
+        .map(|t| t.intervals.len())
+        .unwrap_or(0);
+    table.row(vec![
+        format!("{} (telemetry)", telemetry_scenario.name),
+        threads.to_string(),
+        "telemetry off".to_string(),
+        format!("{}ms snapshots", interval.as_millis()),
+        format!("{:.3}", off.mops()),
+        format!("{:.3}", on.mops()),
+        format!("{:+.1}", -snapshot_overhead),
+    ]);
+    let telemetry_point = {
+        let mut t = JsonObject::new();
+        t.str("scenario", &telemetry_scenario.name)
+            .u64("threads", threads as u64)
+            .u64("interval_ms", interval.as_millis() as u64)
+            .f64("mops_telemetry_off", off.mops())
+            .f64("mops_telemetry_on", on.mops())
+            .f64("off_vs_optimized_pct", off_delta)
+            .f64("snapshot_overhead_pct", snapshot_overhead)
+            .u64("intervals_recorded", intervals_recorded as u64)
+            .bool("off_within_noise", off_delta.abs() <= 1.0)
+            .bool("on_within_budget", snapshot_overhead <= 5.0);
+        t.finish()
+    };
+
     // Rank guardrails: checker-exact dequeue ranks must sit inside the
     // envelope each policy reports (O(s·m) static, observed-s adaptive).
     let (audit, within, linearizable) = run_audit("mq-hotpath-rank-audit", &cfg);
@@ -285,14 +352,18 @@ fn main() {
 
     let mut root = JsonObject::new();
     root.str("bench", "mq_hotpath")
-        .str("change", "pluggable ChoicePolicy + handle-first API")
+        .str(
+            "change",
+            "time-resolved telemetry: contention counters + interval snapshots",
+        )
         .u64("threads", threads as u64)
         .f64("target_improvement_pct", TARGET_PCT)
         .f64("dequeue_heavy_improvement_pct", target_gain)
         .bool("meets_target", target_gain >= TARGET_PCT)
         .f64("worst_improvement_pct", worst_gain)
         .f64("adaptive_vs_static_pct", adaptive_delta)
-        .raw("points", &dlz_workload::json::array(&points));
+        .raw("points", &dlz_workload::json::array(&points))
+        .raw("telemetry_overhead", &telemetry_point);
     if let Some(a) = &adaptive_cmp {
         root.raw("adaptive_vs_static", a);
     }
@@ -337,6 +408,18 @@ fn main() {
     if adaptive_delta.abs() > NOISE_PCT {
         eprintln!(
             "note: adaptive stickiness {adaptive_delta:+.1}% vs static (outside the ±{NOISE_PCT}% noise band on this machine)"
+        );
+    }
+    eprintln!(
+        "telemetry: off {:.3} mops ({off_delta:+.1}% vs optimized), {} ms snapshots {:.3} mops ({snapshot_overhead:.1}% overhead, {intervals_recorded} intervals)",
+        off.mops(),
+        interval.as_millis(),
+        on.mops(),
+    );
+    if snapshot_overhead > 5.0 {
+        eprintln!(
+            "note: {} ms snapshots cost {snapshot_overhead:.1}% on this machine (above the 5% budget)",
+            interval.as_millis()
         );
     }
 }

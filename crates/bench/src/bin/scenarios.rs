@@ -77,8 +77,13 @@ fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
         }
         s.prefill = s.prefill.min(2_000);
     }
+    if cfg.telemetry {
+        s.telemetry_interval = Some(cfg.telemetry_interval);
+    }
     if let Some(dir) = &cfg.export_histories {
-        if s.record_history {
+        // The export directory also receives `.prom` telemetry files,
+        // so telemetry-enabled runs export even without a history.
+        if s.record_history || cfg.telemetry {
             s.export = Some(PathBuf::from(dir));
         } else {
             // An ineffective flag must not pass silently.
@@ -390,5 +395,25 @@ mod tests {
         );
         let plain = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
         assert!(plain.export.is_none(), "no history, nothing to export");
+    }
+
+    #[test]
+    fn telemetry_flag_arms_interval_snapshots() {
+        let cfg = Config::parse(vec!["--telemetry-interval-ms".into(), "20".into()]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert_eq!(s.telemetry_interval, Some(Duration::from_millis(20)));
+        // Off by default.
+        let cfg = Config::parse(vec![]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert!(s.telemetry_interval.is_none());
+        // Telemetry-enabled runs export .prom files even without a
+        // recorded history.
+        let cfg = Config::parse(vec![
+            "--telemetry".into(),
+            "--export-histories".into(),
+            "artifacts".into(),
+        ]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert_eq!(s.export.as_deref(), Some(std::path::Path::new("artifacts")));
     }
 }

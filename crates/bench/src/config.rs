@@ -23,6 +23,8 @@
 //! | `--prios a,b` | | priority-distribution axis (same grammar) |
 //! | `--zipf 0.6,0.9` | | skew shorthand: a Zipf axis over the listed thetas |
 //! | `--export-histories DIR` | | `scenarios`: serialize each history run's artifact under DIR |
+//! | `--telemetry` | `DLZ_TELEMETRY=1` | `scenarios`: per-interval snapshots in each report (100ms default) |
+//! | `--telemetry-interval-ms N` | `DLZ_TELEMETRY_MS` | snapshot interval; implies `--telemetry` |
 //!
 //! The `Dist` grammar for `--keys`/`--prios`: `uniform:N`, `zipf:N:THETA`
 //! (or `zipf:THETA` with the default 65536-key space), `fixed:V`,
@@ -81,6 +83,13 @@ pub struct Config {
     pub zipf: Vec<f64>,
     /// `scenarios`: directory to serialize history artifacts into.
     pub export_histories: Option<String>,
+    /// `scenarios`: enable time-resolved telemetry (interval snapshots
+    /// in every report; `.prom` exports next to exported histories).
+    pub telemetry: bool,
+    /// Telemetry snapshot interval (only meaningful with
+    /// [`telemetry`](Self::telemetry); setting it via
+    /// `--telemetry-interval-ms` implies `--telemetry`).
+    pub telemetry_interval: Duration,
     /// Names of flags/envs explicitly set (so binaries can distinguish
     /// "defaulted" from "requested").
     set_flags: Vec<String>,
@@ -115,6 +124,8 @@ impl Default for Config {
             prios: Vec::new(),
             zipf: Vec::new(),
             export_histories: None,
+            telemetry: false,
+            telemetry_interval: Duration::from_millis(100),
             set_flags: Vec::new(),
         }
     }
@@ -188,6 +199,16 @@ impl Config {
         if let Ok(v) = std::env::var("DLZ_MIXES") {
             cfg.mixes = parse_mixes(&v)?;
             cfg.set_flags.push("mixes".into());
+        }
+        if std::env::var("DLZ_TELEMETRY").as_deref() == Ok("1") {
+            cfg.telemetry = true;
+        }
+        if let Ok(v) = std::env::var("DLZ_TELEMETRY_MS") {
+            if let Ok(ms) = v.parse::<u64>() {
+                cfg.telemetry = true;
+                cfg.telemetry_interval = Duration::from_millis(ms.max(1));
+                cfg.set_flags.push("telemetry-interval-ms".into());
+            }
         }
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -263,6 +284,21 @@ impl Config {
                 "--export-histories" => {
                     let v = need(&mut it, "--export-histories")?;
                     cfg.export_histories = Some(v);
+                }
+                "--telemetry" => cfg.telemetry = true,
+                "--telemetry-interval-ms" => {
+                    let v = need(&mut it, "--telemetry-interval-ms")?;
+                    let ms: u64 = v.parse().map_err(|_| {
+                        format!(
+                            "--telemetry-interval-ms expects a whole number of milliseconds, got '{v}'"
+                        )
+                    })?;
+                    if ms == 0 {
+                        return Err("--telemetry-interval-ms must be >= 1".into());
+                    }
+                    cfg.telemetry = true;
+                    cfg.telemetry_interval = Duration::from_millis(ms);
+                    cfg.set_flags.push("telemetry-interval-ms".into());
                 }
                 "--json" => {
                     let v = need(&mut it, "--json")?;
@@ -636,6 +672,26 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_parse_and_imply_each_other() {
+        let c = Config::parse(vec![]);
+        assert!(!c.telemetry);
+        assert_eq!(c.telemetry_interval, Duration::from_millis(100));
+        let c = Config::parse(vec!["--telemetry".into()]);
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_interval, Duration::from_millis(100));
+        // Setting the interval implies enabling telemetry.
+        let c = Config::parse(vec!["--telemetry-interval-ms".into(), "25".into()]);
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_interval, Duration::from_millis(25));
+        assert!(c.was_set("telemetry-interval-ms"));
+        let e = Config::try_parse(vec!["--telemetry-interval-ms".into(), "0".into()]).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e =
+            Config::try_parse(vec!["--telemetry-interval-ms".into(), "soon".into()]).unwrap_err();
+        assert!(e.contains("soon"), "{e}");
+    }
+
+    #[test]
     fn empty_backend_filter_selects_all() {
         let c = Config::parse(vec![]);
         assert!(c.backend_selected("anything"));
@@ -677,6 +733,7 @@ mod tests {
             "--prios",
             "--zipf",
             "--export-histories",
+            "--telemetry-interval-ms",
             "--json",
         ] {
             let e = Config::try_parse(vec![flag.into()]).unwrap_err();

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `scenarios` binary's stdout contract:
+//! stdout carries exactly one JSON document (the report array) and
+//! nothing else — every diagnostic, warning, and summary table goes to
+//! stderr — so `scenarios ... | jq` style pipelines never break, even
+//! when the run raises warnings.
+
+use std::process::{Command, Output};
+
+use dlz_core::json;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_scenarios")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn scenarios")
+}
+
+/// Parses stdout as a single JSON document and returns the report
+/// array; panics with context if anything but JSON landed there.
+fn reports_from_stdout(out: &Output) -> Vec<json::JsonValue> {
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    let value = json::parse(&stdout).unwrap_or_else(|e| {
+        panic!(
+            "stdout is not pure JSON ({e:?}); first 200 bytes: {:?}",
+            &stdout[..stdout.len().min(200)]
+        )
+    });
+    value
+        .as_array()
+        .unwrap_or_else(|| panic!("stdout JSON is not an array"))
+        .to_vec()
+}
+
+#[test]
+fn stdout_is_pure_json_even_when_warnings_fire() {
+    // --duration-ms on a fixed-op scenario triggers the ineffective-
+    // override warning; the warning must land on stderr, leaving stdout
+    // parseable as one JSON array.
+    let out = run(&[
+        "--scenario",
+        "queue-balanced-audit",
+        "--duration-ms",
+        "50",
+        "--quick",
+    ]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stderr = String::from_utf8(out.stderr.clone()).expect("utf8 stderr");
+    assert!(
+        stderr.contains("warning: --duration-ms has no effect"),
+        "expected the ineffective-override warning on stderr, got: {stderr}"
+    );
+    let reports = reports_from_stdout(&out);
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert_eq!(
+            r.get("scenario").and_then(|v| v.as_str()),
+            Some("queue-balanced-audit")
+        );
+        assert_eq!(r.get("verified").and_then(|v| v.as_bool()), Some(true));
+    }
+}
+
+#[test]
+fn telemetry_runs_keep_stdout_pure_and_embed_series() {
+    let out = run(&[
+        "--scenario",
+        "queue-balanced",
+        "--telemetry-interval-ms",
+        "5",
+        "--quick",
+    ]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let reports = reports_from_stdout(&out);
+    assert!(!reports.is_empty());
+    for r in &reports {
+        let telemetry = r
+            .get("telemetry")
+            .unwrap_or_else(|| panic!("report missing telemetry block"));
+        assert_eq!(
+            telemetry.get("interval_ms").and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        let series = telemetry
+            .get("series")
+            .and_then(|v| v.as_array())
+            .expect("series array");
+        assert!(!series.is_empty());
+        // Per-interval op counts must sum exactly to the report totals.
+        let total: u64 = series
+            .iter()
+            .map(|iv| iv.get("updates").and_then(|v| v.as_u64()).unwrap_or(0))
+            .sum();
+        let reported = r
+            .get("throughput")
+            .and_then(|t| t.get("updates"))
+            .and_then(|v| v.as_u64())
+            .expect("updates");
+        assert_eq!(total, reported, "interval updates drifted from totals");
+    }
+}
+
+#[test]
+fn telemetry_export_writes_parseable_prometheus_files() {
+    let dir = std::env::temp_dir().join(format!("dlz-scenarios-prom-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = run(&[
+        "--scenario",
+        "queue-balanced",
+        "--telemetry",
+        "--quick",
+        "--export-histories",
+        dir.to_str().expect("utf8 dir"),
+    ]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let _ = reports_from_stdout(&out);
+    let cell_dir = dir.join("queue-balanced");
+    let mut prom_files = 0;
+    for entry in std::fs::read_dir(&cell_dir).expect("export dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "prom") {
+            let text = std::fs::read_to_string(&path).expect("read .prom");
+            let samples = dlz_workload::parse_prometheus(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(!samples.is_empty(), "{}: no samples", path.display());
+            prom_files += 1;
+        }
+    }
+    assert!(prom_files >= 2, "expected one .prom per backend");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_scenario_exits_2_with_empty_stdout() {
+    let out = run(&["--scenario", "no-such-scenario"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "error paths must not pollute stdout");
+    let stderr = String::from_utf8(out.stderr.clone()).expect("utf8 stderr");
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+}

@@ -72,6 +72,7 @@ pub use counter::{
     DChoiceCounter, ExactCounter, MultiCounter, MultiCounterBuilder, PendingIncrement,
     RelaxedCounter, ShardedCounter,
 };
+pub use dlz_pq::ContentionStats;
 pub use queue::{
     AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, DeleteMode, MqHandle, MultiQueue,
     MultiQueueBuilder, PolicyCfg, QueueView, RelaxedFifo, Stamped, Sticky, TwoChoice,

@@ -63,7 +63,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use dlz_pq::locked::EMPTY_HINT;
-use dlz_pq::{Backoff, BinaryHeap, ConcurrentPq, LockedPq, SeqPriorityQueue};
+use dlz_pq::{Backoff, BinaryHeap, ConcurrentPq, ContentionStats, LockedPq, SeqPriorityQueue};
 
 use crate::padded::Padded;
 use crate::queue::policy::{
@@ -246,7 +246,14 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         priority: u64,
         value: V,
     ) {
-        self.insert_one(policy, rng, priority, value, None);
+        self.insert_one(
+            policy,
+            rng,
+            priority,
+            value,
+            None,
+            &mut ContentionStats::new(),
+        );
     }
 
     /// Dequeue: the policy picks the queue (Algorithm 2's Dequeue with
@@ -260,7 +267,8 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         policy: &mut impl ChoicePolicy,
         rng: &mut impl Rng64,
     ) -> Option<(u64, V)> {
-        self.dequeue_one(policy, rng, None).map(|(p, v, _)| (p, v))
+        self.dequeue_one(policy, rng, None, &mut ContentionStats::new())
+            .map(|(p, v, _)| (p, v))
     }
 
     /// Dequeue sampling the best of `k` queues — a one-off
@@ -274,7 +282,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// If `k == 0`.
     pub fn dequeue_k(&self, rng: &mut impl Rng64, k: usize) -> Option<(u64, V)> {
         assert!(k >= 1, "need at least one choice");
-        self.dequeue_one(&mut DChoice::new(k), rng, None)
+        self.dequeue_one(&mut DChoice::new(k), rng, None, &mut ContentionStats::new())
             .map(|(p, v, _)| (p, v))
     }
 
@@ -291,7 +299,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         rng: &mut impl Rng64,
         items: impl IntoIterator<Item = (u64, V)>,
     ) -> usize {
-        self.insert_batch_inner(policy, rng, items, None)
+        self.insert_batch_inner(policy, rng, items, None, &mut ContentionStats::new())
     }
 
     /// Removes up to `max` entries from one policy-chosen queue under a
@@ -307,7 +315,14 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         max: usize,
         out: &mut Vec<(u64, V)>,
     ) -> usize {
-        self.dequeue_batch_inner(policy, rng, max, None, |p, v, _| out.push((p, v)))
+        self.dequeue_batch_inner(
+            policy,
+            rng,
+            max,
+            None,
+            |p, v, _| out.push((p, v)),
+            &mut ContentionStats::new(),
+        )
     }
 
     // -----------------------------------------------------------------
@@ -317,7 +332,8 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// The insert path. When `stamper` is given, the stamp is drawn
     /// *inside the queue's critical section*, i.e. at the operation's
     /// linearization point in the underlying linearizable queue, and
-    /// returned (0 otherwise).
+    /// returned (0 otherwise). Contention events land in `stats` (the
+    /// wrappers without a counter-carrying handle pass a throwaway).
     fn insert_one(
         &self,
         policy: &mut impl ChoicePolicy,
@@ -325,13 +341,14 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         priority: u64,
         value: V,
         stamper: Option<&AtomicU64>,
+        stats: &mut ContentionStats,
     ) -> u64 {
         loop {
             let i = policy.choose_insert(rng, self);
             match self.mode {
                 DeleteMode::Strict => {
                     let stamp = {
-                        let mut g = self.queues[i].lock();
+                        let mut g = self.queues[i].lock_with_stats(&mut *stats);
                         g.add(priority, value);
                         stamp_of(stamper)
                     };
@@ -339,7 +356,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                     policy.on_success(ChoiceOp::Insert, i, self);
                     return stamp;
                 }
-                DeleteMode::TryLock => match self.queues[i].try_lock() {
+                DeleteMode::TryLock => match self.queues[i].try_lock_with_stats(&mut *stats) {
                     Some(mut g) => {
                         g.add(priority, value);
                         let stamp = stamp_of(stamper);
@@ -363,23 +380,26 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         policy: &mut impl ChoicePolicy,
         rng: &mut impl Rng64,
         stamper: Option<&AtomicU64>,
+        stats: &mut ContentionStats,
     ) -> Option<(u64, V, u64)> {
         let mut backoff = Backoff::new();
         loop {
             if self.confirmed_empty(&backoff) {
+                stats.empty_confirms += 1;
                 return None;
             }
             let Some(k) = policy.choose_dequeue(rng, self) else {
+                stats.note_snooze(backoff.is_yielding());
                 backoff.snooze();
                 continue;
             };
             let attempt = match self.mode {
                 DeleteMode::Strict => {
-                    let mut g = self.queues[k].lock();
+                    let mut g = self.queues[k].lock_with_stats(&mut *stats);
                     Some(g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))
                 }
                 DeleteMode::TryLock => self.queues[k]
-                    .try_lock()
+                    .try_lock_with_stats(&mut *stats)
                     .map(|mut g| g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper)))),
             };
             match attempt {
@@ -396,6 +416,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 // oversubscribed).
                 _ => {
                     policy.on_contention(ChoiceOp::Dequeue, k);
+                    stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
                 }
             }
@@ -410,35 +431,46 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         rng: &mut impl Rng64,
         items: impl IntoIterator<Item = (u64, V)>,
         mut stamped: Option<(&AtomicU64, &mut Vec<u64>)>,
+        stats: &mut ContentionStats,
     ) -> usize {
         let mut backoff = Backoff::new();
-        let (i, mut guard) = loop {
+        // The whole critical section lives inside the acquisition loop:
+        // the guard (which borrows `stats` for republish accounting)
+        // must not outlive one iteration, or the contention arm could
+        // not record its own events.
+        loop {
             let i = policy.choose_insert(rng, self);
-            match self.mode {
-                DeleteMode::Strict => break (i, self.queues[i].lock()),
-                DeleteMode::TryLock => {
-                    if let Some(g) = self.queues[i].try_lock() {
-                        break (i, g);
+            let guard = match self.mode {
+                DeleteMode::Strict => Some(self.queues[i].lock_with_stats(&mut *stats)),
+                DeleteMode::TryLock => self.queues[i].try_lock_with_stats(&mut *stats),
+            };
+            match guard {
+                Some(mut g) => {
+                    let mut n = 0usize;
+                    for (p, v) in items {
+                        g.add(p, v);
+                        if let Some((stamper, stamps)) = stamped.as_mut() {
+                            stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
+                        }
+                        n += 1;
                     }
+                    drop(g); // publishes hint + count once
+                    self.note_inserted(n);
+                    if n > 0 {
+                        policy.on_success(ChoiceOp::Insert, i, self);
+                    }
+                    return n;
+                }
+                // Catch-all binds the `None` so dropping it releases the
+                // `stats` borrow before the contention accounting below.
+                empty => {
+                    drop(empty);
                     policy.on_contention(ChoiceOp::Insert, i);
+                    stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
                 }
             }
-        };
-        let mut n = 0usize;
-        for (p, v) in items {
-            guard.add(p, v);
-            if let Some((stamper, stamps)) = stamped.as_mut() {
-                stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
-            }
-            n += 1;
         }
-        drop(guard); // publishes hint + count once
-        self.note_inserted(n);
-        if n > 0 {
-            policy.on_success(ChoiceOp::Insert, i, self);
-        }
-        n
     }
 
     /// The batch-dequeue path; `sink` receives `(priority, value,
@@ -450,6 +482,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         max: usize,
         stamper: Option<&AtomicU64>,
         mut sink: impl FnMut(u64, V, u64),
+        stats: &mut ContentionStats,
     ) -> usize {
         if max == 0 {
             return 0;
@@ -457,21 +490,31 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         let mut backoff = Backoff::new();
         loop {
             if self.confirmed_empty(&backoff) {
+                stats.empty_confirms += 1;
                 return 0;
             }
             let Some(k) = policy.choose_dequeue(rng, self) else {
+                stats.note_snooze(backoff.is_yielding());
                 backoff.snooze();
                 continue;
             };
             let guard = match self.mode {
-                DeleteMode::Strict => Some(self.queues[k].lock()),
-                DeleteMode::TryLock => self.queues[k].try_lock(),
+                DeleteMode::Strict => Some(self.queues[k].lock_with_stats(&mut *stats)),
+                DeleteMode::TryLock => self.queues[k].try_lock_with_stats(&mut *stats),
             };
-            let Some(mut g) = guard else {
+            if guard.is_none() {
+                // Full move of the empty Option releases the `stats`
+                // borrow before the contention accounting.
+                drop(guard);
                 policy.on_contention(ChoiceOp::Dequeue, k);
-                backoff.snooze();
+                stats.note_snooze(backoff.is_yielding());
+                backoff.snooze(); // contended lock
                 continue;
-            };
+            }
+            // Full move out of the Option (rather than a pattern's
+            // partial move) so no conditional drop can pin the `stats`
+            // borrow past this iteration.
+            let mut g = guard.expect("checked above");
             let mut n = 0usize;
             while n < max {
                 match g.delete_min() {
@@ -489,6 +532,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 return n;
             }
             policy.on_contention(ChoiceOp::Dequeue, k);
+            stats.note_snooze(backoff.is_yielding());
             backoff.snooze(); // stale hint
         }
     }
@@ -656,6 +700,10 @@ where
     mq: &'a MultiQueue<V, Q>,
     rng: Xoshiro256,
     policy: P,
+    /// Hot-path contention counters, accumulated without atomics (the
+    /// handle is single-owner) and drained by
+    /// [`take_contention`](Self::take_contention).
+    stats: ContentionStats,
 }
 
 impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send> MqHandle<'a, V, Q, AnyPolicy> {
@@ -674,6 +722,7 @@ impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> MqHandle<
             mq,
             rng: Xoshiro256::new(seed),
             policy,
+            stats: ContentionStats::new(),
         }
     }
 
@@ -688,16 +737,44 @@ impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> MqHandle<
         &self.policy
     }
 
+    /// The contention counters accumulated by this handle's operations
+    /// since creation (or the last [`take_contention`]), with the
+    /// policy's own counters (camp switches, adaptive-`s` transitions)
+    /// flushed in.
+    ///
+    /// [`take_contention`]: Self::take_contention
+    pub fn contention(&mut self) -> &ContentionStats {
+        self.policy.flush_telemetry(&mut self.stats);
+        &self.stats
+    }
+
+    /// Drains the handle's contention counters for one telemetry
+    /// interval: flushes the policy's counters, returns the totals and
+    /// resets the event counts (the adaptive-`s` gauge is kept — it is
+    /// state, not an event).
+    pub fn take_contention(&mut self) -> ContentionStats {
+        self.policy.flush_telemetry(&mut self.stats);
+        self.stats.take()
+    }
+
     /// Enqueue through the handle's policy.
     pub fn insert(&mut self, priority: u64, value: V) {
-        self.mq
-            .insert(&mut self.policy, &mut self.rng, priority, value);
+        self.mq.insert_one(
+            &mut self.policy,
+            &mut self.rng,
+            priority,
+            value,
+            None,
+            &mut self.stats,
+        );
     }
 
     /// Dequeue through the handle's policy (see
     /// [`MultiQueue::dequeue`] for the emptiness contract).
     pub fn dequeue(&mut self) -> Option<(u64, V)> {
-        self.mq.dequeue(&mut self.policy, &mut self.rng)
+        self.mq
+            .dequeue_one(&mut self.policy, &mut self.rng, None, &mut self.stats)
+            .map(|(p, v, _)| (p, v))
     }
 
     /// Dequeue sampling the best of `k` queues, regardless of the
@@ -706,20 +783,35 @@ impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> MqHandle<
     /// # Panics
     /// If `k == 0`.
     pub fn dequeue_k(&mut self, k: usize) -> Option<(u64, V)> {
-        self.mq.dequeue_k(&mut self.rng, k)
+        assert!(k >= 1, "need at least one choice");
+        self.mq
+            .dequeue_one(&mut DChoice::new(k), &mut self.rng, None, &mut self.stats)
+            .map(|(p, v, _)| (p, v))
     }
 
     /// Batch enqueue under one lock acquisition (see
     /// [`MultiQueue::insert_batch`]).
     pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (u64, V)>) -> usize {
-        self.mq.insert_batch(&mut self.policy, &mut self.rng, items)
+        self.mq.insert_batch_inner(
+            &mut self.policy,
+            &mut self.rng,
+            items,
+            None,
+            &mut self.stats,
+        )
     }
 
     /// Batch dequeue under one lock acquisition (see
     /// [`MultiQueue::dequeue_batch`]).
     pub fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, V)>) -> usize {
-        self.mq
-            .dequeue_batch(&mut self.policy, &mut self.rng, max, out)
+        self.mq.dequeue_batch_inner(
+            &mut self.policy,
+            &mut self.rng,
+            max,
+            None,
+            |p, v, _| out.push((p, v)),
+            &mut self.stats,
+        )
     }
 
     /// Switches the handle into **history mode**: the same five
@@ -772,6 +864,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '
             priority,
             value,
             Some(self.stamper),
+            &mut self.handle.stats,
         )
     }
 
@@ -781,6 +874,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '
             &mut self.handle.policy,
             &mut self.handle.rng,
             Some(self.stamper),
+            &mut self.handle.stats,
         )
     }
 
@@ -794,6 +888,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '
             &mut DChoice::new(k),
             &mut self.handle.rng,
             Some(self.stamper),
+            &mut self.handle.stats,
         )
     }
 
@@ -809,6 +904,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '
             &mut self.handle.rng,
             items,
             Some((self.stamper, stamps)),
+            &mut self.handle.stats,
         )
     }
 
@@ -821,6 +917,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> Stamped<'_, '
             max,
             Some(self.stamper),
             |p, v, s| out.push((p, v, s)),
+            &mut self.handle.stats,
         )
     }
 }
@@ -830,6 +927,43 @@ mod tests {
     use super::*;
     use crate::queue::policy::{AdaptiveSticky, Sticky};
     use std::sync::Arc;
+
+    #[test]
+    fn handle_contention_counters_drain_and_conserve() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let mut h = MqHandle::with_policy(&mq, 1, Sticky::new(4));
+        // A dequeue on an empty structure ends in a confirmed-empty sweep.
+        assert_eq!(h.dequeue(), None);
+        assert_eq!(h.contention().empty_confirms, 1);
+        // 100 inserts at s=4 start exactly 25 insert camps.
+        for p in 0..100u64 {
+            h.insert(p, p);
+        }
+        let drained = h.take_contention();
+        assert_eq!(drained.camp_switches, 25);
+        assert_eq!(drained.empty_confirms, 1);
+        // The drain reset everything; nothing new happened since.
+        assert!(h.contention().is_empty());
+    }
+
+    #[test]
+    fn adaptive_handle_reports_gauge_and_transitions() {
+        let mq: MultiQueue<u64> = MultiQueue::new(4);
+        let mut h = MqHandle::with_policy(&mq, 3, AdaptiveSticky::new(8));
+        for p in 0..200u64 {
+            h.insert(p, p);
+        }
+        while h.dequeue().is_some() {}
+        let current = h.policy().current() as u64;
+        let c = h.take_contention();
+        assert_eq!(c.adaptive_s, current, "gauge mirrors the live s");
+        assert!(c.camp_switches > 0, "camps were started");
+        // Solo camps are quiet, so the policy widened at least once
+        // (s starts at 2 with s_max = 8).
+        assert!(c.s_widens >= 1, "quiet camps widen s");
+        // The gauge survives a drain even when no new events arrive.
+        assert_eq!(h.take_contention().adaptive_s, current);
+    }
 
     #[test]
     fn empty_queue_returns_none() {

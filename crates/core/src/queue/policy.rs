@@ -50,6 +50,7 @@
 
 use dlz_pq::locked::header::gen_delta;
 use dlz_pq::locked::EMPTY_HINT;
+use dlz_pq::ContentionStats;
 
 use crate::rng::Rng64;
 
@@ -135,6 +136,15 @@ pub trait ChoicePolicy {
     /// (single-choice sampling diverges).
     fn envelope_factor(&self) -> f64 {
         1.0
+    }
+
+    /// Drains the policy's internal telemetry counters (camp switches,
+    /// adaptive-`s` transitions) into `stats` and refreshes the
+    /// `adaptive_s` gauge. Policies without internal counters need not
+    /// implement this. Must not affect choice behaviour or consume
+    /// randomness — telemetry reads state, it never perturbs it.
+    fn flush_telemetry(&mut self, stats: &mut ContentionStats) {
+        let _ = stats;
     }
 }
 
@@ -256,6 +266,8 @@ pub struct Sticky {
     /// Whether the last dequeue choice was a fresh sample (a success
     /// then starts a camp) or a camp reuse (a success just continues).
     dequeue_was_fresh: bool,
+    /// Fresh camps started since the last telemetry flush.
+    camp_switches: u64,
 }
 
 impl Sticky {
@@ -290,6 +302,9 @@ impl ChoicePolicy for Sticky {
             queue: q,
             left: self.ops - 1,
         };
+        if self.ops > 1 {
+            self.camp_switches += 1;
+        }
         q
     }
 
@@ -312,6 +327,7 @@ impl ChoicePolicy for Sticky {
                 queue,
                 left: self.ops - 1,
             };
+            self.camp_switches += 1;
         }
     }
 
@@ -324,6 +340,11 @@ impl ChoicePolicy for Sticky {
 
     fn envelope_factor(&self) -> f64 {
         self.ops as f64
+    }
+
+    fn flush_telemetry(&mut self, stats: &mut ContentionStats) {
+        stats.camp_switches += self.camp_switches;
+        self.camp_switches = 0;
     }
 }
 
@@ -370,6 +391,12 @@ pub struct AdaptiveSticky {
     camp_ops: u64,
     /// Consecutive uncontended successes while `s == 1`.
     quiet_streak: u32,
+    /// Fresh camps started since the last telemetry flush.
+    camp_switches: u64,
+    /// `s`-doubling transitions since the last telemetry flush.
+    widens: u64,
+    /// `s`-halving transitions since the last telemetry flush.
+    narrows: u64,
 }
 
 impl AdaptiveSticky {
@@ -390,6 +417,9 @@ impl AdaptiveSticky {
             camp_gen: None,
             camp_ops: 0,
             quiet_streak: 0,
+            camp_switches: 0,
+            widens: 0,
+            narrows: 0,
         }
     }
 
@@ -409,13 +439,21 @@ impl AdaptiveSticky {
     }
 
     fn widen(&mut self) {
+        let before = self.s;
         self.s = (self.s * 2).clamp(1, self.s_max);
         self.observed_max = self.observed_max.max(self.s);
+        if self.s != before {
+            self.widens += 1;
+        }
     }
 
     fn narrow(&mut self) {
+        let before = self.s;
         self.s = (self.s / 2).max(1);
         self.quiet_streak = 0;
+        if self.s != before {
+            self.narrows += 1;
+        }
     }
 
     /// Consumes the finished camp's generation measurement and adapts.
@@ -452,6 +490,9 @@ impl ChoicePolicy for AdaptiveSticky {
             queue: q,
             left: self.s - 1,
         };
+        if self.s > 1 {
+            self.camp_switches += 1;
+        }
         q
     }
 
@@ -482,6 +523,7 @@ impl ChoicePolicy for AdaptiveSticky {
                     // is exact.
                     self.camp_gen = view.queue_generation(queue);
                     self.camp_ops = 0;
+                    self.camp_switches += 1;
                 } else {
                     self.quiet_streak += 1;
                     if self.quiet_streak >= ADAPTIVE_REARM {
@@ -509,6 +551,16 @@ impl ChoicePolicy for AdaptiveSticky {
 
     fn envelope_factor(&self) -> f64 {
         self.observed_max as f64
+    }
+
+    fn flush_telemetry(&mut self, stats: &mut ContentionStats) {
+        stats.camp_switches += self.camp_switches;
+        stats.s_widens += self.widens;
+        stats.s_narrows += self.narrows;
+        self.camp_switches = 0;
+        self.widens = 0;
+        self.narrows = 0;
+        stats.adaptive_s = self.s as u64;
     }
 }
 
@@ -712,6 +764,15 @@ impl ChoicePolicy for AnyPolicy {
             AnyPolicy::DChoice(p) => p.envelope_factor(),
             AnyPolicy::Sticky(p) => p.envelope_factor(),
             AnyPolicy::AdaptiveSticky(p) => p.envelope_factor(),
+        }
+    }
+
+    fn flush_telemetry(&mut self, stats: &mut ContentionStats) {
+        match self {
+            AnyPolicy::TwoChoice(p) => p.flush_telemetry(stats),
+            AnyPolicy::DChoice(p) => p.flush_telemetry(stats),
+            AnyPolicy::Sticky(p) => p.flush_telemetry(stats),
+            AnyPolicy::AdaptiveSticky(p) => p.flush_telemetry(stats),
         }
     }
 }

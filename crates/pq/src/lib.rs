@@ -25,6 +25,9 @@
 //!   false sharing.
 //! * [`CoarsePq`] — an exact concurrent priority queue (one global lock),
 //!   used as the non-relaxed baseline in benchmarks.
+//! * [`ContentionStats`] — plain-`u64`, single-owner hot-path counters
+//!   recorded by the `*_with_stats` lock entry points and merged like
+//!   worker metrics.
 //!
 //! Everything in this crate is deterministic given its seeds: there is no
 //! global RNG and no dependence on wall-clock time.
@@ -39,6 +42,7 @@ pub mod pairing_heap;
 pub mod parking_lot;
 pub mod skiplist;
 pub mod spinlock;
+pub mod stats;
 pub mod traits;
 
 pub use binary_heap::BinaryHeap;
@@ -48,4 +52,5 @@ pub use padded::CachePadded;
 pub use pairing_heap::PairingHeap;
 pub use skiplist::SkipListPq;
 pub use spinlock::{Backoff, SpinGuard, SpinLock};
+pub use stats::ContentionStats;
 pub use traits::{ConcurrentPq, SeqPriorityQueue};

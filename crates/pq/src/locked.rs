@@ -38,6 +38,7 @@ use crate::binary_heap::BinaryHeap;
 use crate::padded::CachePadded;
 use crate::parking_lot;
 use crate::spinlock::Backoff;
+use crate::stats::ContentionStats;
 use crate::traits::{ConcurrentPq, SeqPriorityQueue};
 
 /// Value published in the hint word when the queue is (believed) empty.
@@ -186,10 +187,28 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// store on the packed header.
     #[inline]
     pub fn lock(&self) -> PqGuard<'_, V, Q> {
+        self.lock_inner(None)
+    }
+
+    /// [`lock`](Self::lock) with contention accounting: backoff snoozes
+    /// while the lock is held and CAS acquire retries are recorded in
+    /// `stats`, and the release protocol records hint republishes.
+    #[inline]
+    pub fn lock_with_stats<'g>(&'g self, stats: &'g mut ContentionStats) -> PqGuard<'g, V, Q> {
+        self.lock_inner(Some(stats))
+    }
+
+    // Shared acquire loop; the `stats` branches fold away when inlined
+    // with a constant `None` from the uninstrumented entry point.
+    #[inline]
+    fn lock_inner<'g>(&'g self, mut stats: Option<&'g mut ContentionStats>) -> PqGuard<'g, V, Q> {
         let mut backoff = Backoff::new();
         let mut cur = self.hot.header.load(Ordering::Relaxed);
         loop {
             if header::is_locked(cur) {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.note_snooze(backoff.is_yielding());
+                }
                 backoff.snooze();
                 cur = self.hot.header.load(Ordering::Relaxed);
                 continue;
@@ -201,8 +220,13 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return PqGuard { pq: self },
-                Err(now) => cur = now,
+                Ok(_) => return PqGuard { pq: self, stats },
+                Err(now) => {
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.cas_retries += 1;
+                    }
+                    cur = now;
+                }
             }
         }
     }
@@ -214,9 +238,33 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// it fails only on an actually-held lock.
     #[inline]
     pub fn try_lock(&self) -> Option<PqGuard<'_, V, Q>> {
+        self.try_lock_inner(None)
+    }
+
+    /// [`try_lock`](Self::try_lock) with contention accounting: a `None`
+    /// return is recorded as a try-lock failure, CAS retries against
+    /// concurrent releases are counted, and the release protocol records
+    /// hint republishes. The failure is counted *here* rather than by
+    /// the caller so the borrow of `stats` ends with the return value.
+    #[inline]
+    pub fn try_lock_with_stats<'g>(
+        &'g self,
+        stats: &'g mut ContentionStats,
+    ) -> Option<PqGuard<'g, V, Q>> {
+        self.try_lock_inner(Some(stats))
+    }
+
+    #[inline]
+    fn try_lock_inner<'g>(
+        &'g self,
+        mut stats: Option<&'g mut ContentionStats>,
+    ) -> Option<PqGuard<'g, V, Q>> {
         let mut cur = self.hot.header.load(Ordering::Relaxed);
         loop {
             if header::is_locked(cur) {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.try_lock_failures += 1;
+                }
                 return None;
             }
             match self.hot.header.compare_exchange_weak(
@@ -225,8 +273,13 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(PqGuard { pq: self }),
-                Err(now) => cur = now,
+                Ok(_) => return Some(PqGuard { pq: self, stats }),
+                Err(now) => {
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.cas_retries += 1;
+                    }
+                    cur = now;
+                }
             }
         }
     }
@@ -330,6 +383,9 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for LockedPq<V
 /// the release is a plain `Release` store — one atomic op, not three.
 pub struct PqGuard<'a, V, Q: SeqPriorityQueue<u64, V>> {
     pq: &'a LockedPq<V, Q>,
+    /// Counter sink for the release protocol (hint republishes); `None`
+    /// from the uninstrumented entry points.
+    stats: Option<&'a mut ContentionStats>,
 }
 
 impl<V, Q: SeqPriorityQueue<u64, V>> std::ops::Deref for PqGuard<'_, V, Q> {
@@ -353,7 +409,10 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Drop for PqGuard<'_, V, Q> {
     #[inline]
     fn drop(&mut self) {
         let hot = &self.pq.hot;
-        let queue: &Q = self;
+        // SAFETY: the guard proves exclusive ownership of the lock bit.
+        // Read through the `pq` reference (not `Deref` on `self`) so the
+        // borrow does not conflict with draining `self.stats` below.
+        let queue: &Q = unsafe { &*self.pq.inner.get() };
         let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
         // Publish only when the minimum moved: the common case (insert
         // of a non-minimal element, or a delete behind the front) costs
@@ -363,6 +422,9 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Drop for PqGuard<'_, V, Q> {
             // reader that sees the new hint sees a value that was
             // genuinely the minimum inside the critical section.
             hot.top.store(top, Ordering::Release);
+            if let Some(s) = self.stats.as_deref_mut() {
+                s.hint_republishes += 1;
+            }
         }
         let word = hot.header.load(Ordering::Relaxed);
         let gen = header::generation(word).wrapping_add(1);
@@ -459,6 +521,38 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for ParkingLot
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn try_lock_with_stats_counts_failures_and_successes_leave_counts_alone() {
+        let q: LockedPq<u32> = LockedPq::new(BinaryHeap::new());
+        let mut stats = ContentionStats::new();
+        {
+            let _held = q.lock();
+            assert!(q.try_lock_with_stats(&mut stats).is_none());
+            assert!(q.try_lock_with_stats(&mut stats).is_none());
+        }
+        assert_eq!(stats.try_lock_failures, 2);
+        // Uncontended acquisition records nothing.
+        let before = stats;
+        let mut g = q.try_lock_with_stats(&mut stats).expect("free lock");
+        g.add(1, 7);
+        drop(g);
+        // The first insert into an empty queue moves the hint.
+        assert_eq!(stats.try_lock_failures, before.try_lock_failures);
+        assert_eq!(stats.cas_retries, before.cas_retries);
+        assert_eq!(stats.hint_republishes, before.hint_republishes + 1);
+    }
+
+    #[test]
+    fn hint_republish_counts_only_when_the_minimum_moves() {
+        let q: LockedPq<u32> = LockedPq::new(BinaryHeap::new());
+        let mut stats = ContentionStats::new();
+        q.lock_with_stats(&mut stats).add(5, 50); // empty -> 5: republish
+        q.lock_with_stats(&mut stats).add(9, 90); // min stays 5: no store
+        q.lock_with_stats(&mut stats).add(2, 20); // 5 -> 2: republish
+        assert_eq!(stats.hint_republishes, 2);
+        assert_eq!(q.min_hint(), 2);
+    }
 
     #[test]
     fn header_pack_unpack_roundtrip() {

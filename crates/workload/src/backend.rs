@@ -3,6 +3,7 @@
 
 use dlz_core::spec::HistoryArtifact;
 
+use crate::metrics::TelemetrySample;
 use crate::op::{Op, OpCounts};
 use crate::scenario::Family;
 
@@ -73,6 +74,16 @@ pub trait Worker {
     /// Called once after the run: flush per-thread quality state
     /// (history logs, deviation samples) back to the backend.
     fn finish(&mut self) {}
+
+    /// Drains backend-internal telemetry accumulated since the last
+    /// drain (hot-path contention counters, the policy's observed
+    /// envelope). Called by the engine at interval boundaries when the
+    /// scenario enables time-resolved telemetry; never called
+    /// otherwise, so counters cost nothing to backends that skip it.
+    /// `None` (the default) means the backend records none.
+    fn telemetry_sample(&mut self) -> Option<TelemetrySample> {
+        None
+    }
 }
 
 /// Distribution summary of a quality metric's samples.

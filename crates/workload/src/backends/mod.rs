@@ -2,10 +2,12 @@
 //! unified [`Backend`] interface.
 
 pub mod counter;
+pub mod fifo;
 pub mod queue;
 pub mod stm;
 
 pub use counter::{AnyCounter, CounterBackend};
+pub use fifo::{LockedFifoBackend, RelaxedFifoBackend};
 pub use queue::{ConcurrentPqBackend, MultiQueueBackend};
 pub use stm::StmBackend;
 
@@ -62,6 +64,13 @@ pub fn roster(scenario: &Scenario) -> Vec<Box<dyn Backend>> {
                 )));
             }
             backends
+        }
+        Family::Fifo => {
+            let m = (4 * n).max(8);
+            vec![
+                Box::new(RelaxedFifoBackend::new(m)),
+                Box::new(LockedFifoBackend::new()),
+            ]
         }
         Family::Stm => {
             let slots = 1 << 16;

@@ -15,6 +15,7 @@ use dlz_pq::{
 };
 
 use crate::backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
+use crate::metrics::TelemetrySample;
 use crate::op::{Op, OpCounts, OpKind};
 use crate::scenario::Family;
 
@@ -491,6 +492,22 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
                 true
             }
         }
+    }
+
+    fn telemetry_sample(&mut self) -> Option<TelemetrySample> {
+        // Drains the handle's plain-u64 counters (which flushes the
+        // policy's pending camp/adaptation events first) — the engine
+        // calls this only at interval boundaries, so nothing here
+        // touches the op hot path.
+        let envelope_factor = self.handle.policy().envelope_factor();
+        Some(TelemetrySample {
+            contention: self.handle.take_contention(),
+            envelope_factor: if envelope_factor.is_finite() {
+                envelope_factor
+            } else {
+                0.0
+            },
+        })
     }
 
     fn finish(&mut self) {

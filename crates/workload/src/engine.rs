@@ -18,7 +18,7 @@ use dlz_core::rng::{Rng64, Xoshiro256};
 
 use crate::backend::{Backend, Worker, WorkerCfg};
 use crate::dist::{Arrival, Sampler};
-use crate::metrics::{LatencySummary, WorkerMetrics};
+use crate::metrics::{IntervalSnapshot, LatencySummary, TelemetrySeries, WorkerMetrics};
 use crate::op::{Op, OpCounts, OpKind, OpMix};
 use crate::report::{skeleton, RunReport};
 use crate::scenario::{Budget, Scenario};
@@ -145,13 +145,106 @@ fn step(
     metrics.record(op.kind, completed, latency);
 }
 
+/// How many ops between clock reads when checking for a telemetry
+/// interval boundary: the boundary detector costs one countdown
+/// decrement per op, and one `Instant::now()` per this many ops.
+const TELEMETRY_CHECK_EVERY: u32 = 32;
+
+/// Per-worker telemetry interval tracker: accumulates the current
+/// interval's delta in the worker's [`WorkerMetrics`] shard and flushes
+/// it (plus the worker's drained contention sample) into a snapshot
+/// ring at each boundary.
+struct IntervalTracker {
+    interval: Duration,
+    start: Instant,
+    /// Next interval boundary to flush at.
+    next: Instant,
+    countdown: u32,
+    snaps: Vec<IntervalSnapshot>,
+}
+
+impl IntervalTracker {
+    fn new(interval: Duration) -> Self {
+        let start = Instant::now();
+        IntervalTracker {
+            interval,
+            start,
+            next: start + interval,
+            countdown: TELEMETRY_CHECK_EVERY,
+            snaps: Vec::new(),
+        }
+    }
+
+    /// Called once per completed op. Cheap path: one decrement; every
+    /// `TELEMETRY_CHECK_EVERY` ops, one clock read and a boundary test.
+    #[inline]
+    fn tick(&mut self, cur: &mut WorkerMetrics, worker: &mut dyn Worker) {
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return;
+        }
+        self.countdown = TELEMETRY_CHECK_EVERY;
+        let now = Instant::now();
+        if now < self.next {
+            return;
+        }
+        // Catch up to the most recent passed boundary: a stalled worker
+        // emits one snapshot covering every interval it slept through,
+        // indexed by the last complete interval.
+        let mut boundary = self.next;
+        while boundary + self.interval <= now {
+            boundary += self.interval;
+        }
+        self.next = boundary + self.interval;
+        let end = boundary.duration_since(self.start);
+        let index = (end.as_nanos() / self.interval.as_nanos().max(1)) as u64 - 1;
+        self.flush(index, end, cur, worker);
+    }
+
+    /// Moves the accumulated delta plus the worker's drained telemetry
+    /// into the ring as interval `index`.
+    fn flush(
+        &mut self,
+        index: u64,
+        end: Duration,
+        cur: &mut WorkerMetrics,
+        worker: &mut dyn Worker,
+    ) {
+        let m = std::mem::take(cur);
+        let sample = worker.telemetry_sample().unwrap_or_default();
+        self.snaps.push(IntervalSnapshot {
+            index,
+            end_ms: end.as_millis() as u64,
+            counts: m.counts,
+            latency: m.latency,
+            contention: sample.contention,
+            envelope_factor: sample.envelope_factor,
+        });
+    }
+
+    /// Final flush: the trailing (possibly partial) interval, indexed
+    /// past every complete one so it never collides.
+    fn finish(mut self, cur: &mut WorkerMetrics, worker: &mut dyn Worker) -> Vec<IntervalSnapshot> {
+        let elapsed = Instant::now().duration_since(self.start);
+        let index = (elapsed.as_nanos() / self.interval.as_nanos().max(1)) as u64;
+        self.flush(index, elapsed, cur, worker);
+        // Drop trailing empties (a worker that finished mid-interval
+        // leaves one vacuous tail snapshot).
+        while self.snaps.last().is_some_and(|s| s.is_empty()) {
+            self.snaps.pop();
+        }
+        self.snaps
+    }
+}
+
 fn drive(
     worker: &mut dyn Worker,
     sampler: &mut OpSampler,
     scenario: &Scenario,
     stop: &AtomicBool,
-) -> WorkerMetrics {
+) -> (WorkerMetrics, Vec<IntervalSnapshot>) {
     let mut metrics = WorkerMetrics::default();
+    let mut tracker = scenario.telemetry_interval.map(IntervalTracker::new);
     let mut issued = 0u64;
     let budget = &scenario.budget;
     let stoppable = matches!(budget, Budget::Timed(_));
@@ -162,6 +255,9 @@ fn drive(
                 let timed = issued.is_multiple_of(latency_every);
                 step(worker, sampler, &mut metrics, None, timed);
                 issued += 1;
+                if let Some(t) = tracker.as_mut() {
+                    t.tick(&mut metrics, worker);
+                }
             }
         }
         Arrival::Open { rate_per_worker } => {
@@ -173,6 +269,9 @@ fn drive(
                 }
                 step(worker, sampler, &mut metrics, Some(next), true);
                 issued += 1;
+                if let Some(t) = tracker.as_mut() {
+                    t.tick(&mut metrics, worker);
+                }
             }
         }
         Arrival::Bursty { burst, pause } => {
@@ -184,6 +283,9 @@ fn drive(
                     let timed = issued.is_multiple_of(latency_every);
                     step(worker, sampler, &mut metrics, None, timed);
                     issued += 1;
+                    if let Some(t) = tracker.as_mut() {
+                        t.tick(&mut metrics, worker);
+                    }
                 }
                 if !wait_until(Instant::now() + pause, stop, stoppable) {
                     break;
@@ -191,7 +293,21 @@ fn drive(
             }
         }
     }
-    metrics
+    match tracker {
+        None => (metrics, Vec::new()),
+        Some(t) => {
+            let snaps = t.finish(&mut metrics, worker);
+            // The worker's totals are the sum of its snapshots — per
+            // interval counts conserve to the final counts bit for bit
+            // by construction.
+            let mut total = WorkerMetrics::default();
+            for s in &snaps {
+                total.counts.merge(&s.counts);
+                total.latency.merge(&s.latency);
+            }
+            (total, snaps)
+        }
+    }
 }
 
 /// Runs `scenario` against `backend` and returns the full report.
@@ -221,8 +337,24 @@ fn run_cell(scenario: &Scenario, backend: &dyn Backend, cell: Option<&SweepCell>
     report.rank_proxy_calibration = report.quality.get("rank_proxy_calibration");
     if let Some(dir) = &scenario.export {
         export_history(dir, scenario, backend, &report);
+        if report.telemetry.is_some() {
+            export_prometheus(dir, &report);
+        }
     }
     report
+}
+
+/// Writes the run's telemetry as one Prometheus text-exposition file,
+/// keyed like the history artifacts: `<dir>/<cell>/<backend>.prom`.
+fn export_prometheus(dir: &Path, report: &RunReport) {
+    let key = report.cell.as_deref().unwrap_or(&report.scenario);
+    let path = dir.join(key).join(format!("{}.prom", report.backend));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("create telemetry-export dir {}: {e}", parent.display()));
+    }
+    std::fs::write(&path, crate::telemetry::write_prometheus(report))
+        .unwrap_or_else(|e| panic!("write telemetry export {}: {e}", path.display()));
 }
 
 /// Serializes the backend's recorded history (if any) as one artifact
@@ -285,7 +417,7 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
 
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(threads + 1);
-    let (mut merged, elapsed) = std::thread::scope(|s| {
+    let (mut merged, telemetry, elapsed) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|id| {
                 let cfg = WorkerCfg {
@@ -302,10 +434,10 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
                 s.spawn(move || {
                     barrier.wait();
                     let begin = Instant::now();
-                    let metrics = drive(worker.as_mut(), &mut sampler, scenario, stop);
+                    let (metrics, snaps) = drive(worker.as_mut(), &mut sampler, scenario, stop);
                     let end = Instant::now();
                     worker.finish();
-                    (metrics, begin, end)
+                    (metrics, snaps, begin, end)
                 })
             })
             .collect();
@@ -318,11 +450,17 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
         // end): the coordinator may be descheduled right after the
         // barrier, so its clock would under-measure short fixed-op runs.
         let mut merged = WorkerMetrics::default();
+        let mut telemetry = scenario
+            .telemetry_interval
+            .map(|i| TelemetrySeries::new(i.as_millis().max(1) as u64));
         let mut begin: Option<Instant> = None;
         let mut end: Option<Instant> = None;
         for h in handles {
-            let (metrics, b, e) = h.join().expect("worker thread");
+            let (metrics, snaps, b, e) = h.join().expect("worker thread");
             merged.merge(&metrics);
+            if let Some(series) = telemetry.as_mut() {
+                series.merge_worker(&snaps);
+            }
             begin = Some(begin.map_or(b, |x| x.min(b)));
             end = Some(end.map_or(e, |x| x.max(e)));
         }
@@ -330,10 +468,11 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
             (Some(b), Some(e)) => e.saturating_duration_since(b),
             _ => Duration::ZERO,
         };
-        (merged, elapsed)
+        (merged, telemetry, elapsed)
     });
     merged.counts.merge(&prefill_counts);
 
+    report.telemetry = telemetry;
     report.elapsed = elapsed;
     report.counts = merged.counts;
     report.latency = LatencySummary::from(&merged.latency);
@@ -522,6 +661,95 @@ mod tests {
         // The sampled run still produces a usable latency distribution.
         assert!(sampled.latency.p99_ns >= sampled.latency.p50_ns);
         assert!(sampled.latency.max_ns > 0);
+    }
+
+    #[test]
+    fn telemetry_intervals_conserve_op_counts_exactly() {
+        use dlz_core::PolicyCfg;
+        let s = small("t-telemetry", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(20_000))
+            .prefill(1_000)
+            .telemetry_interval(Duration::from_millis(2))
+            .build();
+        let b = MultiQueueBackend::heap_policy(
+            8,
+            DeleteMode::TryLock,
+            PolicyCfg::AdaptiveSticky { s_max: 16 },
+            1,
+        );
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let t = r.telemetry.as_ref().expect("telemetry series");
+        assert_eq!(t.interval_ms, 2);
+        assert!(!t.intervals.is_empty());
+        // Conservation: per-interval op counts sum exactly to the
+        // run's totals (prefill is outside the measured window).
+        let totals = t.totals();
+        assert_eq!(totals.updates, r.counts.updates);
+        assert_eq!(totals.removes, r.counts.removes);
+        assert_eq!(totals.removes_empty, r.counts.removes_empty);
+        assert_eq!(totals.reads, r.counts.reads);
+        assert_eq!(totals.prefill, 0);
+        assert_eq!(r.counts.prefill, 1_000);
+        // Contention counters flowed through the snapshots, and the
+        // adaptive gauge was reported.
+        let c = t.total_contention();
+        assert!(c.adaptive_s >= 1, "adaptive gauge missing: {c:?}");
+        // The series renders into the report JSON.
+        let j = r.to_json();
+        assert!(j.contains("\"telemetry\":{"), "{j}");
+        assert!(j.contains("\"interval_ms\":2"), "{j}");
+        assert!(j.contains("\"adaptive_s\":"), "{j}");
+        // Telemetry stays off (and out of the JSON) by default.
+        let plain = run(
+            &small("t-plain-telemetry", Family::Queue)
+                .prefill(100)
+                .build(),
+            &MultiQueueBackend::heap(4, DeleteMode::Strict),
+        );
+        assert!(plain.telemetry.is_none());
+        assert!(!plain.to_json().contains("\"telemetry\":"));
+    }
+
+    #[test]
+    fn telemetry_sweep_exports_prometheus_per_cell() {
+        use crate::telemetry::parse_prometheus;
+        use dlz_core::PolicyCfg;
+        let dir = std::env::temp_dir().join(format!("dlz-engine-prom-{}", std::process::id()));
+        let base = small("t-prom-sweep", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(4_000))
+            .prefill(500)
+            .telemetry_interval(Duration::from_millis(2))
+            .export(dir.clone())
+            .build();
+        let spec =
+            SweepSpec::new(base).policies(&[PolicyCfg::TwoChoice, PolicyCfg::Sticky { ops: 8 }]);
+        let reports = run_sweep(&spec, |cell| {
+            vec![Box::new(MultiQueueBackend::heap_policy(
+                8,
+                DeleteMode::Strict,
+                cell.scenario.choice_policy,
+                1,
+            )) as Box<dyn Backend>]
+        });
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.verified(), "{:?}", r.verify_error);
+            let cell = r.cell.as_deref().expect("sweep tag");
+            let path = dir.join(cell).join(format!("{}.prom", r.backend));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+            let samples = parse_prometheus(&text).expect("exported file parses strictly");
+            // Every sample carries the cell's grid coordinates.
+            let first = samples.first().expect("samples");
+            assert_eq!(first.label("cell"), Some(cell));
+            assert_eq!(first.label("axis_policy"), Some(r.policy.as_str()));
+            // The time series made it to disk.
+            assert!(samples.iter().any(|s| s.name == "dlz_interval_ops"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

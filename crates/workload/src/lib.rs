@@ -64,13 +64,17 @@ pub mod op;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+pub mod telemetry;
 
 pub use backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 pub use dist::{Arrival, Dist, Sampler};
 pub use driver::{count_until_stopped, run_throughput, Throughput};
 pub use engine::{run, run_sweep, run_sweep_shared};
-pub use metrics::{LatencySummary, LogHistogram, WorkerMetrics};
+pub use metrics::{
+    IntervalSnapshot, LatencySummary, LogHistogram, TelemetrySample, TelemetrySeries, WorkerMetrics,
+};
 pub use op::{Op, OpCounts, OpKind, OpMix};
 pub use report::RunReport;
 pub use scenario::{Budget, Family, Scenario, ScenarioBuilder};
 pub use sweep::{SweepCell, SweepSpec};
+pub use telemetry::{parse_prometheus, write_prometheus, PromSample};

@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+use dlz_core::ContentionStats;
+
 use crate::op::{OpCounts, OpKind};
 
 const SUB_BITS: u32 = 5;
@@ -188,6 +190,122 @@ impl WorkerMetrics {
     }
 }
 
+/// Backend-internal telemetry drained from a worker at an interval
+/// boundary: the contention counters accumulated since the last drain
+/// plus the policy's current envelope factor (the live `s` for
+/// adaptive stickiness).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySample {
+    /// Hot-path contention counters since the last drain.
+    pub contention: ContentionStats,
+    /// Observed policy envelope factor at drain time (0 when the
+    /// backend reports none).
+    pub envelope_factor: f64,
+}
+
+/// One interval's **delta** snapshot: everything a worker did between
+/// two consecutive interval boundaries. Merging every snapshot of a run
+/// reconstructs the run's totals exactly — conservation by
+/// construction, which the engine relies on when telemetry is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSnapshot {
+    /// Zero-based interval index (`floor(elapsed / interval)` of the
+    /// boundary that closed it); workers align on this when merged.
+    pub index: u64,
+    /// Milliseconds from run start to the flush that closed this
+    /// snapshot (the last partial interval flushes early).
+    pub end_ms: u64,
+    /// Operations completed during the interval.
+    pub counts: OpCounts,
+    /// Latency samples recorded during the interval, nanoseconds.
+    pub latency: LogHistogram,
+    /// Contention counters accumulated during the interval.
+    pub contention: ContentionStats,
+    /// Policy envelope factor observed at the interval boundary
+    /// (max across merged workers).
+    pub envelope_factor: f64,
+}
+
+impl IntervalSnapshot {
+    /// Merges another snapshot of the same interval into this one:
+    /// counts, latency and contention add; the envelope factor and end
+    /// offset take the max.
+    pub fn merge(&mut self, other: &IntervalSnapshot) {
+        self.counts.merge(&other.counts);
+        self.latency.merge(&other.latency);
+        self.contention.merge(&other.contention);
+        if other.envelope_factor > self.envelope_factor {
+            self.envelope_factor = other.envelope_factor;
+        }
+        self.end_ms = self.end_ms.max(other.end_ms);
+    }
+
+    /// `true` if the snapshot recorded no operations and no contention
+    /// events.
+    pub fn is_empty(&self) -> bool {
+        self.counts.completed() == 0 && self.counts.removes_empty == 0 && self.contention.is_empty()
+    }
+}
+
+/// A run's aligned time series: per-interval snapshots merged across
+/// workers by interval index.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySeries {
+    /// Nominal interval length, milliseconds.
+    pub interval_ms: u64,
+    /// Dense, index-aligned snapshots (position `i` is interval `i`;
+    /// intervals no worker flushed stay empty).
+    pub intervals: Vec<IntervalSnapshot>,
+}
+
+impl TelemetrySeries {
+    /// An empty series with the given nominal interval.
+    pub fn new(interval_ms: u64) -> Self {
+        TelemetrySeries {
+            interval_ms: interval_ms.max(1),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Merges one worker's snapshots into the aligned series. The
+    /// series stays dense: missing indices are padded with empty
+    /// snapshots so every worker's interval `i` lands in position `i`.
+    pub fn merge_worker(&mut self, snaps: &[IntervalSnapshot]) {
+        for s in snaps {
+            let i = s.index as usize;
+            while self.intervals.len() <= i {
+                let index = self.intervals.len() as u64;
+                self.intervals.push(IntervalSnapshot {
+                    index,
+                    end_ms: (index + 1) * self.interval_ms,
+                    ..IntervalSnapshot::default()
+                });
+            }
+            self.intervals[i].merge(s);
+        }
+    }
+
+    /// Sum of every interval's op counts — equals the run's merged
+    /// (pre-prefill) totals exactly.
+    pub fn totals(&self) -> OpCounts {
+        let mut t = OpCounts::default();
+        for s in &self.intervals {
+            t.merge(&s.counts);
+        }
+        t
+    }
+
+    /// Sum of every interval's contention counters (gauge takes the
+    /// max, as [`ContentionStats::merge`] defines).
+    pub fn total_contention(&self) -> ContentionStats {
+        let mut t = ContentionStats::new();
+        for s in &self.intervals {
+            t.merge(&s.contention);
+        }
+        t
+    }
+}
+
 /// Latency summary extracted from a merged histogram, for reports.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatencySummary {
@@ -264,6 +382,89 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), c.quantile(q));
         }
+    }
+
+    fn snap(index: u64, updates: u64, try_fails: u64, factor: f64) -> IntervalSnapshot {
+        let mut s = IntervalSnapshot {
+            index,
+            end_ms: (index + 1) * 100,
+            envelope_factor: factor,
+            ..IntervalSnapshot::default()
+        };
+        s.counts.updates = updates;
+        s.contention.try_lock_failures = try_fails;
+        s.latency.record(updates.max(1) * 100);
+        s
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_order_independent() {
+        let (a, b, c) = (snap(0, 10, 3, 2.0), snap(0, 20, 5, 4.0), snap(0, 7, 1, 1.0));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ⊕ b ⊕ a (reversed order)
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        for m in [&right, &rev] {
+            assert_eq!(left.counts.updates, m.counts.updates);
+            assert_eq!(
+                left.contention.try_lock_failures,
+                m.contention.try_lock_failures
+            );
+            assert_eq!(left.envelope_factor, m.envelope_factor);
+            assert_eq!(left.latency.len(), m.latency.len());
+            assert_eq!(left.latency.max(), m.latency.max());
+            assert_eq!(left.end_ms, m.end_ms);
+        }
+        assert_eq!(left.counts.updates, 37);
+        assert_eq!(left.contention.try_lock_failures, 9);
+        assert_eq!(left.envelope_factor, 4.0);
+    }
+
+    #[test]
+    fn series_aligns_workers_by_index_and_conserves_totals() {
+        let mut series = TelemetrySeries::new(100);
+        // Worker A flushed intervals 0 and 2 (stalled through 1);
+        // worker B flushed 0 and 1.
+        series.merge_worker(&[snap(0, 5, 2, 1.0), snap(2, 9, 4, 2.0)]);
+        series.merge_worker(&[snap(1, 6, 1, 8.0), snap(0, 3, 0, 1.0)]);
+        assert_eq!(series.intervals.len(), 3);
+        for (i, s) in series.intervals.iter().enumerate() {
+            assert_eq!(s.index, i as u64, "dense and aligned");
+        }
+        assert_eq!(series.intervals[0].counts.updates, 8);
+        assert_eq!(series.intervals[1].counts.updates, 6);
+        assert_eq!(series.intervals[1].envelope_factor, 8.0);
+        assert_eq!(series.totals().updates, 23);
+        assert_eq!(series.total_contention().try_lock_failures, 7);
+        // Merge order across workers does not change the series.
+        let mut other = TelemetrySeries::new(100);
+        other.merge_worker(&[snap(1, 6, 1, 8.0), snap(0, 3, 0, 1.0)]);
+        other.merge_worker(&[snap(0, 5, 2, 1.0), snap(2, 9, 4, 2.0)]);
+        assert_eq!(other.totals().updates, series.totals().updates);
+        for (x, y) in series.intervals.iter().zip(&other.intervals) {
+            assert_eq!(x.counts.updates, y.counts.updates);
+            assert_eq!(
+                x.contention.try_lock_failures,
+                y.contention.try_lock_failures
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_detection() {
+        let mut s = IntervalSnapshot::default();
+        assert!(s.is_empty());
+        s.contention.backoff_spins = 1;
+        assert!(!s.is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::Duration;
 use crate::backend::QualityReport;
 use crate::dist::Arrival;
 use crate::json::JsonObject;
-use crate::metrics::LatencySummary;
+use crate::metrics::{LatencySummary, TelemetrySeries};
 use crate::op::OpCounts;
 use crate::scenario::{Budget, Scenario};
 
@@ -58,6 +58,12 @@ pub struct RunReport {
     /// on non-history runs. `None` when the run recorded no history or
     /// the proxy drew no (or only zero) samples.
     pub rank_proxy_calibration: Option<f64>,
+    /// Time-resolved telemetry: the merged, index-aligned per-interval
+    /// series when the scenario set
+    /// [`telemetry_interval`](crate::Scenario::telemetry_interval);
+    /// `None` otherwise. Per-interval op counts sum exactly to the
+    /// run's (pre-prefill) totals.
+    pub telemetry: Option<TelemetrySeries>,
 }
 
 impl RunReport {
@@ -158,6 +164,36 @@ impl RunReport {
         if let Some(c) = self.rank_proxy_calibration {
             o.f64("rank_proxy_calibration", c);
         }
+        if let Some(t) = &self.telemetry {
+            let rows: Vec<String> = t
+                .intervals
+                .iter()
+                .map(|s| {
+                    let lat = LatencySummary::from(&s.latency);
+                    let mut io = JsonObject::new();
+                    io.u64("index", s.index)
+                        .u64("end_ms", s.end_ms)
+                        .u64("updates", s.counts.updates)
+                        .u64("removes", s.counts.removes)
+                        .u64("removes_empty", s.counts.removes_empty)
+                        .u64("reads", s.counts.reads)
+                        .f64("latency_mean_ns", lat.mean_ns)
+                        .u64("latency_p99_ns", lat.p99_ns)
+                        .f64("envelope_factor", s.envelope_factor);
+                    io.obj("contention", |c| {
+                        for (name, value) in s.contention.fields() {
+                            c.u64(name, value);
+                        }
+                    });
+                    io.finish()
+                })
+                .collect();
+            o.obj("telemetry", |to| {
+                to.u64("interval_ms", t.interval_ms)
+                    .u64("intervals", t.intervals.len() as u64)
+                    .raw("series", &crate::json::array(&rows));
+            });
+        }
         o.u64("residual", self.residual);
         o.bool("verified", self.verified());
         match &self.verify_error {
@@ -190,6 +226,7 @@ pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
         cell: None,
         grid: Vec::new(),
         rank_proxy_calibration: None,
+        telemetry: None,
     }
 }
 

@@ -15,6 +15,10 @@ pub enum Family {
     Counter,
     /// Priority queues — the MultiQueue and every `dlz-pq` substrate.
     Queue,
+    /// Relaxed FIFO queues — the MultiQueue behind clock-assigned
+    /// timestamp priorities (Section 7.1), plus an exact locked
+    /// baseline.
+    Fifo,
     /// The TL2 transactional array with exact or relaxed clocks.
     Stm,
 }
@@ -25,6 +29,7 @@ impl Family {
         match self {
             Family::Counter => "counter",
             Family::Queue => "queue",
+            Family::Fifo => "fifo",
             Family::Stm => "stm",
         }
     }
@@ -101,6 +106,14 @@ pub struct Scenario {
     /// Open-loop arrivals always timestamp (the pacing needs the
     /// clock anyway).
     pub latency_every: u32,
+    /// Time-resolved telemetry: when set, every worker flushes a delta
+    /// snapshot (op counts, latency, contention counters, observed
+    /// envelope factor) at each interval boundary, and the report
+    /// carries the merged, index-aligned
+    /// [`TelemetrySeries`](crate::metrics::TelemetrySeries). `None`
+    /// (the default) disables the boundary checks entirely — one
+    /// untaken branch per operation.
+    pub telemetry_interval: Option<Duration>,
 }
 
 impl Scenario {
@@ -126,6 +139,7 @@ impl Scenario {
                 choice_policy: PolicyCfg::TwoChoice,
                 batch: 1,
                 latency_every: 1,
+                telemetry_interval: None,
             },
         }
     }
@@ -233,6 +247,13 @@ impl Scenario {
                 .prefill(2_000)
                 .record_history(true)
                 .choice_policy(PolicyCfg::AdaptiveSticky { s_max: 16 })
+                .build(),
+            Scenario::builder("fifo-history-audit", Family::Fifo)
+                .about("relaxed FIFO vs exact locked baseline, stamped history through the FIFO checker — dequeue positions are Theorem 7.1's rank error")
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(6_000))
+                .prefill(2_000)
+                .record_history(true)
                 .build(),
             Scenario::builder("stm-uniform-mix", Family::Stm)
                 .about("80% 2-slot add txns / 20% read-only txns over 64k slots — Figure 1(c)")
@@ -360,6 +381,13 @@ impl ScenarioBuilder {
     /// Quality sampling cadence (0 disables).
     pub fn quality_every(mut self, every: u32) -> Self {
         self.s.quality_every = every;
+        self
+    }
+
+    /// Enables time-resolved telemetry with the given snapshot interval
+    /// (clamped to ≥ 1ms; see [`Scenario::telemetry_interval`]).
+    pub fn telemetry_interval(mut self, interval: Duration) -> Self {
+        self.s.telemetry_interval = Some(interval.max(Duration::from_millis(1)));
         self
     }
 
