@@ -344,6 +344,49 @@ fn main() {
         t.finish()
     };
 
+    // Faults-off overhead point: the optimized balanced configuration
+    // runs through the chaos gate in every engine loop — one untaken
+    // branch per op when no fault plan is armed. "Off" must match the
+    // optimized median above within 1% (the ≤1%-when-disabled budget
+    // the fault hooks were designed to); an armed-but-inert plan
+    // (`slow:0:0` — zero-microsecond delays) additionally prices the
+    // per-op fault check + progress counter + watchdog when chaos IS
+    // requested.
+    let faults_off_scenario = telemetry_scenario.clone();
+    let mut armed_scenario = telemetry_scenario.clone();
+    armed_scenario.faults = Some("slow:0:0".parse().expect("inert fault plan"));
+    let mut faults_off_runs = Vec::new();
+    let mut armed_runs = Vec::new();
+    for round in 0..rounds {
+        eprintln!("running faults overhead round {}/{rounds} ...", round + 1);
+        faults_off_runs.push(run_once(&faults_off_scenario, &make_telem));
+        armed_runs.push(run_once(&armed_scenario, &make_telem));
+    }
+    let faults_off = median(faults_off_runs);
+    let armed = median(armed_runs);
+    let faults_off_delta = (faults_off.mops() - opt_mops) / opt_mops * 100.0;
+    let armed_overhead = (faults_off.mops() - armed.mops()) / faults_off.mops() * 100.0;
+    table.row(vec![
+        format!("{} (faults)", faults_off_scenario.name),
+        threads.to_string(),
+        "faults off".to_string(),
+        "armed inert plan".to_string(),
+        format!("{:.3}", faults_off.mops()),
+        format!("{:.3}", armed.mops()),
+        format!("{:+.1}", -armed_overhead),
+    ]);
+    let faults_point = {
+        let mut fo = JsonObject::new();
+        fo.str("scenario", &faults_off_scenario.name)
+            .u64("threads", threads as u64)
+            .f64("mops_faults_off", faults_off.mops())
+            .f64("mops_faults_armed_inert", armed.mops())
+            .f64("off_vs_optimized_pct", faults_off_delta)
+            .f64("armed_overhead_pct", armed_overhead)
+            .bool("off_within_budget", faults_off_delta.abs() <= 1.0);
+        fo.finish()
+    };
+
     // Rank guardrails: checker-exact dequeue ranks must sit inside the
     // envelope each policy reports (O(s·m) static, observed-s adaptive).
     let (audit, within, linearizable) = run_audit("mq-hotpath-rank-audit", &cfg);
@@ -354,7 +397,7 @@ fn main() {
     root.str("bench", "mq_hotpath")
         .str(
             "change",
-            "time-resolved telemetry: contention counters + interval snapshots",
+            "fault-injection chaos layer: seeded fault plans, watchdog, panic-tolerant engine",
         )
         .u64("threads", threads as u64)
         .f64("target_improvement_pct", TARGET_PCT)
@@ -363,7 +406,8 @@ fn main() {
         .f64("worst_improvement_pct", worst_gain)
         .f64("adaptive_vs_static_pct", adaptive_delta)
         .raw("points", &dlz_workload::json::array(&points))
-        .raw("telemetry_overhead", &telemetry_point);
+        .raw("telemetry_overhead", &telemetry_point)
+        .raw("faults_overhead", &faults_point);
     if let Some(a) = &adaptive_cmp {
         root.raw("adaptive_vs_static", a);
     }
@@ -420,6 +464,16 @@ fn main() {
         eprintln!(
             "note: {} ms snapshots cost {snapshot_overhead:.1}% on this machine (above the 5% budget)",
             interval.as_millis()
+        );
+    }
+    eprintln!(
+        "faults: off {:.3} mops ({faults_off_delta:+.1}% vs optimized), armed inert {:.3} mops ({armed_overhead:.1}% overhead)",
+        faults_off.mops(),
+        armed.mops(),
+    );
+    if faults_off_delta.abs() > 1.0 {
+        eprintln!(
+            "note: faults-off point {faults_off_delta:+.1}% vs optimized (outside the ±1% disabled-hook budget on this machine)"
         );
     }
 }

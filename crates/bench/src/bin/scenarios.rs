@@ -80,6 +80,25 @@ fn customize(mut s: Scenario, cfg: &Config) -> Scenario {
     if cfg.telemetry {
         s.telemetry_interval = Some(cfg.telemetry_interval);
     }
+    if let Some(plan) = &cfg.faults {
+        // The highest thread count anywhere in the grid bounds the
+        // worker ids a plan may name; the engine simply never compiles
+        // faults for workers a smaller cell does not spawn.
+        let max_threads = if cfg.sweep || cfg.was_set("threads") {
+            cfg.threads.iter().copied().max().unwrap_or(s.threads)
+        } else {
+            s.threads
+        };
+        if plan.max_worker() >= max_threads {
+            eprintln!(
+                "error: --faults names worker {} but no cell runs more than {} threads",
+                plan.max_worker(),
+                max_threads
+            );
+            std::process::exit(2);
+        }
+        s.faults = Some(plan.clone());
+    }
     if let Some(dir) = &cfg.export_histories {
         // The export directory also receives `.prom` telemetry files,
         // so telemetry-enabled runs export even without a history.
@@ -165,7 +184,20 @@ fn main() {
                 std::process::exit(2);
             }
         },
-        None => catalog,
+        None => {
+            // Chaos presets ship armed fault plans and *expect* worker
+            // deaths, so a bare catalog run skips them — run one
+            // explicitly (`--scenario chaos-stall-audit`) to opt in.
+            let (chaos, rest): (Vec<Scenario>, Vec<Scenario>) =
+                catalog.into_iter().partition(|s| s.faults.is_some());
+            for s in &chaos {
+                eprintln!(
+                    "note: skipping chaos preset '{}' (opt in with --scenario)",
+                    s.name
+                );
+            }
+            rest
+        }
     };
 
     let mut reports: Vec<RunReport> = Vec::new();
@@ -259,15 +291,34 @@ fn main() {
 
     eprintln!();
     eprint!("{}", summary.render());
-    let unverified: Vec<&RunReport> = reports.iter().filter(|r| !r.verified()).collect();
-    if !unverified.is_empty() {
-        for r in &unverified {
-            eprintln!(
-                "VERIFY FAILED: {} on {}: {}",
-                r.cell.as_deref().unwrap_or(&r.scenario),
-                r.backend,
-                r.verify_error.as_deref().unwrap_or("?")
-            );
+    // A run is clean only if it verified, exported without errors, and
+    // every worker completed — fault casualties and export failures
+    // surface in the exit code, not just the JSON.
+    let failed: Vec<&RunReport> = reports.iter().filter(|r| !r.ok()).collect();
+    if !failed.is_empty() {
+        for r in &failed {
+            let cell = r.cell.as_deref().unwrap_or(&r.scenario);
+            if !r.verified() {
+                eprintln!(
+                    "VERIFY FAILED: {cell} on {}: {}",
+                    r.backend,
+                    r.verify_error.as_deref().unwrap_or("?")
+                );
+            }
+            for e in &r.export_errors {
+                eprintln!("EXPORT FAILED: {cell} on {}: {e}", r.backend);
+            }
+            if let Some(f) = &r.faults {
+                for (id, w) in f.workers.iter().enumerate() {
+                    if let Some(detail) = w.detail() {
+                        eprintln!(
+                            "WORKER {}: {cell} on {}: worker {id}: {detail}",
+                            w.label().to_uppercase(),
+                            r.backend
+                        );
+                    }
+                }
+            }
         }
         std::process::exit(1);
     }
@@ -395,6 +446,20 @@ mod tests {
         );
         let plain = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
         assert!(plain.export.is_none(), "no history, nothing to export");
+    }
+
+    #[test]
+    fn faults_flag_threads_the_plan_into_every_scenario() {
+        let cfg = Config::parse(vec!["--faults".into(), "panic:0@50;slow:1:2..9".into()]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert_eq!(
+            s.faults.as_ref().map(|p| p.spec()),
+            Some("panic:0@50;slow:1:2..9")
+        );
+        // Off by default.
+        let cfg = Config::parse(vec![]);
+        let s = customize(Scenario::named("queue-balanced").expect("catalog"), &cfg);
+        assert!(s.faults.is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | `--export-histories DIR` | | `scenarios`: serialize each history run's artifact under DIR |
 //! | `--telemetry` | `DLZ_TELEMETRY=1` | `scenarios`: per-interval snapshots in each report (100ms default) |
 //! | `--telemetry-interval-ms N` | `DLZ_TELEMETRY_MS` | snapshot interval; implies `--telemetry` |
+//! | `--faults SPEC` | `DLZ_FAULTS` | `scenarios`: inject a fault plan (`panic:1@200;slow:3:5..20`) |
 //!
 //! The `Dist` grammar for `--keys`/`--prios`: `uniform:N`, `zipf:N:THETA`
 //! (or `zipf:THETA` with the default 65536-key space), `fixed:V`,
@@ -37,7 +38,7 @@
 use std::time::Duration;
 
 use dlz_core::PolicyCfg;
-use dlz_workload::{Dist, OpMix};
+use dlz_workload::{Dist, FaultPlan, OpMix};
 
 /// Default key space for `--zipf` and `zipf:THETA` shorthands.
 pub const DEFAULT_DIST_N: u64 = 1 << 16;
@@ -90,6 +91,10 @@ pub struct Config {
     /// [`telemetry`](Self::telemetry); setting it via
     /// `--telemetry-interval-ms` implies `--telemetry`).
     pub telemetry_interval: Duration,
+    /// `scenarios`: fault plan injected into every selected scenario
+    /// (`--faults 'panic:1@200;slow:3:5..20'`). Malformed specs are
+    /// usage errors at parse time, not mid-sweep panics.
+    pub faults: Option<FaultPlan>,
     /// Names of flags/envs explicitly set (so binaries can distinguish
     /// "defaulted" from "requested").
     set_flags: Vec<String>,
@@ -126,6 +131,7 @@ impl Default for Config {
             export_histories: None,
             telemetry: false,
             telemetry_interval: Duration::from_millis(100),
+            faults: None,
             set_flags: Vec::new(),
         }
     }
@@ -202,6 +208,10 @@ impl Config {
         }
         if std::env::var("DLZ_TELEMETRY").as_deref() == Ok("1") {
             cfg.telemetry = true;
+        }
+        if let Ok(v) = std::env::var("DLZ_FAULTS") {
+            cfg.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("DLZ_FAULTS: {e}"))?);
+            cfg.set_flags.push("faults".into());
         }
         if let Ok(v) = std::env::var("DLZ_TELEMETRY_MS") {
             if let Ok(ms) = v.parse::<u64>() {
@@ -284,6 +294,11 @@ impl Config {
                 "--export-histories" => {
                     let v = need(&mut it, "--export-histories")?;
                     cfg.export_histories = Some(v);
+                }
+                "--faults" => {
+                    let v = need(&mut it, "--faults")?;
+                    cfg.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?);
+                    cfg.set_flags.push("faults".into());
                 }
                 "--telemetry" => cfg.telemetry = true,
                 "--telemetry-interval-ms" => {
@@ -692,6 +707,21 @@ mod tests {
     }
 
     #[test]
+    fn faults_flag_parses_and_rejects_malformed_plans() {
+        let c = Config::parse(vec![]);
+        assert!(c.faults.is_none());
+        let c = Config::parse(vec!["--faults".into(), "panic:1@200;slow:3:5..20".into()]);
+        let plan = c.faults.as_ref().expect("plan");
+        assert_eq!(plan.spec(), "panic:1@200;slow:3:5..20");
+        assert_eq!(plan.max_worker(), 3);
+        assert!(c.was_set("faults"));
+        let e = Config::try_parse(vec!["--faults".into(), "panic:1".into()]).unwrap_err();
+        assert!(e.contains("--faults"), "{e}");
+        let e = Config::try_parse(vec!["--faults".into(), "explode:2@5".into()]).unwrap_err();
+        assert!(e.contains("explode"), "{e}");
+    }
+
+    #[test]
     fn empty_backend_filter_selects_all() {
         let c = Config::parse(vec![]);
         assert!(c.backend_selected("anything"));
@@ -734,6 +764,7 @@ mod tests {
             "--zipf",
             "--export-histories",
             "--telemetry-interval-ms",
+            "--faults",
             "--json",
         ] {
             let e = Config::try_parse(vec![flag.into()]).unwrap_err();

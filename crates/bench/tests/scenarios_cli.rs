@@ -134,6 +134,84 @@ fn telemetry_export_writes_parseable_prometheus_files() {
 }
 
 #[test]
+fn chaos_scenario_reports_faults_and_exits_1() {
+    let out = run(&[
+        "--scenario",
+        "chaos-stall-audit",
+        "--backends",
+        "multiqueue-heap",
+    ]);
+    // A fault casualty is not a clean run: exit 1, but the JSON report
+    // (with its faults section) still lands intact on stdout.
+    assert_eq!(out.status.code(), Some(1), "exit: {:?}", out.status);
+    let reports = reports_from_stdout(&out);
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert_eq!(r.get("verified").and_then(|v| v.as_bool()), Some(true));
+        let faults = r.get("faults").expect("faults section");
+        assert_eq!(faults.get("aborted").and_then(|v| v.as_bool()), Some(false));
+        let workers = faults
+            .get("workers")
+            .and_then(|v| v.as_array())
+            .expect("workers array");
+        assert_eq!(workers.len(), 4);
+        let panicked: Vec<_> = workers
+            .iter()
+            .filter(|w| w.get("outcome").and_then(|v| v.as_str()) == Some("panicked"))
+            .collect();
+        assert_eq!(panicked.len(), 1, "exactly the faulted worker dies");
+        assert_eq!(panicked[0].get("id").and_then(|v| v.as_u64()), Some(1));
+    }
+    let stderr = String::from_utf8(out.stderr.clone()).expect("utf8 stderr");
+    assert!(stderr.contains("WORKER PANICKED"), "{stderr}");
+}
+
+#[test]
+fn bare_catalog_run_skips_chaos_presets() {
+    // A backend filter that matches nothing keeps this cheap (exit 2,
+    // no measurements) while still exercising preset selection.
+    let out = run(&["--quick", "--backends", "no-such-backend-zzz"]);
+    assert_eq!(out.status.code(), Some(2), "exit: {:?}", out.status);
+    let stderr = String::from_utf8(out.stderr.clone()).expect("utf8 stderr");
+    assert!(
+        stderr.contains("skipping chaos preset 'chaos-stall-audit'"),
+        "chaos presets must be opt-in: {stderr}"
+    );
+}
+
+#[test]
+fn faults_flag_injects_a_plan_and_surfaces_casualties() {
+    let out = run(&[
+        "--scenario",
+        "queue-balanced-audit",
+        "--quick",
+        "--backends",
+        "multiqueue-heap",
+        "--faults",
+        "panic:0@25",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit: {:?}", out.status);
+    let reports = reports_from_stdout(&out);
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert_eq!(
+            r.get("verified").and_then(|v| v.as_bool()),
+            Some(true),
+            "salvaged runs must still verify conservation"
+        );
+        let faults = r.get("faults").expect("faults section");
+        assert_eq!(
+            faults.get("plan").and_then(|v| v.as_str()),
+            Some("panic:0@25")
+        );
+    }
+    // A malformed plan is a usage error, before any run starts.
+    let out = run(&["--faults", "panic:zero@25"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
 fn unknown_scenario_exits_2_with_empty_stdout() {
     let out = run(&["--scenario", "no-such-scenario"]);
     assert_eq!(out.status.code(), Some(2));

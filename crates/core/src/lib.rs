@@ -73,7 +73,9 @@ pub use counter::{
     RelaxedCounter, ShardedCounter,
 };
 pub use dlz_pq::ContentionStats;
+pub use dlz_pq::Poisoned;
 pub use queue::{
-    AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, DeleteMode, MqHandle, MultiQueue,
-    MultiQueueBuilder, PolicyCfg, QueueView, RelaxedFifo, Stamped, Sticky, TwoChoice,
+    AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, DeleteMode, MqHandle, MqOpTimeout,
+    MultiQueue, MultiQueueBuilder, PolicyCfg, QueueView, RelaxedFifo, SalvageOutcome, Stamped,
+    Sticky, TwoChoice,
 };

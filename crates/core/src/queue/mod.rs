@@ -17,7 +17,9 @@ mod multiqueue;
 pub mod policy;
 mod relaxed_fifo;
 
-pub use multiqueue::{DeleteMode, MqHandle, MultiQueue, MultiQueueBuilder, Stamped};
+pub use multiqueue::{
+    DeleteMode, MqHandle, MqOpTimeout, MultiQueue, MultiQueueBuilder, SalvageOutcome, Stamped,
+};
 pub use policy::{
     AdaptiveSticky, AnyPolicy, ChoiceOp, ChoicePolicy, DChoice, PolicyCfg, QueueView, Sticky,
     TwoChoice,

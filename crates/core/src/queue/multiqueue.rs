@@ -60,10 +60,13 @@
 //!   publish over a whole batch. Both trade rank quality for throughput
 //!   within the policy's documented envelope (O(s·m) for stickiness).
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use dlz_pq::locked::EMPTY_HINT;
-use dlz_pq::{Backoff, BinaryHeap, ConcurrentPq, ContentionStats, LockedPq, SeqPriorityQueue};
+use dlz_pq::{
+    Backoff, BinaryHeap, ConcurrentPq, ContentionStats, LockedPq, Poisoned, SeqPriorityQueue,
+};
 
 use crate::padded::Padded;
 use crate::queue::policy::{
@@ -117,7 +120,55 @@ where
     /// operation(s). Replaces the O(m) per-queue sweep on the dequeue
     /// retry path; signed so transient reorderings cannot wrap.
     size: Padded<AtomicI64>,
+    /// One flag per queue, set by the first operation that observes the
+    /// queue poisoned. The winner of that CAS subtracts the dead
+    /// queue's (stale) entry count from `size`, so the emptiness gate
+    /// never spins waiting for items no operation can reach. Cleared by
+    /// [`salvage`](Self::salvage) when the queue returns to service.
+    quarantined: Box<[AtomicBool]>,
 }
+
+/// What a [`MultiQueue::salvage`] sweep recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageOutcome {
+    /// Poisoned queues that were drained and returned to service.
+    pub queues_salvaged: usize,
+    /// Entries recovered from those queues and reinserted into healthy
+    /// ones.
+    pub items_recovered: usize,
+}
+
+/// A bounded-retry [`MqHandle`] operation gave up: the deadline passed
+/// without the operation landing (e.g. every lock it tried was held by
+/// stalled threads, or all queues were poisoned).
+///
+/// This is the escape hatch from the blocking operations' "retry
+/// forever" contract — fault-tolerant callers use
+/// [`MqHandle::try_insert_for`] / [`MqHandle::try_dequeue_for`] and
+/// turn this error into a diagnosis instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MqOpTimeout {
+    /// Which operation kind gave up.
+    pub op: ChoiceOp,
+    /// The bound that elapsed.
+    pub timeout: Duration,
+}
+
+impl std::fmt::Display for MqOpTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.op {
+            ChoiceOp::Insert => "insert",
+            ChoiceOp::Dequeue => "dequeue",
+        };
+        write!(f, "{kind} did not complete within {:?}", self.timeout)
+    }
+}
+
+impl std::error::Error for MqOpTimeout {}
+
+/// Consecutive poisoned choices an insert loop tolerates before it
+/// stops trusting the policy and linear-scans for a healthy queue.
+const POISON_RECHOOSE_LIMIT: u32 = 4;
 
 /// Draws a stamp inside the caller's critical section, or 0 when the
 /// operation runs unstamped.
@@ -160,11 +211,13 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         assert!(!queues.is_empty(), "MultiQueue needs at least one queue");
         let queues: Box<[LockedPq<V, Q>]> = queues.into_iter().map(LockedPq::new).collect();
         let size: i64 = queues.iter().map(|q| q.approx_len() as i64).sum();
+        let quarantined = (0..queues.len()).map(|_| AtomicBool::new(false)).collect();
         MultiQueue {
             queues,
             mode,
             policy,
             size: Padded::new(AtomicI64::new(size)),
+            quarantined,
         }
     }
 
@@ -223,13 +276,54 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         self.size.fetch_sub(n as i64, Ordering::Relaxed);
     }
 
+    /// Entries reachable through operations: the O(m) sweep of
+    /// [`len`](Self::len), minus poisoned queues — their items cannot
+    /// be served until [`salvage`](Self::salvage) runs, so counting
+    /// them would make the dequeue loops spin forever on a quarantined
+    /// remainder.
+    fn reachable_len(&self) -> usize {
+        self.queues
+            .iter()
+            .filter(|q| !q.is_poisoned())
+            .map(|q| q.approx_len())
+            .sum()
+    }
+
+    /// Number of currently poisoned (quarantined) queues.
+    pub fn poisoned_count(&self) -> usize {
+        self.queues.iter().filter(|q| q.is_poisoned()).count()
+    }
+
+    /// Records queue `i`'s poisoning exactly once: the first observer
+    /// wins the flag CAS and subtracts the dead queue's (stale) header
+    /// count from the global size counter, so
+    /// [`confirmed_empty`](Self::confirmed_empty) keeps working while
+    /// the queue is out of service.
+    fn quarantine(&self, i: usize) {
+        if self.quarantined[i]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.size
+                .fetch_sub(self.queues[i].approx_len() as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// First non-poisoned queue, if any — the insert loops' fallback
+    /// when the policy keeps landing on quarantined queues.
+    fn any_healthy_queue(&self) -> Option<usize> {
+        (0..self.queues.len()).find(|&i| !self.queues[i].is_poisoned())
+    }
+
     /// The dequeue loops' emptiness gate. Cheap path: one relaxed load
     /// of the global counter. The exact O(m) sweep runs only when the
     /// counter hints empty — or, as a drift safety net, once the
-    /// backoff has escalated past pure spinning.
+    /// backoff has escalated past pure spinning. Quarantined queues'
+    /// items are unreachable, so they count as absent here.
     #[inline]
     fn confirmed_empty(&self, backoff: &Backoff) -> bool {
-        (self.size.load(Ordering::Relaxed) <= 0 || backoff.is_yielding()) && self.is_empty()
+        (self.size.load(Ordering::Relaxed) <= 0 || backoff.is_yielding())
+            && self.reachable_len() == 0
     }
 
     // -----------------------------------------------------------------
@@ -343,32 +437,43 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         stamper: Option<&AtomicU64>,
         stats: &mut ContentionStats,
     ) -> u64 {
+        let mut poisoned_hits = 0u32;
         loop {
-            let i = policy.choose_insert(rng, self);
-            match self.mode {
-                DeleteMode::Strict => {
-                    let stamp = {
-                        let mut g = self.queues[i].lock_with_stats(&mut *stats);
-                        g.add(priority, value);
-                        stamp_of(stamper)
-                    };
+            // After enough consecutive poisoned choices, stop trusting
+            // the policy's draw and take any healthy queue directly —
+            // inserts must land somewhere, and a small-m structure with
+            // most queues quarantined could otherwise redraw for a
+            // long time.
+            let i = if poisoned_hits >= POISON_RECHOOSE_LIMIT {
+                self.any_healthy_queue()
+                    .expect("every queue is poisoned; salvage() before inserting")
+            } else {
+                policy.choose_insert(rng, self)
+            };
+            // Ok(None) = contended (TryLock mode); Err = quarantined.
+            let acquired = match self.mode {
+                DeleteMode::Strict => self.queues[i]
+                    .checked_lock_with_stats(&mut *stats)
+                    .map(Some),
+                DeleteMode::TryLock => self.queues[i].checked_try_lock_with_stats(&mut *stats),
+            };
+            match acquired {
+                Ok(Some(mut g)) => {
+                    g.add(priority, value);
+                    let stamp = stamp_of(stamper);
+                    drop(g);
                     self.note_inserted(1);
                     policy.on_success(ChoiceOp::Insert, i, self);
                     return stamp;
                 }
-                DeleteMode::TryLock => match self.queues[i].try_lock_with_stats(&mut *stats) {
-                    Some(mut g) => {
-                        g.add(priority, value);
-                        let stamp = stamp_of(stamper);
-                        drop(g);
-                        self.note_inserted(1);
-                        policy.on_success(ChoiceOp::Insert, i, self);
-                        return stamp;
-                    }
-                    // Contention voids any camp; the next choice draws
-                    // elsewhere (redraw is this mode's point).
-                    None => policy.on_contention(ChoiceOp::Insert, i),
-                },
+                // Contention voids any camp; the next choice draws
+                // elsewhere (redraw is this mode's point).
+                Ok(None) => policy.on_contention(ChoiceOp::Insert, i),
+                Err(Poisoned) => {
+                    self.quarantine(i);
+                    policy.on_poisoned(ChoiceOp::Insert, i);
+                    poisoned_hits += 1;
+                }
             }
         }
     }
@@ -393,27 +498,40 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 backoff.snooze();
                 continue;
             };
-            let attempt = match self.mode {
-                DeleteMode::Strict => {
-                    let mut g = self.queues[k].lock_with_stats(&mut *stats);
-                    Some(g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))
-                }
-                DeleteMode::TryLock => self.queues[k]
-                    .try_lock_with_stats(&mut *stats)
-                    .map(|mut g| g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper)))),
-            };
+            // Ok(Some(Some(out))) = served; Ok(Some(None)) = stale hint
+            // (locked an empty queue); Ok(None) = contended lock
+            // (TryLock mode); Err = quarantined.
+            let attempt =
+                match self.mode {
+                    DeleteMode::Strict => self.queues[k]
+                        .checked_lock_with_stats(&mut *stats)
+                        .map(|mut g| Some(g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))),
+                    DeleteMode::TryLock => self.queues[k]
+                        .checked_try_lock_with_stats(&mut *stats)
+                        .map(|og| {
+                            og.map(|mut g| g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))
+                        }),
+                };
             match attempt {
-                Some(Some(out)) => {
+                Ok(Some(Some(out))) => {
                     self.note_removed(1);
                     policy.on_success(ChoiceOp::Dequeue, k, self);
                     return Some(out);
                 }
-                // Stale hint / drained camp (`Some(None)`) or contended
-                // lock (`None`): void any camp and back off rather than
-                // hammering the hint lines — the snooze is near-free at
-                // first and escalates to yielding under sustained
-                // contention so lock holders get CPU (vital when
-                // oversubscribed).
+                // Poison is not contention: evict any camp on the dead
+                // queue and re-choose immediately (the poisoned queue
+                // publishes the empty hint, so fresh samples steer
+                // clear — no snooze needed and none recorded).
+                Err(Poisoned) => {
+                    self.quarantine(k);
+                    policy.on_poisoned(ChoiceOp::Dequeue, k);
+                }
+                // Stale hint / drained camp (`Ok(Some(None))`) or a
+                // contended lock (`Ok(None)`): void any camp and back
+                // off rather than hammering the hint lines — the snooze
+                // is near-free at first and escalates to yielding under
+                // sustained contention so lock holders get CPU (vital
+                // when oversubscribed).
                 _ => {
                     policy.on_contention(ChoiceOp::Dequeue, k);
                     stats.note_snooze(backoff.is_yielding());
@@ -434,18 +552,27 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         stats: &mut ContentionStats,
     ) -> usize {
         let mut backoff = Backoff::new();
+        let mut poisoned_hits = 0u32;
         // The whole critical section lives inside the acquisition loop:
         // the guard (which borrows `stats` for republish accounting)
         // must not outlive one iteration, or the contention arm could
         // not record its own events.
         loop {
-            let i = policy.choose_insert(rng, self);
+            let i = if poisoned_hits >= POISON_RECHOOSE_LIMIT {
+                self.any_healthy_queue()
+                    .expect("every queue is poisoned; salvage() before inserting")
+            } else {
+                policy.choose_insert(rng, self)
+            };
+            // Ok(None) = contended (TryLock mode); Err = quarantined.
             let guard = match self.mode {
-                DeleteMode::Strict => Some(self.queues[i].lock_with_stats(&mut *stats)),
-                DeleteMode::TryLock => self.queues[i].try_lock_with_stats(&mut *stats),
+                DeleteMode::Strict => self.queues[i]
+                    .checked_lock_with_stats(&mut *stats)
+                    .map(Some),
+                DeleteMode::TryLock => self.queues[i].checked_try_lock_with_stats(&mut *stats),
             };
             match guard {
-                Some(mut g) => {
+                Ok(Some(mut g)) => {
                     let mut n = 0usize;
                     for (p, v) in items {
                         g.add(p, v);
@@ -461,13 +588,20 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                     }
                     return n;
                 }
-                // Catch-all binds the `None` so dropping it releases the
-                // `stats` borrow before the contention accounting below.
-                empty => {
-                    drop(empty);
-                    policy.on_contention(ChoiceOp::Insert, i);
-                    stats.note_snooze(backoff.is_yielding());
-                    backoff.snooze();
+                // Catch-all binds the guard-free result so dropping it
+                // releases the `stats` borrow before the accounting.
+                other => {
+                    let poisoned = other.is_err();
+                    drop(other);
+                    if poisoned {
+                        self.quarantine(i);
+                        policy.on_poisoned(ChoiceOp::Insert, i);
+                        poisoned_hits += 1;
+                    } else {
+                        policy.on_contention(ChoiceOp::Insert, i);
+                        stats.note_snooze(backoff.is_yielding());
+                        backoff.snooze();
+                    }
                 }
             }
         }
@@ -498,23 +632,32 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 backoff.snooze();
                 continue;
             };
+            // Ok(None) = contended (TryLock mode); Err = quarantined.
             let guard = match self.mode {
-                DeleteMode::Strict => Some(self.queues[k].lock_with_stats(&mut *stats)),
-                DeleteMode::TryLock => self.queues[k].try_lock_with_stats(&mut *stats),
+                DeleteMode::Strict => self.queues[k]
+                    .checked_lock_with_stats(&mut *stats)
+                    .map(Some),
+                DeleteMode::TryLock => self.queues[k].checked_try_lock_with_stats(&mut *stats),
             };
-            if guard.is_none() {
-                // Full move of the empty Option releases the `stats`
-                // borrow before the contention accounting.
+            if !matches!(guard, Ok(Some(_))) {
+                // Full move of the guard-free result releases the
+                // `stats` borrow before the accounting below.
+                let poisoned = guard.is_err();
                 drop(guard);
-                policy.on_contention(ChoiceOp::Dequeue, k);
-                stats.note_snooze(backoff.is_yielding());
-                backoff.snooze(); // contended lock
+                if poisoned {
+                    self.quarantine(k);
+                    policy.on_poisoned(ChoiceOp::Dequeue, k);
+                } else {
+                    policy.on_contention(ChoiceOp::Dequeue, k);
+                    stats.note_snooze(backoff.is_yielding());
+                    backoff.snooze(); // contended lock
+                }
                 continue;
             }
-            // Full move out of the Option (rather than a pattern's
-            // partial move) so no conditional drop can pin the `stats`
+            // Full move out of the Result (rather than a pattern's
+            // partial move) so no residual drop can pin the `stats`
             // borrow past this iteration.
-            let mut g = guard.expect("checked above");
+            let mut g = guard.expect("checked above").expect("checked above");
             let mut n = 0usize;
             while n < max {
                 match g.delete_min() {
@@ -534,6 +677,150 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             policy.on_contention(ChoiceOp::Dequeue, k);
             stats.note_snooze(backoff.is_yielding());
             backoff.snooze(); // stale hint
+        }
+    }
+
+    /// Best-effort recovery of quarantined queues: for every poisoned
+    /// queue, acquires it past the poison, drains whatever entries the
+    /// underlying sequential queue still serves consistently, returns
+    /// the queue to service under a fresh generation (the normal guard
+    /// release recounts, republishes the hint and clears the poison
+    /// bit), and reinserts the recovered entries into healthy queues.
+    ///
+    /// "Still consistent" is the sequential queue's own view: a panic
+    /// in the middle of `add`/`delete_min` leaves whatever state that
+    /// structure's panic safety left behind, and salvage trusts
+    /// `delete_min` until it reports empty. Entries the panicked
+    /// critical section had half-removed may be lost — hence
+    /// *best-effort* — but everything recovered is re-served exactly
+    /// once and the global size accounting ends exact for the
+    /// recovered set.
+    ///
+    /// Safe to call concurrently with operations and with other
+    /// salvagers (the sweep is per-queue idempotent). Returns what was
+    /// recovered.
+    pub fn salvage(&self) -> SalvageOutcome {
+        let mut out = SalvageOutcome::default();
+        let mut recovered: Vec<(u64, V)> = Vec::new();
+        for (i, q) in self.queues.iter().enumerate() {
+            if !q.is_poisoned() {
+                continue;
+            }
+            // Ensure the quarantine accounting ran even if no operation
+            // observed the poison before us: the reinsertions below go
+            // through the normal counted insert path, so the stale
+            // count must be gone from `size` first.
+            self.quarantine(i);
+            let mut g = q.salvage_lock();
+            while let Some(e) = g.delete_min() {
+                recovered.push(e);
+            }
+            drop(g); // recount (now 0), republish hint, clear poison
+            self.quarantined[i].store(false, Ordering::Release);
+            out.queues_salvaged += 1;
+        }
+        out.items_recovered = recovered.len();
+        // Re-home the survivors through the normal insert path (which
+        // re-adds them to `size` and skips any queue poisoned since).
+        // Fresh two-choice with a fixed seed: salvage is a recovery
+        // sweep, deterministic given the drained set.
+        let mut policy = TwoChoice;
+        let mut rng = Xoshiro256::new(0x5a17a9e);
+        let mut stats = ContentionStats::new();
+        for (p, v) in recovered {
+            self.insert_one(&mut policy, &mut rng, p, v, None, &mut stats);
+        }
+        out
+    }
+
+    /// The bounded-retry insert loop behind
+    /// [`MqHandle::try_insert_for`]. Uses try-lock acquisition
+    /// regardless of mode — the point is to never block on a lock a
+    /// stalled thread may hold — and gives up at `deadline`.
+    fn insert_one_for(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        priority: u64,
+        value: V,
+        deadline: Instant,
+        stats: &mut ContentionStats,
+    ) -> Result<(), ()> {
+        let mut backoff = Backoff::new();
+        let mut value = Some(value);
+        loop {
+            if Instant::now() >= deadline {
+                return Err(());
+            }
+            let i = policy.choose_insert(rng, self);
+            let acquired = self.queues[i].checked_try_lock_with_stats(&mut *stats);
+            if !matches!(acquired, Ok(Some(_))) {
+                // Full move releases the `stats` borrow first.
+                let poisoned = acquired.is_err();
+                drop(acquired);
+                if poisoned {
+                    self.quarantine(i);
+                    policy.on_poisoned(ChoiceOp::Insert, i);
+                } else {
+                    policy.on_contention(ChoiceOp::Insert, i);
+                    stats.note_snooze(backoff.is_yielding());
+                    backoff.snooze();
+                }
+                continue;
+            }
+            let mut g = acquired.expect("checked above").expect("checked above");
+            g.add(priority, value.take().expect("value still pending"));
+            drop(g);
+            self.note_inserted(1);
+            policy.on_success(ChoiceOp::Insert, i, self);
+            return Ok(());
+        }
+    }
+
+    /// The bounded-retry dequeue loop behind
+    /// [`MqHandle::try_dequeue_for`]: try-lock only, deadline-bounded.
+    /// `Ok(None)` is a *confirmed-empty* observation, exactly like the
+    /// blocking dequeue's `None`.
+    fn dequeue_one_for(
+        &self,
+        policy: &mut impl ChoicePolicy,
+        rng: &mut impl Rng64,
+        deadline: Instant,
+        stats: &mut ContentionStats,
+    ) -> Result<Option<(u64, V)>, ()> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.confirmed_empty(&backoff) {
+                stats.empty_confirms += 1;
+                return Ok(None);
+            }
+            if Instant::now() >= deadline {
+                return Err(());
+            }
+            let Some(k) = policy.choose_dequeue(rng, self) else {
+                stats.note_snooze(backoff.is_yielding());
+                backoff.snooze();
+                continue;
+            };
+            let attempt = self.queues[k]
+                .checked_try_lock_with_stats(&mut *stats)
+                .map(|og| og.map(|mut g| g.delete_min()));
+            match attempt {
+                Ok(Some(Some(out))) => {
+                    self.note_removed(1);
+                    policy.on_success(ChoiceOp::Dequeue, k, self);
+                    return Ok(Some(out));
+                }
+                Err(Poisoned) => {
+                    self.quarantine(k);
+                    policy.on_poisoned(ChoiceOp::Dequeue, k);
+                }
+                _ => {
+                    policy.on_contention(ChoiceOp::Dequeue, k);
+                    stats.note_snooze(backoff.is_yielding());
+                    backoff.snooze();
+                }
+            }
         }
     }
 
@@ -567,6 +854,10 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> QueueView for MultiQueue<V, Q>
 
     fn queue_generation(&self, i: usize) -> Option<u64> {
         self.queues[i].generation()
+    }
+
+    fn queue_poisoned(&self, i: usize) -> bool {
+        self.queues[i].is_poisoned()
     }
 }
 
@@ -799,6 +1090,50 @@ impl<'a, V: Send, Q: SeqPriorityQueue<u64, V> + Send, P: ChoicePolicy> MqHandle<
             None,
             &mut self.stats,
         )
+    }
+
+    /// Bounded-retry insert: like [`insert`](Self::insert) but never
+    /// blocks on a held lock (try-lock acquisition regardless of the
+    /// structure's [`DeleteMode`]) and gives up with a structured
+    /// [`MqOpTimeout`] once `timeout` elapses — e.g. when stalled
+    /// threads hold every lock the policy samples, or every queue is
+    /// poisoned. On `Err` the value is dropped, not inserted.
+    pub fn try_insert_for(
+        &mut self,
+        priority: u64,
+        value: V,
+        timeout: Duration,
+    ) -> Result<(), MqOpTimeout> {
+        let deadline = Instant::now() + timeout;
+        self.mq
+            .insert_one_for(
+                &mut self.policy,
+                &mut self.rng,
+                priority,
+                value,
+                deadline,
+                &mut self.stats,
+            )
+            .map_err(|()| MqOpTimeout {
+                op: ChoiceOp::Insert,
+                timeout,
+            })
+    }
+
+    /// Bounded-retry dequeue: like [`dequeue`](Self::dequeue) but never
+    /// blocks on a held lock and gives up with a structured
+    /// [`MqOpTimeout`] once `timeout` elapses. `Ok(None)` is the same
+    /// confirmed-empty observation as the blocking dequeue's `None`;
+    /// `Err` means the structure could not be served in time (not that
+    /// it is empty).
+    pub fn try_dequeue_for(&mut self, timeout: Duration) -> Result<Option<(u64, V)>, MqOpTimeout> {
+        let deadline = Instant::now() + timeout;
+        self.mq
+            .dequeue_one_for(&mut self.policy, &mut self.rng, deadline, &mut self.stats)
+            .map_err(|()| MqOpTimeout {
+                op: ChoiceOp::Dequeue,
+                timeout,
+            })
     }
 
     /// Batch dequeue under one lock acquisition (see
@@ -1614,6 +1949,170 @@ mod tests {
         }
         assert_eq!(mq.approx_size(), mq.len());
         assert_eq!(mq.approx_size(), 60);
+    }
+
+    /// Panics inside queue `i`'s critical section (before mutating it),
+    /// leaving the queue poisoned with its entries intact.
+    fn poison_queue(mq: &MultiQueue<u64>, i: usize) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mq.queues[i].with_locked(|_| -> () { panic!("injected fault") })
+        }));
+        assert!(r.is_err(), "the injected panic must propagate");
+        assert!(mq.queues[i].is_poisoned(), "queue {i} should be poisoned");
+    }
+
+    #[test]
+    fn poisoned_queue_is_quarantined_and_salvage_conserves_under_every_policy() {
+        for cfg in [
+            PolicyCfg::TwoChoice,
+            PolicyCfg::DChoice { d: 3 },
+            PolicyCfg::Sticky { ops: 6 },
+            PolicyCfg::AdaptiveSticky { s_max: 8 },
+        ] {
+            let mq: MultiQueue<u64> = MultiQueue::with_config(
+                (0..4).map(|_| BinaryHeap::new()).collect(),
+                DeleteMode::Strict,
+                cfg,
+            );
+            let mut h = mq.handle(31);
+            for p in 0..200u64 {
+                h.insert(p, p);
+            }
+            let stranded = mq.queues[0].approx_len();
+            assert!(stranded > 0, "seed 31 should land items on queue 0");
+            poison_queue(&mq, 0);
+            assert_eq!(mq.poisoned_count(), 1);
+            // Inserts route around the quarantined queue (the policy's
+            // random draw will hit it; `on_poisoned` re-chooses).
+            for p in 200..300u64 {
+                h.insert(p, p);
+            }
+            // The blocking dequeue drains every reachable item and then
+            // confirms empty — no deadlock, no spin on the stranded
+            // remainder.
+            let mut got: Vec<u64> = Vec::new();
+            while let Some((_, v)) = h.dequeue() {
+                got.push(v);
+            }
+            assert_eq!(got.len(), 300 - stranded, "{cfg:?}");
+            // Salvage returns the queue to service with its entries.
+            let out = mq.salvage();
+            assert_eq!(out.queues_salvaged, 1, "{cfg:?}");
+            assert_eq!(out.items_recovered, stranded, "{cfg:?}");
+            assert_eq!(mq.poisoned_count(), 0);
+            while let Some((_, v)) = h.dequeue() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..300u64).collect::<Vec<_>>(), "{cfg:?}");
+            assert_eq!(mq.approx_size(), 0, "{cfg:?}");
+            assert!(mq.is_empty(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn trylock_mode_routes_around_poison_too() {
+        let mq: MultiQueue<u64> = MultiQueue::with_queues(
+            (0..4).map(|_| BinaryHeap::new()).collect(),
+            DeleteMode::TryLock,
+        );
+        let mut h = mq.handle(32);
+        for p in 0..200u64 {
+            h.insert(p, p);
+        }
+        let stranded = mq.queues[1].approx_len();
+        poison_queue(&mq, 1);
+        let mut n = 0usize;
+        while h.dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200 - stranded);
+        assert_eq!(mq.salvage().items_recovered, stranded);
+        while h.dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn try_ops_time_out_instead_of_blocking_on_held_locks() {
+        let mq: MultiQueue<u64> = MultiQueue::new(2);
+        let mut h = mq.handle(33);
+        h.insert(5, 5);
+        // Emulate stalled lock holders: both locks held indefinitely.
+        let g0 = mq.queues[0].lock();
+        let g1 = mq.queues[1].lock();
+        let short = Duration::from_millis(20);
+        assert_eq!(
+            h.try_dequeue_for(short),
+            Err(MqOpTimeout {
+                op: ChoiceOp::Dequeue,
+                timeout: short,
+            })
+        );
+        let err = h.try_insert_for(7, 7, short).unwrap_err();
+        assert_eq!(err.op, ChoiceOp::Insert);
+        assert!(err.to_string().contains("did not complete"));
+        drop(g0);
+        drop(g1);
+        // Locks released: the bounded ops serve normally.
+        assert_eq!(h.try_insert_for(7, 7, Duration::from_secs(5)), Ok(()));
+        let mut seen = Vec::new();
+        while let Ok(Some((p, _))) = h.try_dequeue_for(Duration::from_secs(5)) {
+            seen.push(p);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![5, 7]);
+        // Confirmed empty is Ok(None), not a timeout.
+        assert_eq!(h.try_dequeue_for(short), Ok(None));
+    }
+
+    #[test]
+    fn fully_poisoned_insert_panics_with_salvage_hint_and_recovers() {
+        let mq: MultiQueue<u64> = MultiQueue::new(2);
+        let mut h = mq.handle(34);
+        h.insert(1, 1);
+        h.insert(2, 2);
+        poison_queue(&mq, 0);
+        poison_queue(&mq, 1);
+        // A blocking dequeue still terminates: nothing is reachable.
+        assert_eq!(h.dequeue(), None);
+        // A blocking insert cannot land anywhere — it fails loudly with
+        // the recovery hint rather than redrawing forever.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut h2 = mq.handle(35);
+            h2.insert(3, 3);
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("salvage() before inserting"), "got: {msg}");
+        // The bounded insert reports a timeout instead of panicking.
+        assert!(h.try_insert_for(4, 4, Duration::from_millis(20)).is_err());
+        // Salvage restores service and recovers both stranded items.
+        let out = mq.salvage();
+        assert_eq!(out.queues_salvaged, 2);
+        assert_eq!(out.items_recovered, 2);
+        let mut got = Vec::new();
+        while let Some((p, _)) = h.dequeue() {
+            got.push(p);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn queue_view_reports_poison() {
+        let mq: MultiQueue<u64> = MultiQueue::new(2);
+        assert!(!QueueView::queue_poisoned(&mq, 0));
+        poison_queue(&mq, 0);
+        assert!(QueueView::queue_poisoned(&mq, 0));
+        assert!(!QueueView::queue_poisoned(&mq, 1));
+        mq.salvage();
+        assert!(!QueueView::queue_poisoned(&mq, 0));
     }
 
     #[test]

@@ -75,6 +75,17 @@ pub trait QueueView {
     /// snapshots counts the critical sections that completed in
     /// between (see [`dlz_pq::locked::header::gen_delta`]).
     fn queue_generation(&self, i: usize) -> Option<u64>;
+
+    /// `true` if queue `i` is poisoned (a critical section panicked in
+    /// it) and should be chosen around. Defaults to `false` for views
+    /// that cannot be poisoned. Poisoned queues also publish the empty
+    /// hint, so hint-driven dequeue sampling skips them without an
+    /// extra check — this predicate exists for callers that need the
+    /// distinction (quarantine accounting, salvage sweeps).
+    fn queue_poisoned(&self, i: usize) -> bool {
+        let _ = i;
+        false
+    }
 }
 
 /// Which kind of operation a policy callback refers to.
@@ -125,6 +136,19 @@ pub trait ChoicePolicy {
     /// The chosen queue was contended or observed empty; the next
     /// `choose_*` call should pick somewhere else.
     fn on_contention(&mut self, op: ChoiceOp, queue: usize) {
+        let _ = (op, queue);
+    }
+
+    /// The chosen queue turned out poisoned (a critical section
+    /// panicked in it — see [`dlz_pq::Poisoned`]). The queue is
+    /// quarantined: it will keep refusing locks until salvaged, so a
+    /// camping policy must abandon any camp on it and the next
+    /// `choose_*` call must pick somewhere else. Poison is **not**
+    /// contention — camping policies evict only a camp pinned to the
+    /// dead queue and must not treat the event as a congestion signal
+    /// (it says nothing about traffic). The default is a no-op for
+    /// stateless policies.
+    fn on_poisoned(&mut self, op: ChoiceOp, queue: usize) {
         let _ = (op, queue);
     }
 
@@ -335,6 +359,18 @@ impl ChoicePolicy for Sticky {
         match op {
             ChoiceOp::Insert => self.insert.left = 0,
             ChoiceOp::Dequeue => self.dequeue.left = 0,
+        }
+    }
+
+    fn on_poisoned(&mut self, _op: ChoiceOp, queue: usize) {
+        // A quarantined queue refuses every lock: evict whichever camps
+        // are pinned to it (both kinds — the queue is dead for inserts
+        // and dequeues alike), but leave camps elsewhere untouched.
+        if self.insert.queue == queue {
+            self.insert.left = 0;
+        }
+        if self.dequeue.queue == queue {
+            self.dequeue.left = 0;
         }
     }
 
@@ -549,6 +585,21 @@ impl ChoicePolicy for AdaptiveSticky {
         self.narrow();
     }
 
+    fn on_poisoned(&mut self, _op: ChoiceOp, queue: usize) {
+        // Evict camps pinned to the quarantined queue; unlike
+        // `on_contention`, do NOT narrow `s` — poison says nothing
+        // about traffic, and adapting to it would punish the survivors.
+        if self.insert.queue == queue {
+            self.insert.left = 0;
+        }
+        if self.dequeue.queue == queue {
+            self.dequeue.left = 0;
+            // Any generation measurement of a dead queue is void.
+            self.camp_gen = None;
+            self.camp_ops = 0;
+        }
+    }
+
     fn envelope_factor(&self) -> f64 {
         self.observed_max as f64
     }
@@ -758,6 +809,15 @@ impl ChoicePolicy for AnyPolicy {
         }
     }
 
+    fn on_poisoned(&mut self, op: ChoiceOp, queue: usize) {
+        match self {
+            AnyPolicy::TwoChoice(p) => p.on_poisoned(op, queue),
+            AnyPolicy::DChoice(p) => p.on_poisoned(op, queue),
+            AnyPolicy::Sticky(p) => p.on_poisoned(op, queue),
+            AnyPolicy::AdaptiveSticky(p) => p.on_poisoned(op, queue),
+        }
+    }
+
     fn envelope_factor(&self) -> f64 {
         match self {
             AnyPolicy::TwoChoice(p) => p.envelope_factor(),
@@ -896,6 +956,54 @@ mod tests {
             assert_eq!(p.choose_dequeue(&mut rng, &view), Some(fresh));
             p.on_success(ChoiceOp::Dequeue, fresh, &view);
         }
+    }
+
+    #[test]
+    fn sticky_poison_evicts_only_camps_on_the_dead_queue() {
+        let view = FakeView::new(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut rng = Xoshiro256::new(21);
+        let mut p = Sticky::new(8);
+        let iq = p.choose_insert(&mut rng, &view);
+        let dq = p.choose_dequeue(&mut rng, &view).unwrap();
+        p.on_success(ChoiceOp::Dequeue, dq, &view);
+        // Poison on an unrelated queue disturbs neither camp.
+        let other = (0..8).find(|q| *q != iq && *q != dq).unwrap();
+        p.on_poisoned(ChoiceOp::Dequeue, other);
+        assert_eq!(p.choose_insert(&mut rng, &view), iq);
+        assert_eq!(p.choose_dequeue(&mut rng, &view), Some(dq));
+        p.on_success(ChoiceOp::Dequeue, dq, &view);
+        // Poison on the camped dequeue queue evicts that camp; a camp
+        // restarts on the next fresh success, never on the dead queue
+        // implicitly.
+        p.on_poisoned(ChoiceOp::Dequeue, dq);
+        let fresh = p.choose_dequeue(&mut rng, &view).unwrap();
+        p.on_success(ChoiceOp::Dequeue, fresh, &view);
+        for _ in 0..7 {
+            assert_eq!(p.choose_dequeue(&mut rng, &view), Some(fresh));
+            p.on_success(ChoiceOp::Dequeue, fresh, &view);
+        }
+        // The insert camp (different queue) survived throughout.
+        if iq != dq {
+            assert_eq!(p.choose_insert(&mut rng, &view), iq);
+        }
+    }
+
+    #[test]
+    fn adaptive_poison_evicts_camp_without_narrowing() {
+        let view = FakeView::new(vec![0, 1]);
+        let mut rng = Xoshiro256::new(22);
+        let mut p = AdaptiveSticky::new(8);
+        // Quiet camps widen s first.
+        for _ in 0..100 {
+            let q = p.choose_dequeue(&mut rng, &view).unwrap();
+            p.on_success(ChoiceOp::Dequeue, q, &view);
+        }
+        let wide = p.current();
+        assert!(wide > 1);
+        // Poison is not a congestion signal: s must be untouched.
+        p.on_poisoned(ChoiceOp::Dequeue, 0);
+        p.on_poisoned(ChoiceOp::Insert, 0);
+        assert_eq!(p.current(), wide, "poison must not narrow s");
     }
 
     #[test]

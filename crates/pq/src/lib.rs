@@ -47,7 +47,7 @@ pub mod traits;
 
 pub use binary_heap::BinaryHeap;
 pub use coarse::CoarsePq;
-pub use locked::{Contended, LockedPq, ParkingLotPq, PqGuard};
+pub use locked::{Contended, LockedPq, ParkingLotPq, Poisoned, PqGuard};
 pub use padded::CachePadded;
 pub use pairing_heap::PairingHeap;
 pub use skiplist::SkipListPq;

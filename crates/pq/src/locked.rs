@@ -48,15 +48,33 @@ pub const EMPTY_HINT: u64 = u64::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Contended;
 
+/// Error of the `checked_*` lock operations: a previous critical
+/// section panicked mid-mutation, so the sequential queue behind the
+/// lock may be inconsistent. Recover with
+/// [`LockedPq::salvage_lock`], which drains whatever is still readable
+/// under a fresh generation and clears the mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue poisoned by a panicked critical section")
+    }
+}
+
 /// Bit layout of the packed per-queue header word.
 ///
 /// ```text
-/// 63       62........40 39...........0
-/// [locked] [generation] [entry count ]
+/// 63       62         61........40 39...........0
+/// [locked] [poisoned] [generation] [entry count ]
 /// ```
 ///
 /// * bit 63 — the lock flag (test-and-test-and-set via CAS);
-/// * bits 40..=62 — a 23-bit generation, bumped on every unlock, so
+/// * bit 62 — the poison flag: set at release when the critical
+///   section unwound from a panic, so the sequential queue may be
+///   inconsistent. [`pack`](header::pack) never sets it — only the panicking release
+///   path ORs it in, and every normal release clears it;
+/// * bits 40..=61 — a 22-bit generation, bumped on every unlock, so
 ///   optimistic readers can detect that the queue changed between two
 ///   header loads (a seqlock in miniature);
 /// * bits 0..=39 — the entry count (2^40 entries ≈ 10^12; counts
@@ -64,17 +82,21 @@ pub struct Contended;
 pub mod header {
     /// The lock flag.
     pub const LOCK_BIT: u64 = 1 << 63;
+    /// The poison flag: the last critical section panicked.
+    pub const POISON_BIT: u64 = 1 << 62;
     /// First bit of the generation field.
     pub const GEN_SHIFT: u32 = 40;
     /// Width of the generation field.
-    pub const GEN_BITS: u32 = 23;
+    pub const GEN_BITS: u32 = 22;
     /// Mask of the generation field (in place).
     pub const GEN_MASK: u64 = ((1 << GEN_BITS) - 1) << GEN_SHIFT;
     /// Mask of the count field.
     pub const COUNT_MASK: u64 = (1 << GEN_SHIFT) - 1;
 
     /// Packs the three fields into one word. `count` saturates at
-    /// [`COUNT_MASK`]; `generation` wraps within its field.
+    /// [`COUNT_MASK`]; `generation` wraps within its field. The poison
+    /// flag is never packed — the panicking release path ORs
+    /// [`POISON_BIT`] in explicitly, so every normal release clears it.
     #[inline]
     pub const fn pack(locked: bool, generation: u64, count: u64) -> u64 {
         let lock = if locked { LOCK_BIT } else { 0 };
@@ -91,6 +113,12 @@ pub mod header {
     #[inline]
     pub const fn is_locked(word: u64) -> bool {
         word & LOCK_BIT != 0
+    }
+
+    /// `true` if the word's poison flag is set.
+    #[inline]
+    pub const fn is_poisoned(word: u64) -> bool {
+        word & POISON_BIT != 0
     }
 
     /// The word's generation field.
@@ -185,26 +213,61 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// it refreshes the published hint (only if the minimum changed),
     /// bumps the generation and releases the lock — all in one atomic
     /// store on the packed header.
+    ///
+    /// # Panics
+    /// If the queue is poisoned (a previous critical section panicked) —
+    /// the `Mutex::lock().unwrap()` idiom. Poison-aware callers use
+    /// [`checked_lock`](Self::checked_lock).
     #[inline]
     pub fn lock(&self) -> PqGuard<'_, V, Q> {
-        self.lock_inner(None)
+        self.checked_lock().expect("queue poisoned")
     }
 
     /// [`lock`](Self::lock) with contention accounting: backoff snoozes
     /// while the lock is held and CAS acquire retries are recorded in
     /// `stats`, and the release protocol records hint republishes.
+    ///
+    /// # Panics
+    /// If the queue is poisoned (see [`lock`](Self::lock)).
     #[inline]
     pub fn lock_with_stats<'g>(&'g self, stats: &'g mut ContentionStats) -> PqGuard<'g, V, Q> {
+        self.lock_inner(Some(stats)).expect("queue poisoned")
+    }
+
+    /// Acquires the lock, or reports [`Poisoned`] without acquiring
+    /// when a previous critical section panicked. A poisoned result is
+    /// immediate — the caller is expected to re-choose another queue,
+    /// not to spin here.
+    #[inline]
+    pub fn checked_lock(&self) -> Result<PqGuard<'_, V, Q>, Poisoned> {
+        self.lock_inner(None)
+    }
+
+    /// [`checked_lock`](Self::checked_lock) with contention accounting.
+    #[inline]
+    pub fn checked_lock_with_stats<'g>(
+        &'g self,
+        stats: &'g mut ContentionStats,
+    ) -> Result<PqGuard<'g, V, Q>, Poisoned> {
         self.lock_inner(Some(stats))
     }
 
     // Shared acquire loop; the `stats` branches fold away when inlined
     // with a constant `None` from the uninstrumented entry point.
     #[inline]
-    fn lock_inner<'g>(&'g self, mut stats: Option<&'g mut ContentionStats>) -> PqGuard<'g, V, Q> {
+    fn lock_inner<'g>(
+        &'g self,
+        mut stats: Option<&'g mut ContentionStats>,
+    ) -> Result<PqGuard<'g, V, Q>, Poisoned> {
         let mut backoff = Backoff::new();
         let mut cur = self.hot.header.load(Ordering::Relaxed);
         loop {
+            // Poison outranks the lock state: a locked+poisoned word is
+            // a salvage in progress, and waiting for it would just win
+            // a lock on a queue we must not touch.
+            if header::is_poisoned(cur) {
+                return Err(Poisoned);
+            }
             if header::is_locked(cur) {
                 if let Some(s) = stats.as_deref_mut() {
                     s.note_snooze(backoff.is_yielding());
@@ -220,7 +283,7 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return PqGuard { pq: self, stats },
+                Ok(_) => return Ok(PqGuard { pq: self, stats }),
                 Err(now) => {
                     if let Some(s) = stats.as_deref_mut() {
                         s.cas_retries += 1;
@@ -236,9 +299,13 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// The CAS loop retries while the word changes under us but stays
     /// unlocked (another thread's release updated count/generation);
     /// it fails only on an actually-held lock.
+    ///
+    /// # Panics
+    /// If the queue is poisoned (see [`lock`](Self::lock)).
+    /// Poison-aware callers use [`checked_try_lock`](Self::checked_try_lock).
     #[inline]
     pub fn try_lock(&self) -> Option<PqGuard<'_, V, Q>> {
-        self.try_lock_inner(None)
+        self.try_lock_inner(None).expect("queue poisoned")
     }
 
     /// [`try_lock`](Self::try_lock) with contention accounting: a `None`
@@ -246,11 +313,34 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// concurrent releases are counted, and the release protocol records
     /// hint republishes. The failure is counted *here* rather than by
     /// the caller so the borrow of `stats` ends with the return value.
+    ///
+    /// # Panics
+    /// If the queue is poisoned (see [`lock`](Self::lock)).
     #[inline]
     pub fn try_lock_with_stats<'g>(
         &'g self,
         stats: &'g mut ContentionStats,
     ) -> Option<PqGuard<'g, V, Q>> {
+        self.try_lock_inner(Some(stats)).expect("queue poisoned")
+    }
+
+    /// Non-blocking acquire that reports poison instead of panicking:
+    /// `Ok(None)` means contended, `Err(Poisoned)` means a previous
+    /// critical section panicked.
+    #[inline]
+    pub fn checked_try_lock(&self) -> Result<Option<PqGuard<'_, V, Q>>, Poisoned> {
+        self.try_lock_inner(None)
+    }
+
+    /// [`checked_try_lock`](Self::checked_try_lock) with contention
+    /// accounting (a contended `Ok(None)` counts as a try-lock
+    /// failure; a poisoned return records nothing — poison is not
+    /// contention).
+    #[inline]
+    pub fn checked_try_lock_with_stats<'g>(
+        &'g self,
+        stats: &'g mut ContentionStats,
+    ) -> Result<Option<PqGuard<'g, V, Q>>, Poisoned> {
         self.try_lock_inner(Some(stats))
     }
 
@@ -258,14 +348,17 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     fn try_lock_inner<'g>(
         &'g self,
         mut stats: Option<&'g mut ContentionStats>,
-    ) -> Option<PqGuard<'g, V, Q>> {
+    ) -> Result<Option<PqGuard<'g, V, Q>>, Poisoned> {
         let mut cur = self.hot.header.load(Ordering::Relaxed);
         loop {
+            if header::is_poisoned(cur) {
+                return Err(Poisoned);
+            }
             if header::is_locked(cur) {
                 if let Some(s) = stats.as_deref_mut() {
                     s.try_lock_failures += 1;
                 }
-                return None;
+                return Ok(None);
             }
             match self.hot.header.compare_exchange_weak(
                 cur,
@@ -273,13 +366,51 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(PqGuard { pq: self, stats }),
+                Ok(_) => return Ok(Some(PqGuard { pq: self, stats })),
                 Err(now) => {
                     if let Some(s) = stats.as_deref_mut() {
                         s.cas_retries += 1;
                     }
                     cur = now;
                 }
+            }
+        }
+    }
+
+    /// Acquires the lock *despite* poison, for recovery: spins past
+    /// contention and keeps the poison flag set for the duration of the
+    /// critical section (so concurrent `checked_*` callers keep seeing
+    /// `Poisoned` rather than blocking on the salvage). Dropping the
+    /// guard runs the normal release protocol — it recounts the queue,
+    /// republishes the real min hint, bumps the generation and clears
+    /// the poison flag, returning the queue to service.
+    ///
+    /// The sequential queue may be in whatever state the panicked
+    /// mutation left it; callers should restrict themselves to
+    /// operations that tolerate that (draining via `delete_min`, or
+    /// replacing the contents outright).
+    pub fn salvage_lock(&self) -> PqGuard<'_, V, Q> {
+        let mut backoff = Backoff::new();
+        let mut cur = self.hot.header.load(Ordering::Relaxed);
+        loop {
+            if header::is_locked(cur) {
+                backoff.snooze();
+                cur = self.hot.header.load(Ordering::Relaxed);
+                continue;
+            }
+            match self.hot.header.compare_exchange_weak(
+                cur,
+                cur | header::LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return PqGuard {
+                        pq: self,
+                        stats: None,
+                    }
+                }
+                Err(now) => cur = now,
             }
         }
     }
@@ -314,6 +445,14 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
     /// `true` if the lock is currently held. Snapshot only.
     pub fn is_locked(&self) -> bool {
         header::is_locked(self.hot.header.load(Ordering::Relaxed))
+    }
+
+    /// `true` if the queue is poisoned: a previous critical section
+    /// panicked, so the sequential queue may be inconsistent. Cleared
+    /// by a completed [`salvage_lock`](Self::salvage_lock) critical
+    /// section. Snapshot only.
+    pub fn is_poisoned(&self) -> bool {
+        header::is_poisoned(self.hot.header.load(Ordering::Relaxed))
     }
 
     /// The header's generation, or `None` while the lock is held.
@@ -409,6 +548,22 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Drop for PqGuard<'_, V, Q> {
     #[inline]
     fn drop(&mut self) {
         let hot = &self.pq.hot;
+        if std::thread::panicking() {
+            // The critical section is unwinding mid-mutation: the
+            // sequential queue may be inconsistent, so do NOT touch it
+            // (no `read_min`, no `len`). Publish the empty hint so
+            // choice policies stop sampling this queue, and release the
+            // lock poisoned with the stale pre-lock count preserved as
+            // the best quarantine-accounting estimate.
+            hot.top.store(EMPTY_HINT, Ordering::Release);
+            let word = hot.header.load(Ordering::Relaxed);
+            let gen = header::generation(word).wrapping_add(1);
+            hot.header.store(
+                header::pack(false, gen, header::count(word)) | header::POISON_BIT,
+                Ordering::Release,
+            );
+            return;
+        }
         // SAFETY: the guard proves exclusive ownership of the lock bit.
         // Read through the `pq` reference (not `Deref` on `self`) so the
         // borrow does not conflict with draining `self.stats` below.
@@ -767,6 +922,90 @@ mod tests {
         assert_eq!(q.remove_min(), Some((2, 'b')));
         assert_eq!(q.remove_min(), None);
         assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn header_pack_never_sets_poison_and_poison_preserves_fields() {
+        let w = header::pack(true, 5, 9);
+        assert!(!header::is_poisoned(w));
+        let p = w | header::POISON_BIT;
+        assert!(header::is_poisoned(p));
+        assert!(header::is_locked(p));
+        assert_eq!(header::generation(p), 5);
+        assert_eq!(header::count(p), 9);
+    }
+
+    #[test]
+    fn panic_in_critical_section_poisons_and_salvage_recovers() {
+        let q: LockedPq<u32> = LockedPq::default();
+        q.insert(3, 30);
+        q.insert(1, 10);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.with_locked(|_inner| panic!("injected fault"));
+        }));
+        assert!(unwound.is_err());
+        assert!(q.is_poisoned());
+        assert!(!q.is_locked());
+        // Poisoned queues advertise empty, so hint samplers skip them,
+        // and the stale pre-panic count survives for quarantine
+        // accounting.
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+        assert_eq!(q.approx_len(), 2);
+        // Checked entry points surface the poison without blocking and
+        // without charging contention counters.
+        let mut stats = ContentionStats::new();
+        assert_eq!(q.checked_lock().err(), Some(Poisoned));
+        assert!(matches!(q.checked_try_lock(), Err(Poisoned)));
+        assert!(q.checked_lock_with_stats(&mut stats).is_err());
+        assert!(q.checked_try_lock_with_stats(&mut stats).is_err());
+        assert!(stats.is_empty(), "poison is not contention: {stats:?}");
+        // Salvage: drain what survived; the release protocol recounts,
+        // republishes the real hint and clears the poison.
+        let mut salvaged = Vec::new();
+        {
+            let mut g = q.salvage_lock();
+            // Mid-salvage the queue still reads poisoned to everyone
+            // else (locked + poisoned), so nobody camps on its lock.
+            assert!(matches!(q.checked_try_lock(), Err(Poisoned)));
+            while let Some(item) = g.delete_min() {
+                salvaged.push(item);
+            }
+        }
+        assert_eq!(salvaged, vec![(1, 10), (3, 30)]);
+        assert!(!q.is_poisoned());
+        assert_eq!(q.approx_len(), 0);
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+        // Back in service.
+        q.insert(7, 70);
+        assert_eq!(q.min_hint(), 7);
+        assert_eq!(q.remove_min(), Some((7, 70)));
+    }
+
+    #[test]
+    fn infallible_lock_panics_on_poison_like_mutex_unwrap() {
+        let q: LockedPq<u32> = LockedPq::default();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.with_locked(|_inner| panic!("injected fault"));
+        }));
+        assert!(q.is_poisoned());
+        for attempt in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = q.lock();
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = q.try_lock();
+            })),
+        ] {
+            let msg = attempt.expect_err("poisoned lock must panic");
+            let text = msg
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| msg.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(text.contains("poisoned"), "panic message: {text}");
+        }
+        // The poison itself is untouched by the failed acquires.
+        assert!(q.is_poisoned());
     }
 
     #[test]

@@ -214,6 +214,7 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Backend for MultiQueueBackend<Q> {
             prefetched: VecDeque::new(),
             scratch: Vec::new(),
             refills_seen: 0,
+            settled: false,
         })
     }
 
@@ -354,6 +355,9 @@ struct MultiQueueWorker<'a, Q: SeqPriorityQueue<u64, u64> + Send> {
     scratch: Vec<(u64, u64)>,
     /// Refill count, for the batched proxy-sampling cadence.
     refills_seen: u32,
+    /// Guards [`Self::settle`] so the Drop-based salvage of a panicked
+    /// worker and a normal `finish()` never run the flush twice.
+    settled: bool,
 }
 
 impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
@@ -511,9 +515,23 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
     }
 
     fn finish(&mut self) {
-        // Flush buffered updates, then return undelivered prefetched
-        // entries (already removed from the MultiQueue but never handed
-        // to an op) so the conservation law sees them as residual.
+        self.settle();
+    }
+}
+
+impl<Q: SeqPriorityQueue<u64, u64> + Send> MultiQueueWorker<'_, Q> {
+    /// Flush buffered updates, then return undelivered prefetched
+    /// entries (already removed from the MultiQueue but never handed
+    /// to an op) so the conservation law sees them as residual, and
+    /// hand the history log / quality samples to the backend. Runs at
+    /// most once — from `finish()` on clean exits, or from `Drop` when
+    /// the engine's panic harness skipped `finish()`, so a panicked
+    /// worker's partial history and buffered items are still salvaged.
+    fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        self.settled = true;
         self.flush_pending();
         if !self.prefetched.is_empty() {
             self.handle.insert_batch(self.prefetched.drain(..));
@@ -532,6 +550,18 @@ impl<Q: SeqPriorityQueue<u64, u64> + Send> Worker for MultiQueueWorker<'_, Q> {
         self.backend
             .quality
             .note_factor(self.handle.policy().envelope_factor());
+    }
+}
+
+impl<Q: SeqPriorityQueue<u64, u64> + Send> Drop for MultiQueueWorker<'_, Q> {
+    fn drop(&mut self) {
+        // The engine catches worker panics *before* dropping the
+        // worker, so the salvage path runs outside any unwind. If we
+        // are nevertheless dropped mid-unwind, stay passive: a panic
+        // out of Drop would abort the process.
+        if !std::thread::panicking() {
+            self.settle();
+        }
     }
 }
 

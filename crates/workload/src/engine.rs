@@ -9,18 +9,21 @@
 //! latency from the *scheduled* arrival time, so queueing delay is
 //! captured rather than hidden (no coordinated omission).
 
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use dlz_core::rng::{Rng64, Xoshiro256};
 
 use crate::backend::{Backend, Worker, WorkerCfg};
 use crate::dist::{Arrival, Sampler};
+use crate::faults::WorkerFaults;
 use crate::metrics::{IntervalSnapshot, LatencySummary, TelemetrySeries, WorkerMetrics};
 use crate::op::{Op, OpCounts, OpKind, OpMix};
-use crate::report::{skeleton, RunReport};
+use crate::report::{skeleton, FaultReport, RunReport, WorkerOutcome};
 use crate::scenario::{Budget, Scenario};
 use crate::sweep::{SweepCell, SweepSpec};
 
@@ -145,6 +148,44 @@ fn step(
     metrics.record(op.kind, completed, latency);
 }
 
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker's chaos state, present only when the scenario arms a
+/// [`FaultPlan`](crate::faults::FaultPlan): its compiled faults, the
+/// watchdog's abort flag, and its progress counter the watchdog reads.
+struct Chaos<'a> {
+    faults: WorkerFaults,
+    abort: &'a AtomicBool,
+    progress: &'a AtomicU64,
+}
+
+/// Runs the worker's faults for op `issued` and publishes progress.
+/// Returns `false` when the run was aborted and the worker must stop.
+/// With no chaos armed this is one untaken branch per op.
+#[inline]
+fn chaos_gate(chaos: &mut Option<Chaos<'_>>, issued: u64) -> bool {
+    match chaos.as_mut() {
+        None => true,
+        Some(c) => {
+            if !c.faults.before_op(issued, c.abort) {
+                return false;
+            }
+            c.progress.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+}
+
 /// How many ops between clock reads when checking for a telemetry
 /// interval boundary: the boundary detector costs one countdown
 /// decrement per op, and one `Instant::now()` per this many ops.
@@ -154,17 +195,22 @@ const TELEMETRY_CHECK_EVERY: u32 = 32;
 /// interval's delta in the worker's [`WorkerMetrics`] shard and flushes
 /// it (plus the worker's drained contention sample) into a snapshot
 /// ring at each boundary.
-struct IntervalTracker {
+struct IntervalTracker<'m> {
     interval: Duration,
     start: Instant,
     /// Next interval boundary to flush at.
     next: Instant,
     countdown: u32,
     snaps: Vec<IntervalSnapshot>,
+    /// Engine-owned slot mirroring the most recent flushed snapshot, so
+    /// the coordinator can still describe a worker whose thread died
+    /// before handing its snapshots back. Written only at interval
+    /// boundaries — nothing on the op hot path.
+    mirror: Option<&'m Mutex<Option<IntervalSnapshot>>>,
 }
 
-impl IntervalTracker {
-    fn new(interval: Duration) -> Self {
+impl<'m> IntervalTracker<'m> {
+    fn new(interval: Duration, mirror: Option<&'m Mutex<Option<IntervalSnapshot>>>) -> Self {
         let start = Instant::now();
         IntervalTracker {
             interval,
@@ -172,6 +218,7 @@ impl IntervalTracker {
             next: start + interval,
             countdown: TELEMETRY_CHECK_EVERY,
             snaps: Vec::new(),
+            mirror,
         }
     }
 
@@ -212,14 +259,18 @@ impl IntervalTracker {
     ) {
         let m = std::mem::take(cur);
         let sample = worker.telemetry_sample().unwrap_or_default();
-        self.snaps.push(IntervalSnapshot {
+        let snap = IntervalSnapshot {
             index,
             end_ms: end.as_millis() as u64,
             counts: m.counts,
             latency: m.latency,
             contention: sample.contention,
             envelope_factor: sample.envelope_factor,
-        });
+        };
+        if let Some(slot) = self.mirror {
+            *slot.lock().expect("snapshot mirror") = Some(snap.clone());
+        }
+        self.snaps.push(snap);
     }
 
     /// Final flush: the trailing (possibly partial) interval, indexed
@@ -237,14 +288,19 @@ impl IntervalTracker {
     }
 }
 
+/// The worker's op loop. `metrics` and `tracker` are owned by the
+/// caller, which runs this inside a panic-tolerant harness: whatever
+/// accumulated before an injected (or genuine) panic survives and is
+/// salvaged into the report.
 fn drive(
     worker: &mut dyn Worker,
     sampler: &mut OpSampler,
     scenario: &Scenario,
     stop: &AtomicBool,
-) -> (WorkerMetrics, Vec<IntervalSnapshot>) {
-    let mut metrics = WorkerMetrics::default();
-    let mut tracker = scenario.telemetry_interval.map(IntervalTracker::new);
+    chaos: &mut Option<Chaos<'_>>,
+    metrics: &mut WorkerMetrics,
+    tracker: &mut Option<IntervalTracker<'_>>,
+) {
     let mut issued = 0u64;
     let budget = &scenario.budget;
     let stoppable = matches!(budget, Budget::Timed(_));
@@ -252,25 +308,31 @@ fn drive(
     match scenario.arrival {
         Arrival::Closed => {
             while !budget_done(budget, issued, stop) {
+                if !chaos_gate(chaos, issued) {
+                    return;
+                }
                 let timed = issued.is_multiple_of(latency_every);
-                step(worker, sampler, &mut metrics, None, timed);
+                step(worker, sampler, metrics, None, timed);
                 issued += 1;
                 if let Some(t) = tracker.as_mut() {
-                    t.tick(&mut metrics, worker);
+                    t.tick(metrics, worker);
                 }
             }
         }
         Arrival::Open { rate_per_worker } => {
             let mut next = Instant::now();
             while !budget_done(budget, issued, stop) {
+                if !chaos_gate(chaos, issued) {
+                    return;
+                }
                 next += sampler.interarrival(rate_per_worker);
                 if !wait_until(next, stop, stoppable) {
                     break;
                 }
-                step(worker, sampler, &mut metrics, Some(next), true);
+                step(worker, sampler, metrics, Some(next), true);
                 issued += 1;
                 if let Some(t) = tracker.as_mut() {
-                    t.tick(&mut metrics, worker);
+                    t.tick(metrics, worker);
                 }
             }
         }
@@ -280,32 +342,20 @@ fn drive(
                     if budget_done(budget, issued, stop) {
                         break 'outer;
                     }
+                    if !chaos_gate(chaos, issued) {
+                        return;
+                    }
                     let timed = issued.is_multiple_of(latency_every);
-                    step(worker, sampler, &mut metrics, None, timed);
+                    step(worker, sampler, metrics, None, timed);
                     issued += 1;
                     if let Some(t) = tracker.as_mut() {
-                        t.tick(&mut metrics, worker);
+                        t.tick(metrics, worker);
                     }
                 }
                 if !wait_until(Instant::now() + pause, stop, stoppable) {
                     break;
                 }
             }
-        }
-    }
-    match tracker {
-        None => (metrics, Vec::new()),
-        Some(t) => {
-            let snaps = t.finish(&mut metrics, worker);
-            // The worker's totals are the sum of its snapshots — per
-            // interval counts conserve to the final counts bit for bit
-            // by construction.
-            let mut total = WorkerMetrics::default();
-            for s in &snaps {
-                total.counts.merge(&s.counts);
-                total.latency.merge(&s.latency);
-            }
-            (total, snaps)
         }
     }
 }
@@ -318,9 +368,12 @@ fn drive(
 /// under `<export>/<scenario-name>/<backend>.histjsonl` (sweep runs key
 /// by cell name instead — see [`run_sweep`]).
 ///
+/// Export failures do not abort the run: they are printed as warnings
+/// and recorded in [`RunReport::export_errors`], so a long sweep never
+/// loses its measured results to a full disk.
+///
 /// # Panics
-/// If the scenario's family does not match the backend's, or if a
-/// requested history export cannot be written.
+/// If the scenario's family does not match the backend's.
 pub fn run(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
     run_cell(scenario, backend, None)
 }
@@ -336,9 +389,17 @@ fn run_cell(scenario: &Scenario, backend: &dyn Backend, cell: Option<&SweepCell>
     }
     report.rank_proxy_calibration = report.quality.get("rank_proxy_calibration");
     if let Some(dir) = &scenario.export {
-        export_history(dir, scenario, backend, &report);
+        // Degrade export failures to warnings: the measurements are
+        // already in hand, and one bad path must not destroy a sweep.
+        if let Err(e) = export_history(dir, scenario, backend, &report) {
+            eprintln!("warning: {e}");
+            report.export_errors.push(e);
+        }
         if report.telemetry.is_some() {
-            export_prometheus(dir, &report);
+            if let Err(e) = export_prometheus(dir, &report) {
+                eprintln!("warning: {e}");
+                report.export_errors.push(e);
+            }
         }
     }
     report
@@ -346,15 +407,15 @@ fn run_cell(scenario: &Scenario, backend: &dyn Backend, cell: Option<&SweepCell>
 
 /// Writes the run's telemetry as one Prometheus text-exposition file,
 /// keyed like the history artifacts: `<dir>/<cell>/<backend>.prom`.
-fn export_prometheus(dir: &Path, report: &RunReport) {
+fn export_prometheus(dir: &Path, report: &RunReport) -> Result<(), String> {
     let key = report.cell.as_deref().unwrap_or(&report.scenario);
     let path = dir.join(key).join(format!("{}.prom", report.backend));
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)
-            .unwrap_or_else(|e| panic!("create telemetry-export dir {}: {e}", parent.display()));
+            .map_err(|e| format!("create telemetry-export dir {}: {e}", parent.display()))?;
     }
     std::fs::write(&path, crate::telemetry::write_prometheus(report))
-        .unwrap_or_else(|e| panic!("write telemetry export {}: {e}", path.display()));
+        .map_err(|e| format!("write telemetry export {}: {e}", path.display()))
 }
 
 /// Serializes the backend's recorded history (if any) as one artifact
@@ -362,9 +423,14 @@ fn export_prometheus(dir: &Path, report: &RunReport) {
 /// backend label: `<dir>/<cell>/<backend>.histjsonl`. Cell names embed
 /// their grid coordinates as path segments, so a whole sweep becomes a
 /// grid-indexed directory tree.
-fn export_history(dir: &Path, scenario: &Scenario, backend: &dyn Backend, report: &RunReport) {
+fn export_history(
+    dir: &Path,
+    scenario: &Scenario,
+    backend: &dyn Backend,
+    report: &RunReport,
+) -> Result<(), String> {
     let Some(mut artifact) = backend.take_history_artifact() else {
-        return;
+        return Ok(());
     };
     artifact.threads = scenario.threads;
     artifact.source = Some(report.backend.clone());
@@ -374,10 +440,10 @@ fn export_history(dir: &Path, scenario: &Scenario, backend: &dyn Backend, report
     let path = dir.join(key).join(format!("{}.histjsonl", report.backend));
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)
-            .unwrap_or_else(|e| panic!("create history-export dir {}: {e}", parent.display()));
+            .map_err(|e| format!("create history-export dir {}: {e}", parent.display()))?;
     }
     std::fs::write(&path, artifact.to_json_lines())
-        .unwrap_or_else(|e| panic!("write history artifact {}: {e}", path.display()));
+        .map_err(|e| format!("write history artifact {}: {e}", path.display()))
 }
 
 /// The measured run itself (no tagging, no export).
@@ -415,9 +481,24 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
         prefill_counts.prefill = scenario.prefill;
     }
 
+    let chaos_armed = scenario.faults.is_some();
     let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(threads + 1);
-    let (mut merged, telemetry, elapsed) = std::thread::scope(|s| {
+    // Chaos runs add the watchdog as a barrier party so its first
+    // observation window cannot start before the workers do.
+    let barrier = Barrier::new(threads + 1 + usize::from(chaos_armed));
+    // Chaos plumbing: watchdog abort flag, per-worker progress counters
+    // and done flags (bumped only when faults are armed), the watchdog's
+    // per-worker diagnoses, and a mirror of each worker's most recent
+    // telemetry snapshot (for naming dead threads).
+    let abort = AtomicBool::new(false);
+    let progress: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let finished: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+    let stalled: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
+    let last_flush: Vec<Mutex<Option<IntervalSnapshot>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
+    let watchdog_done = AtomicBool::new(false);
+
+    let (mut merged, telemetry, elapsed, outcomes) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|id| {
                 let cfg = WorkerCfg {
@@ -429,18 +510,119 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
                 };
                 let mut worker = backend.worker(cfg);
                 let mut sampler = OpSampler::new(scenario, id);
+                let mut chaos = scenario.faults.as_ref().map(|plan| Chaos {
+                    faults: plan.compile(id, stream_seed(scenario.seed, id, 2)),
+                    abort: &abort,
+                    progress: &progress[id],
+                });
                 let stop = &stop;
                 let barrier = &barrier;
+                let finished = &finished[id];
+                let mirror = &last_flush[id];
                 s.spawn(move || {
                     barrier.wait();
                     let begin = Instant::now();
-                    let (metrics, snaps) = drive(worker.as_mut(), &mut sampler, scenario, stop);
+                    let mut metrics = WorkerMetrics::default();
+                    let mut tracker = scenario
+                        .telemetry_interval
+                        .map(|i| IntervalTracker::new(i, Some(mirror)));
+                    // The harness: a worker panic (injected or genuine)
+                    // ends this worker only; metrics and telemetry
+                    // accumulated so far survive in the outer locals.
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        drive(
+                            worker.as_mut(),
+                            &mut sampler,
+                            scenario,
+                            stop,
+                            &mut chaos,
+                            &mut metrics,
+                            &mut tracker,
+                        )
+                    }));
                     let end = Instant::now();
-                    worker.finish();
-                    (metrics, snaps, begin, end)
+                    finished.store(true, Ordering::Release);
+                    let outcome = match caught {
+                        Ok(()) => WorkerOutcome::Completed,
+                        Err(payload) => WorkerOutcome::Panicked(panic_message(payload.as_ref())),
+                    };
+                    // Flush the trailing (possibly partial) interval and
+                    // reconstitute the totals from the snapshots —
+                    // conservation by construction, also for workers
+                    // that died mid-run.
+                    let snaps = match tracker {
+                        None => Vec::new(),
+                        Some(t) => {
+                            let snaps = t.finish(&mut metrics, worker.as_mut());
+                            let mut total = WorkerMetrics::default();
+                            for s in &snaps {
+                                total.counts.merge(&s.counts);
+                                total.latency.merge(&s.latency);
+                            }
+                            metrics = total;
+                            snaps
+                        }
+                    };
+                    if matches!(outcome, WorkerOutcome::Completed) {
+                        worker.finish();
+                    }
+                    // Panicked workers skip finish(): backends salvage
+                    // partial state (buffered ops, history logs) in
+                    // their worker's Drop instead.
+                    drop(worker);
+                    (outcome, metrics, snaps, begin, end)
                 })
             })
             .collect();
+        // The no-progress watchdog: armed only for chaos runs, sampling
+        // at the telemetry interval. Two consecutive observations of an
+        // unfinished worker with an unchanged op counter convert a hang
+        // into a diagnosed abort.
+        let watchdog = chaos_armed.then(|| {
+            let interval = scenario
+                .telemetry_interval
+                .unwrap_or(Duration::from_millis(100));
+            let (abort, progress, finished) = (&abort, &progress, &finished);
+            let (stalled, done, barrier) = (&stalled, &watchdog_done, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                let mut last = vec![0u64; progress.len()];
+                let mut strikes = vec![0u32; progress.len()];
+                loop {
+                    std::thread::sleep(interval);
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    for (id, p) in progress.iter().enumerate() {
+                        if finished[id].load(Ordering::Acquire) {
+                            strikes[id] = 0;
+                            continue;
+                        }
+                        let now = p.load(Ordering::Relaxed);
+                        if now == last[id] {
+                            strikes[id] += 1;
+                        } else {
+                            strikes[id] = 0;
+                            last[id] = now;
+                        }
+                        if strikes[id] >= 2 {
+                            stalled
+                                .lock()
+                                .expect("stalled diagnoses")
+                                .entry(id)
+                                .or_insert_with(|| {
+                                    format!(
+                                        "watchdog: worker {id} made no progress for 2 \
+                                         consecutive {interval:?} intervals (stuck after \
+                                         {now} ops)"
+                                    )
+                                });
+                            abort.store(true, Ordering::Release);
+                        }
+                    }
+                }
+            })
+        });
         barrier.wait();
         if let Budget::Timed(d) = scenario.budget {
             std::thread::sleep(d);
@@ -455,23 +637,64 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
             .map(|i| TelemetrySeries::new(i.as_millis().max(1) as u64));
         let mut begin: Option<Instant> = None;
         let mut end: Option<Instant> = None;
-        for h in handles {
-            let (metrics, snaps, b, e) = h.join().expect("worker thread");
+        let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(threads);
+        for (id, h) in handles.into_iter().enumerate() {
+            let (outcome, metrics, snaps, b, e) = h.join().unwrap_or_else(|payload| {
+                // The in-thread harness catches drive panics, so a dead
+                // thread means the worker escaped it in finish()/Drop —
+                // an engine invariant breach. Name the worker and its
+                // last telemetry snapshot instead of the old opaque
+                // `expect("worker thread")`.
+                let snap = match last_flush[id].lock().expect("snapshot mirror").take() {
+                    Some(s) => format!(
+                        "last telemetry snapshot: interval {} ended at {}ms after {} ops",
+                        s.index,
+                        s.end_ms,
+                        s.counts.completed()
+                    ),
+                    None => "no telemetry snapshot observed".to_string(),
+                };
+                panic!(
+                    "worker {id} thread died outside the panic-tolerant harness: {}; {snap}",
+                    panic_message(payload.as_ref())
+                );
+            });
             merged.merge(&metrics);
             if let Some(series) = telemetry.as_mut() {
                 series.merge_worker(&snaps);
             }
             begin = Some(begin.map_or(b, |x| x.min(b)));
             end = Some(end.map_or(e, |x| x.max(e)));
+            outcomes.push(outcome);
+        }
+        if let Some(h) = watchdog {
+            watchdog_done.store(true, Ordering::Release);
+            h.join().expect("watchdog thread");
         }
         let elapsed = match (begin, end) {
             (Some(b), Some(e)) => e.saturating_duration_since(b),
             _ => Duration::ZERO,
         };
-        (merged, telemetry, elapsed)
+        (merged, telemetry, elapsed, outcomes)
     });
     merged.counts.merge(&prefill_counts);
 
+    report.faults = scenario.faults.as_ref().map(|plan| {
+        let mut workers = outcomes;
+        // A worker the watchdog diagnosed exits its loop cleanly once
+        // the abort flag lands, so its thread-level outcome reads
+        // Completed; the diagnosis wins.
+        for (id, diag) in stalled.lock().expect("stalled diagnoses").iter() {
+            if matches!(workers[*id], WorkerOutcome::Completed) {
+                workers[*id] = WorkerOutcome::Stalled(diag.clone());
+            }
+        }
+        FaultReport {
+            plan: plan.spec().to_string(),
+            aborted: abort.load(Ordering::Acquire),
+            workers,
+        }
+    });
     report.telemetry = telemetry;
     report.elapsed = elapsed;
     report.counts = merged.counts;
@@ -928,6 +1151,166 @@ mod tests {
         );
         assert!(plain.rank_proxy_calibration.is_none());
         assert!(!plain.to_json().contains("rank_proxy_calibration"));
+    }
+
+    #[test]
+    fn injected_panic_is_tolerated_under_every_policy() {
+        use dlz_core::PolicyCfg;
+        for policy in [
+            PolicyCfg::TwoChoice,
+            PolicyCfg::DChoice { d: 4 },
+            PolicyCfg::Sticky { ops: 8 },
+            PolicyCfg::AdaptiveSticky { s_max: 8 },
+        ] {
+            let s = small("t-chaos-policy", Family::Queue)
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(600))
+                .prefill(300)
+                .record_history(true)
+                .choice_policy(policy)
+                .faults_spec("panic:1@200")
+                .build();
+            let b = MultiQueueBackend::heap_policy(8, DeleteMode::Strict, policy, 1);
+            let r = run(&s, &b);
+            // No items lost: the panicked worker's partial state was
+            // salvaged, so conservation still closes.
+            assert!(r.verified(), "{policy:?}: {:?}", r.verify_error);
+            let f = r.faults.as_ref().expect("faults section");
+            assert!(!f.aborted, "{policy:?}");
+            assert_eq!(f.workers.len(), 4);
+            for (id, w) in f.workers.iter().enumerate() {
+                if id == 1 {
+                    assert!(
+                        matches!(w, WorkerOutcome::Panicked(d) if d.contains("injected fault")),
+                        "{policy:?}: worker 1 was {w:?}"
+                    );
+                } else {
+                    assert_eq!(*w, WorkerOutcome::Completed, "{policy:?}: worker {id}");
+                }
+            }
+            // The panic fires *before* op 200, so worker 1 issued
+            // exactly 200 ops and everyone else their full budget.
+            let attempts =
+                r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+            assert_eq!(attempts, 3 * 600 + 200, "{policy:?}");
+            // The salvaged partial history (ops 0..200 are complete
+            // operations) still replays linearizable.
+            assert_eq!(r.quality.get("linearizable"), Some(1.0), "{policy:?}");
+            assert!(!r.ok(), "a panicked worker is not a clean run");
+            let j = r.to_json();
+            assert!(j.contains("\"faults\":{"), "{j}");
+            assert!(j.contains("\"outcome\":\"panicked\""), "{j}");
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_forever_stall_into_diagnosed_abort() {
+        let s = small("t-chaos-stall", Family::Queue)
+            .threads(2)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(50_000_000))
+            .prefill(100)
+            .telemetry_interval(Duration::from_millis(25))
+            .faults_spec("stall:0@40:forever")
+            .build();
+        let b = MultiQueueBackend::heap(4, DeleteMode::Strict);
+        let t0 = Instant::now();
+        let r = run(&s, &b);
+        let took = t0.elapsed();
+        // An un-watched forever stall would hang the run; the watchdog
+        // must diagnose and abort it within a couple of intervals.
+        assert!(took < Duration::from_secs(10), "took {took:?}");
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let f = r.faults.as_ref().expect("faults section");
+        assert!(f.aborted);
+        assert!(
+            matches!(&f.workers[0], WorkerOutcome::Stalled(d)
+                if d.contains("no progress") && d.contains("worker 0")),
+            "worker 0 was {:?}",
+            f.workers[0]
+        );
+        // The healthy worker stopped cleanly when the abort landed.
+        assert_eq!(f.workers[1], WorkerOutcome::Completed);
+        assert!(!r.ok());
+        assert!(r.to_json().contains("\"outcome\":\"stalled\""));
+    }
+
+    #[test]
+    fn bounded_stall_and_slow_faults_complete_the_budget() {
+        let s = small("t-chaos-benign", Family::Queue)
+            .threads(2)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(400))
+            .prefill(200)
+            .telemetry_interval(Duration::from_millis(25))
+            .faults_spec("stall:0@100:30;slow:1:1..5")
+            .build();
+        let b = MultiQueueBackend::heap(4, DeleteMode::TryLock);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let f = r.faults.as_ref().expect("faults section");
+        assert!(!f.aborted, "bounded faults must not trip the watchdog");
+        assert!(f.all_completed(), "{:?}", f.workers);
+        let attempts =
+            r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+        assert_eq!(attempts, 800);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn chaos_preset_salvages_history_that_replays_offline() {
+        use dlz_core::spec::{replay_artifact, HistoryArtifact};
+        let dir = std::env::temp_dir().join(format!("dlz-engine-chaos-{}", std::process::id()));
+        let mut s = Scenario::named("chaos-stall-audit").expect("preset");
+        s.export = Some(dir.clone());
+        let b = MultiQueueBackend::heap(8, DeleteMode::Strict);
+        let r = run(&s, &b);
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let f = r.faults.as_ref().expect("faults section");
+        assert_eq!(f.workers[1].label(), "panicked");
+        for id in [0, 2, 3] {
+            assert_eq!(f.workers[id].label(), "completed", "worker {id}");
+        }
+        assert!(!f.aborted);
+        assert!(r.export_errors.is_empty(), "{:?}", r.export_errors);
+        // The surviving workers' (and the victim's partial) history
+        // replays linearizable — online and offline through the
+        // exported artifact.
+        assert_eq!(r.quality.get("linearizable"), Some(1.0));
+        let path = dir
+            .join("chaos-stall-audit")
+            .join(format!("{}.histjsonl", r.backend));
+        let text = std::fs::read_to_string(&path).expect("artifact written");
+        std::fs::remove_dir_all(&dir).ok();
+        let a = HistoryArtifact::from_json_lines(&text).expect("artifact parses");
+        assert!(replay_artifact(&a).is_linearizable());
+    }
+
+    #[test]
+    fn export_failure_degrades_to_recorded_warning() {
+        // Block the export path with a plain file: directory creation
+        // fails, but the run's measurements must survive.
+        let blocker = std::env::temp_dir().join(format!("dlz-engine-blk-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a dir").expect("blocker file");
+        let s = small("t-exportfail", Family::Queue)
+            .mix(OpMix::new(60, 40, 0))
+            .budget(Budget::OpsPerWorker(400))
+            .prefill(100)
+            .record_history(true)
+            .export(blocker.clone())
+            .build();
+        let r = run(&s, &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        std::fs::remove_file(&blocker).ok();
+        assert!(r.verified(), "{:?}", r.verify_error);
+        assert_eq!(r.export_errors.len(), 1, "{:?}", r.export_errors);
+        assert!(
+            r.export_errors[0].contains("history"),
+            "{:?}",
+            r.export_errors
+        );
+        assert!(!r.ok());
+        assert!(r.to_json().contains("\"export_errors\":["));
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Seeded, deterministic fault plans — the chaos dimension of a
+//! scenario.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string and compiled
+//! into per-worker [`WorkerFaults`] that the engine consults before
+//! every operation. Faults are **deterministic given the scenario
+//! seed**: a panic fires before a fixed op index, a stall sleeps a
+//! fixed duration (or until the watchdog aborts the run), and a slow
+//! worker draws its per-op delays from a seeded generator — so a chaos
+//! run is as reproducible as a healthy one.
+//!
+//! ## Spec grammar
+//!
+//! Semicolon-separated clauses, one fault each:
+//!
+//! | clause | meaning |
+//! |---|---|
+//! | `panic:W@N` | worker `W` panics immediately before its `N`-th op |
+//! | `stall:W@N:MS` | worker `W` sleeps `MS` ms before its `N`-th op |
+//! | `stall:W@N:forever` | worker `W` stalls until the watchdog aborts |
+//! | `slow:W:US` | worker `W` sleeps `US` µs before every op |
+//! | `slow:W:U1..U2` | per-op delay drawn uniformly from `U1..=U2` µs |
+//!
+//! Op indices are zero-based and count *issued* operations, so
+//! `panic:1@400` lets worker 1 complete (and log) ops `0..400` before
+//! dying. At most one fault of each kind per worker; duplicate clauses
+//! are parse errors.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use dlz_core::rng::{Rng64, Xoshiro256};
+
+/// One injected fault, bound to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics immediately before issuing its `op`-th
+    /// (zero-based) operation, so ops `0..op` complete and are logged.
+    PanicAt {
+        /// Worker id the fault binds to.
+        worker: usize,
+        /// Zero-based index of the op the panic pre-empts.
+        op: u64,
+    },
+    /// The worker stalls before its `op`-th operation: for `Some(ms)`
+    /// milliseconds, or until the watchdog aborts the run when `ms` is
+    /// `None` (`forever`).
+    StallAt {
+        /// Worker id the fault binds to.
+        worker: usize,
+        /// Zero-based index of the op the stall pre-empts.
+        op: u64,
+        /// Stall length in milliseconds; `None` stalls until aborted.
+        ms: Option<u64>,
+    },
+    /// The worker sleeps a uniformly drawn `min_us..=max_us`
+    /// microseconds before every operation — a seeded long-tail
+    /// straggler.
+    Slow {
+        /// Worker id the fault binds to.
+        worker: usize,
+        /// Smallest per-op delay, microseconds.
+        min_us: u64,
+        /// Largest per-op delay, microseconds.
+        max_us: u64,
+    },
+}
+
+impl Fault {
+    fn worker(&self) -> usize {
+        match *self {
+            Fault::PanicAt { worker, .. }
+            | Fault::StallAt { worker, .. }
+            | Fault::Slow { worker, .. } => worker,
+        }
+    }
+}
+
+/// A parsed fault-injection plan: the spec string it came from (echoed
+/// into reports) plus the faults it describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    spec: String,
+    faults: Vec<Fault>,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec)
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::parse(s)
+    }
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            faults.push(parse_clause(clause)?);
+        }
+        if faults.is_empty() {
+            return Err("empty fault plan".into());
+        }
+        // One fault of each kind per worker keeps compiled plans
+        // unambiguous (which panic op would win?).
+        for (i, a) in faults.iter().enumerate() {
+            for b in &faults[..i] {
+                if a.worker() == b.worker()
+                    && std::mem::discriminant(a) == std::mem::discriminant(b)
+                {
+                    return Err(format!(
+                        "duplicate fault of the same kind for worker {}",
+                        a.worker()
+                    ));
+                }
+            }
+        }
+        Ok(FaultPlan {
+            spec: spec.trim().to_string(),
+            faults,
+        })
+    }
+
+    /// The spec string the plan was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The parsed faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Highest worker id any fault names.
+    pub fn max_worker(&self) -> usize {
+        self.faults.iter().map(Fault::worker).max().unwrap_or(0)
+    }
+
+    /// `true` if any fault panics or stalls forever — i.e. the plan can
+    /// leave a worker short of its budget.
+    pub fn is_lossy(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::PanicAt { .. } | Fault::StallAt { ms: None, .. }))
+    }
+
+    /// Compiles the plan down to one worker's view. `seed` feeds the
+    /// slow-worker delay generator, so per-op delays are deterministic
+    /// per (plan, scenario seed, worker).
+    pub fn compile(&self, worker: usize, seed: u64) -> WorkerFaults {
+        let mut w = WorkerFaults {
+            panic_at: None,
+            stall_at: None,
+            slow: None,
+            rng: Xoshiro256::new(seed),
+        };
+        for f in &self.faults {
+            match *f {
+                Fault::PanicAt { worker: t, op } if t == worker => w.panic_at = Some(op),
+                Fault::StallAt { worker: t, op, ms } if t == worker => w.stall_at = Some((op, ms)),
+                Fault::Slow {
+                    worker: t,
+                    min_us,
+                    max_us,
+                } if t == worker => w.slow = Some((min_us, max_us)),
+                _ => {}
+            }
+        }
+        w
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<Fault, String> {
+    let mut parts = clause.split(':');
+    let kind = parts.next().unwrap_or_default();
+    match kind {
+        "panic" => {
+            let (worker, op) = parse_at(parts.next(), clause)?;
+            expect_end(parts, clause)?;
+            Ok(Fault::PanicAt { worker, op })
+        }
+        "stall" => {
+            let (worker, op) = parse_at(parts.next(), clause)?;
+            let ms = match parts.next() {
+                Some("forever") => None,
+                Some(ms) => Some(parse_u64(ms, clause)?),
+                None => return Err(format!("`{clause}`: stall needs `:MS` or `:forever`")),
+            };
+            expect_end(parts, clause)?;
+            Ok(Fault::StallAt { worker, op, ms })
+        }
+        "slow" => {
+            let worker = parse_u64(
+                parts
+                    .next()
+                    .ok_or_else(|| format!("`{clause}`: slow needs a worker id"))?,
+                clause,
+            )? as usize;
+            let range = parts
+                .next()
+                .ok_or_else(|| format!("`{clause}`: slow needs `:US` or `:U1..U2`"))?;
+            let (min_us, max_us) = match range.split_once("..") {
+                Some((lo, hi)) => (parse_u64(lo, clause)?, parse_u64(hi, clause)?),
+                None => {
+                    let us = parse_u64(range, clause)?;
+                    (us, us)
+                }
+            };
+            if min_us > max_us {
+                return Err(format!("`{clause}`: empty delay range {min_us}..{max_us}"));
+            }
+            expect_end(parts, clause)?;
+            Ok(Fault::Slow {
+                worker,
+                min_us,
+                max_us,
+            })
+        }
+        other => Err(format!(
+            "`{clause}`: unknown fault kind `{other}` (expected panic, stall or slow)"
+        )),
+    }
+}
+
+fn parse_at(part: Option<&str>, clause: &str) -> Result<(usize, u64), String> {
+    let part = part.ok_or_else(|| format!("`{clause}`: missing `W@N`"))?;
+    let (w, n) = part
+        .split_once('@')
+        .ok_or_else(|| format!("`{clause}`: expected `W@N`, got `{part}`"))?;
+    Ok((parse_u64(w, clause)? as usize, parse_u64(n, clause)?))
+}
+
+fn parse_u64(s: &str, clause: &str) -> Result<u64, String> {
+    s.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("`{clause}`: `{s}` is not a number"))
+}
+
+fn expect_end<'a>(mut parts: impl Iterator<Item = &'a str>, clause: &str) -> Result<(), String> {
+    match parts.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("`{clause}`: trailing `:{extra}`")),
+    }
+}
+
+/// One worker's compiled view of a [`FaultPlan`]: checked by the engine
+/// immediately before each issued operation.
+#[derive(Debug, Clone)]
+pub struct WorkerFaults {
+    panic_at: Option<u64>,
+    stall_at: Option<(u64, Option<u64>)>,
+    slow: Option<(u64, u64)>,
+    rng: Xoshiro256,
+}
+
+impl WorkerFaults {
+    /// `true` if this worker carries no faults at all (the compiled
+    /// per-op check still runs, but does nothing).
+    pub fn is_noop(&self) -> bool {
+        self.panic_at.is_none() && self.stall_at.is_none() && self.slow.is_none()
+    }
+
+    /// The slow-worker delay for the next op, if any.
+    fn slow_delay_us(&mut self) -> Option<u64> {
+        let (lo, hi) = self.slow?;
+        Some(lo + self.rng.bounded(hi - lo + 1))
+    }
+
+    /// Runs this worker's faults for its `op`-th (zero-based) issued
+    /// operation. Returns `false` when the run was aborted (by the
+    /// watchdog) and the worker should stop issuing ops; panics when a
+    /// `panic:` fault fires. Fault order per op: stall, then panic,
+    /// then the slow delay.
+    pub fn before_op(&mut self, op: u64, abort: &AtomicBool) -> bool {
+        if abort.load(Ordering::Relaxed) {
+            return false;
+        }
+        if let Some((at, ms)) = self.stall_at {
+            if op == at {
+                match ms {
+                    Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                    // A "forever" stall models a wedged worker; it polls
+                    // nothing but the abort flag, so only the watchdog
+                    // can release it.
+                    None => loop {
+                        if abort.load(Ordering::Relaxed) {
+                            return false;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    },
+                }
+            }
+        }
+        if self.panic_at == Some(op) {
+            panic!("injected fault: panic before op {op}");
+        }
+        if let Some(us) = self.slow_delay_us() {
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn parses_every_clause_kind_and_round_trips_the_spec() {
+        let spec = "panic:1@400; stall:2@300:30; slow:3:5..20";
+        let plan = FaultPlan::parse(spec).expect("parse");
+        assert_eq!(plan.spec(), spec);
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::PanicAt { worker: 1, op: 400 },
+                Fault::StallAt {
+                    worker: 2,
+                    op: 300,
+                    ms: Some(30)
+                },
+                Fault::Slow {
+                    worker: 3,
+                    min_us: 5,
+                    max_us: 20
+                },
+            ]
+        );
+        assert_eq!(plan.max_worker(), 3);
+        assert!(plan.is_lossy());
+
+        let fixed = FaultPlan::parse("slow:0:7;stall:1@9:forever").expect("parse");
+        assert_eq!(
+            fixed.faults(),
+            &[
+                Fault::Slow {
+                    worker: 0,
+                    min_us: 7,
+                    max_us: 7
+                },
+                Fault::StallAt {
+                    worker: 1,
+                    op: 9,
+                    ms: None
+                },
+            ]
+        );
+        assert!(fixed.is_lossy(), "forever stalls are lossy");
+        assert!(
+            !FaultPlan::parse("slow:0:7;stall:1@9:30")
+                .expect("parse")
+                .is_lossy(),
+            "bounded stalls and slow workers complete their budget"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_and_duplicate_clauses() {
+        for bad in [
+            "",
+            "jitter:0@1",
+            "panic:3",
+            "panic:a@1",
+            "stall:0@5",
+            "stall:0@5:soon",
+            "slow:0",
+            "slow:0:9..2",
+            "panic:0@1:extra",
+            "panic:0@1;panic:0@2",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        // Same worker, different kinds: fine.
+        assert!(FaultPlan::parse("panic:0@5;slow:0:3").is_ok());
+    }
+
+    #[test]
+    fn compiled_faults_bind_to_their_worker_only() {
+        let plan = FaultPlan::parse("panic:1@3;slow:2:0").expect("parse");
+        let abort = AtomicBool::new(false);
+
+        let mut healthy = plan.compile(0, 7);
+        assert!(healthy.is_noop());
+        for op in 0..10 {
+            assert!(healthy.before_op(op, &abort));
+        }
+
+        let mut doomed = plan.compile(1, 7);
+        assert!(!doomed.is_noop());
+        assert!(doomed.before_op(0, &abort));
+        assert!(doomed.before_op(2, &abort));
+        let err = catch_unwind(AssertUnwindSafe(|| doomed.before_op(3, &abort)))
+            .expect_err("op 3 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn abort_flag_stops_the_worker_before_any_fault() {
+        let plan = FaultPlan::parse("panic:0@0;stall:1@0:forever").expect("parse");
+        let abort = AtomicBool::new(true);
+        // Abort wins over the pending panic…
+        assert!(!plan.compile(0, 1).before_op(0, &abort));
+        // …and releases a forever stall immediately.
+        assert!(!plan.compile(1, 1).before_op(0, &abort));
+    }
+
+    #[test]
+    fn slow_delays_are_seed_deterministic_and_in_range() {
+        let plan = FaultPlan::parse("slow:0:5..20").expect("parse");
+        let mut a = plan.compile(0, 42);
+        let mut b = plan.compile(0, 42);
+        let mut c = plan.compile(0, 43);
+        let da: Vec<u64> = (0..64).filter_map(|_| a.slow_delay_us()).collect();
+        let db: Vec<u64> = (0..64).filter_map(|_| b.slow_delay_us()).collect();
+        let dc: Vec<u64> = (0..64).filter_map(|_| c.slow_delay_us()).collect();
+        assert_eq!(da, db, "same seed, same delays");
+        assert_ne!(da, dc, "different seed, different delays");
+        assert!(da.iter().all(|&d| (5..=20).contains(&d)));
+    }
+}

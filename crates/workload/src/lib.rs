@@ -58,6 +58,7 @@ pub mod backends;
 pub mod dist;
 pub mod driver;
 pub mod engine;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod op;
@@ -70,11 +71,12 @@ pub use backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
 pub use dist::{Arrival, Dist, Sampler};
 pub use driver::{count_until_stopped, run_throughput, Throughput};
 pub use engine::{run, run_sweep, run_sweep_shared};
+pub use faults::{Fault, FaultPlan, WorkerFaults};
 pub use metrics::{
     IntervalSnapshot, LatencySummary, LogHistogram, TelemetrySample, TelemetrySeries, WorkerMetrics,
 };
 pub use op::{Op, OpCounts, OpKind, OpMix};
-pub use report::RunReport;
+pub use report::{FaultReport, RunReport, WorkerOutcome};
 pub use scenario::{Budget, Family, Scenario, ScenarioBuilder};
 pub use sweep::{SweepCell, SweepSpec};
 pub use telemetry::{parse_prometheus, write_prometheus, PromSample};

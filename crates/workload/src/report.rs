@@ -9,6 +9,61 @@ use crate::metrics::{LatencySummary, TelemetrySeries};
 use crate::op::OpCounts;
 use crate::scenario::{Budget, Scenario};
 
+/// How one worker thread ended its run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The worker ran its full budget (or the stop flag) to the end.
+    Completed,
+    /// The worker panicked; the payload message is attached. Its
+    /// metrics and telemetry up to the panic were salvaged.
+    Panicked(String),
+    /// The watchdog diagnosed the worker as making no progress and
+    /// aborted the run; the diagnosis is attached.
+    Stalled(String),
+}
+
+impl WorkerOutcome {
+    /// Lowercase label used in reports (`completed` / `panicked` /
+    /// `stalled`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerOutcome::Completed => "completed",
+            WorkerOutcome::Panicked(_) => "panicked",
+            WorkerOutcome::Stalled(_) => "stalled",
+        }
+    }
+
+    /// The attached panic message or watchdog diagnosis, if any.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            WorkerOutcome::Completed => None,
+            WorkerOutcome::Panicked(d) | WorkerOutcome::Stalled(d) => Some(d),
+        }
+    }
+}
+
+/// The fault section of a report: what the chaos layer injected and how
+/// each worker fared. Present whenever the scenario armed a
+/// [`FaultPlan`](crate::faults::FaultPlan).
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The fault-plan spec the run armed.
+    pub plan: String,
+    /// `true` if the watchdog aborted the run.
+    pub aborted: bool,
+    /// Per-worker outcomes, indexed by worker id.
+    pub workers: Vec<WorkerOutcome>,
+}
+
+impl FaultReport {
+    /// `true` if every worker completed its budget.
+    pub fn all_completed(&self) -> bool {
+        self.workers
+            .iter()
+            .all(|w| matches!(w, WorkerOutcome::Completed))
+    }
+}
+
 /// Everything one scenario run against one backend produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -64,6 +119,13 @@ pub struct RunReport {
     /// `None` otherwise. Per-interval op counts sum exactly to the
     /// run's (pre-prefill) totals.
     pub telemetry: Option<TelemetrySeries>,
+    /// Fault-injection outcome when the scenario armed a fault plan;
+    /// `None` for healthy runs.
+    pub faults: Option<FaultReport>,
+    /// Artifact-export failures (history / Prometheus writes). The run
+    /// itself is unaffected — the engine degrades export errors to
+    /// warnings — but they are recorded here so callers can fail loudly.
+    pub export_errors: Vec<String>,
 }
 
 impl RunReport {
@@ -80,6 +142,14 @@ impl RunReport {
     /// `true` if the backend's conservation law held.
     pub fn verified(&self) -> bool {
         self.verify_error.is_none()
+    }
+
+    /// `true` if the run is clean end to end: conservation held, every
+    /// worker completed, and every requested artifact was exported.
+    pub fn ok(&self) -> bool {
+        self.verified()
+            && self.export_errors.is_empty()
+            && self.faults.as_ref().is_none_or(FaultReport::all_completed)
     }
 
     /// Renders the report as a single JSON object.
@@ -194,6 +264,38 @@ impl RunReport {
                     .raw("series", &crate::json::array(&rows));
             });
         }
+        if let Some(f) = &self.faults {
+            let rows: Vec<String> = f
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(id, w)| {
+                    let mut wo = JsonObject::new();
+                    wo.u64("id", id as u64).str("outcome", w.label());
+                    if let Some(d) = w.detail() {
+                        wo.str("detail", d);
+                    }
+                    wo.finish()
+                })
+                .collect();
+            o.obj("faults", |fo| {
+                fo.str("plan", &f.plan)
+                    .bool("aborted", f.aborted)
+                    .raw("workers", &crate::json::array(&rows));
+            });
+        }
+        if !self.export_errors.is_empty() {
+            let rows: Vec<String> = self
+                .export_errors
+                .iter()
+                .map(|e| {
+                    let mut s = String::new();
+                    crate::json::escape_into(&mut s, e);
+                    s
+                })
+                .collect();
+            o.raw("export_errors", &crate::json::array(&rows));
+        }
         o.u64("residual", self.residual);
         o.bool("verified", self.verified());
         match &self.verify_error {
@@ -227,6 +329,8 @@ pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
         grid: Vec::new(),
         rank_proxy_calibration: None,
         telemetry: None,
+        faults: None,
+        export_errors: Vec::new(),
     }
 }
 
@@ -278,6 +382,41 @@ mod tests {
             j.contains("\"grid\":{\"t\":\"8\",\"policy\":\"sticky(s=16)\"}"),
             "{j}"
         );
+    }
+
+    #[test]
+    fn fault_section_and_export_errors_render() {
+        let s = Scenario::builder("t", Family::Queue).build();
+        let mut r = skeleton(&s, "b".into());
+        assert!(r.ok(), "skeleton is clean");
+        r.faults = Some(FaultReport {
+            plan: "panic:1@400".into(),
+            aborted: false,
+            workers: vec![
+                WorkerOutcome::Completed,
+                WorkerOutcome::Panicked("injected fault: panic before op 400".into()),
+            ],
+        });
+        r.export_errors.push("write hist: disk full".into());
+        assert!(!r.ok());
+        let j = r.to_json();
+        for needle in [
+            "\"faults\":{\"plan\":\"panic:1@400\",\"aborted\":false",
+            "\"outcome\":\"completed\"",
+            "\"outcome\":\"panicked\"",
+            "\"detail\":\"injected fault: panic before op 400\"",
+            "\"export_errors\":[\"write hist: disk full\"]",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+        // A fault section with only completed workers is still ok.
+        r.export_errors.clear();
+        r.faults.as_mut().expect("faults").workers[1] = WorkerOutcome::Completed;
+        assert!(r.ok());
+        // A stalled worker (watchdog abort) is not.
+        r.faults.as_mut().expect("faults").workers[0] =
+            WorkerOutcome::Stalled("no progress for 2 intervals".into());
+        assert!(!r.ok());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::Duration;
 use dlz_core::PolicyCfg;
 
 use crate::dist::{Arrival, Dist};
+use crate::faults::FaultPlan;
 use crate::op::OpMix;
 
 /// Which structure family a scenario exercises.
@@ -114,6 +115,14 @@ pub struct Scenario {
     /// (the default) disables the boundary checks entirely — one
     /// untaken branch per operation.
     pub telemetry_interval: Option<Duration>,
+    /// Fault-injection plan (the chaos dimension): seeded,
+    /// deterministic per-worker panics, stalls and slow-downs (see
+    /// [`FaultPlan`]). When set, the engine runs each worker inside a
+    /// panic-tolerant harness, arms the no-progress watchdog, and the
+    /// report carries a per-worker `faults` section. `None` (the
+    /// default) disables every fault hook — one untaken branch per
+    /// operation.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -140,6 +149,7 @@ impl Scenario {
                 batch: 1,
                 latency_every: 1,
                 telemetry_interval: None,
+                faults: None,
             },
         }
     }
@@ -276,6 +286,34 @@ impl Scenario {
                     rate_per_worker: 50_000.0,
                 })
                 .build(),
+            Scenario::builder("chaos-stall-audit", Family::Queue)
+                .about("history-audited run with an injected panic, a bounded stall and a slow straggler — the surviving workers' history must still replay linearizable")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(1_200))
+                .prefill(2_000)
+                .record_history(true)
+                .telemetry_interval(Duration::from_millis(25))
+                .faults_spec("panic:1@400;stall:2@300:30;slow:3:5..20")
+                .build(),
+            Scenario::builder("chaos-slow-tail", Family::Queue)
+                .about("two seeded slow workers stretch the latency tail; every worker still completes its budget")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(2_000))
+                .prefill(2_000)
+                .telemetry_interval(Duration::from_millis(25))
+                .faults_spec("slow:0:10..200;slow:1:10..200")
+                .build(),
+            Scenario::builder("chaos-stall-forever", Family::Queue)
+                .about("one worker wedges permanently; the watchdog diagnoses it and aborts the run instead of hanging")
+                .threads(2)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(1_000_000))
+                .prefill(1_000)
+                .telemetry_interval(Duration::from_millis(25))
+                .faults_spec("stall:0@100:forever")
+                .build(),
         ]
     }
 }
@@ -391,12 +429,35 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Arms a fault-injection plan (see [`Scenario::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.s.faults = Some(plan);
+        self
+    }
+
+    /// Parses and arms a fault-plan spec string.
+    ///
+    /// # Panics
+    /// If the spec does not parse — presets and tests hand-write these.
+    pub fn faults_spec(self, spec: &str) -> Self {
+        self.faults(FaultPlan::parse(spec).expect("fault plan spec"))
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Panics
-    /// If `threads == 0`.
+    /// If `threads == 0`, or if the fault plan names a worker the
+    /// scenario does not have.
     pub fn build(self) -> Scenario {
         assert!(self.s.threads > 0, "scenario needs at least one worker");
+        if let Some(plan) = &self.s.faults {
+            assert!(
+                plan.max_worker() < self.s.threads,
+                "fault plan names worker {} but the scenario has only {} threads",
+                plan.max_worker(),
+                self.s.threads
+            );
+        }
         self.s
     }
 }
@@ -478,5 +539,43 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = Scenario::builder("x", Family::Counter).threads(0).build();
+    }
+
+    #[test]
+    fn chaos_presets_arm_faults_with_matching_thread_counts() {
+        let cat = Scenario::catalog();
+        let chaos: Vec<&Scenario> = cat
+            .iter()
+            .filter(|s| s.name.starts_with("chaos-"))
+            .collect();
+        assert!(chaos.len() >= 3, "chaos presets missing");
+        for s in &chaos {
+            let plan = s.faults.as_ref().expect("chaos preset without faults");
+            assert!(plan.max_worker() < s.threads, "{}", s.name);
+            assert!(
+                s.telemetry_interval.is_some(),
+                "{}: the watchdog feeds on telemetry intervals",
+                s.name
+            );
+            assert!(matches!(s.budget, Budget::OpsPerWorker(_)), "{}", s.name);
+        }
+        let audit = Scenario::named("chaos-stall-audit").expect("exists");
+        assert!(audit.record_history && audit.faults.expect("plan").is_lossy());
+        let tail = Scenario::named("chaos-slow-tail").expect("exists");
+        assert!(!tail.faults.expect("plan").is_lossy());
+        // Non-chaos presets stay fault-free.
+        assert!(Scenario::named("queue-balanced")
+            .expect("exists")
+            .faults
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "names worker 7")]
+    fn fault_plan_beyond_thread_count_rejected() {
+        let _ = Scenario::builder("x", Family::Queue)
+            .threads(4)
+            .faults_spec("panic:7@10")
+            .build();
     }
 }
