@@ -34,7 +34,7 @@ use dlz_bench::{Config, Table};
 use dlz_core::{DeleteMode, PolicyCfg};
 use dlz_workload::backends::MultiQueueBackend;
 use dlz_workload::json::JsonObject;
-use dlz_workload::{engine, Backend, Budget, RunReport, Scenario};
+use dlz_workload::{engine, ArrivalShape, Backend, Budget, RunReport, Scenario};
 
 const DEFAULT_OUT: &str = "BENCH_mq_hotpath.json";
 /// Acceptance target on the contended dequeue-heavy point.
@@ -387,6 +387,52 @@ fn main() {
         fo.finish()
     };
 
+    // Client-driver overhead point: the optimized balanced
+    // configuration under the plain closed loop vs the simulated-client
+    // frontend with one self-paced client per worker. Self-paced
+    // clients reschedule at completion, so the workload is the closed
+    // loop plus the timer wheel, per-client RNG streams and the
+    // queueing/service latency split — the point prices exactly that
+    // frontend machinery.
+    let closed_scenario = telemetry_scenario.clone();
+    let mut driven_scenario = telemetry_scenario.clone();
+    driven_scenario.clients = threads;
+    driven_scenario.arrival_shape = ArrivalShape::SelfPaced;
+    let mut closed_runs = Vec::new();
+    let mut driven_runs = Vec::new();
+    for round in 0..rounds {
+        eprintln!(
+            "running client-driver overhead round {}/{rounds} ...",
+            round + 1
+        );
+        closed_runs.push(run_once(&closed_scenario, &make_telem));
+        driven_runs.push(run_once(&driven_scenario, &make_telem));
+    }
+    let closed = median(closed_runs);
+    let driven = median(driven_runs);
+    let client_overhead = (closed.mops() - driven.mops()) / closed.mops() * 100.0;
+    table.row(vec![
+        format!("{} (clients)", closed_scenario.name),
+        threads.to_string(),
+        "closed loop".to_string(),
+        format!("{} self-paced clients", driven_scenario.clients),
+        format!("{:.3}", closed.mops()),
+        format!("{:.3}", driven.mops()),
+        format!("{:+.1}", -client_overhead),
+    ]);
+    let clients_point = {
+        let mut c = JsonObject::new();
+        c.str("scenario", &closed_scenario.name)
+            .u64("threads", threads as u64)
+            .u64("clients", driven_scenario.clients as u64)
+            .str("arrival_shape", &driven_scenario.arrival_shape.label())
+            .f64("mops_closed_loop", closed.mops())
+            .f64("mops_client_driver", driven.mops())
+            .f64("client_driver_overhead_pct", client_overhead)
+            .bool("within_budget", client_overhead <= 20.0);
+        c.finish()
+    };
+
     // Rank guardrails: checker-exact dequeue ranks must sit inside the
     // envelope each policy reports (O(s·m) static, observed-s adaptive).
     let (audit, within, linearizable) = run_audit("mq-hotpath-rank-audit", &cfg);
@@ -397,7 +443,7 @@ fn main() {
     root.str("bench", "mq_hotpath")
         .str(
             "change",
-            "fault-injection chaos layer: seeded fault plans, watchdog, panic-tolerant engine",
+            "simulated-client traffic frontend: timer-wheel arrivals, queueing/service latency split",
         )
         .u64("threads", threads as u64)
         .f64("target_improvement_pct", TARGET_PCT)
@@ -407,7 +453,8 @@ fn main() {
         .f64("adaptive_vs_static_pct", adaptive_delta)
         .raw("points", &dlz_workload::json::array(&points))
         .raw("telemetry_overhead", &telemetry_point)
-        .raw("faults_overhead", &faults_point);
+        .raw("faults_overhead", &faults_point)
+        .raw("client_driver_overhead", &clients_point);
     if let Some(a) = &adaptive_cmp {
         root.raw("adaptive_vs_static", a);
     }
@@ -474,6 +521,17 @@ fn main() {
     if faults_off_delta.abs() > 1.0 {
         eprintln!(
             "note: faults-off point {faults_off_delta:+.1}% vs optimized (outside the ±1% disabled-hook budget on this machine)"
+        );
+    }
+    eprintln!(
+        "clients: closed loop {:.3} mops, {} self-paced clients {:.3} mops ({client_overhead:.1}% overhead)",
+        closed.mops(),
+        driven_scenario.clients,
+        driven.mops(),
+    );
+    if client_overhead > 20.0 {
+        eprintln!(
+            "note: client driver costs {client_overhead:.1}% on this machine (above the 20% budget)"
         );
     }
 }

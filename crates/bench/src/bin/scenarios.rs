@@ -137,6 +137,12 @@ fn build_spec(base: Scenario, cfg: &Config) -> SweepSpec {
     if !cfg.mixes.is_empty() {
         spec = spec.mixes(&cfg.mixes);
     }
+    if !cfg.clients.is_empty() {
+        spec = spec.clients(&cfg.clients);
+    }
+    if !cfg.arrival_shapes.is_empty() {
+        spec = spec.arrival_shapes(&cfg.arrival_shapes);
+    }
     if !cfg.keys.is_empty() {
         spec = spec.keys(&cfg.keys);
     }
@@ -392,6 +398,40 @@ mod tests {
             Scenario::named("counter-read-heavy").expect("catalog"),
             &cfg,
         );
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn client_axes_thread_into_the_grid_and_survive_quick() {
+        use dlz_workload::ArrivalShape;
+        // `--quick` must not shrink the client population: the preset
+        // keeps its 100k clients while budgets and prefill shrink.
+        let cfg = Config::parse(vec![
+            "--quick".into(),
+            "--clients".into(),
+            "200000".into(),
+            "--arrival-shape".into(),
+            "poisson:50,periodic:50".into(),
+        ]);
+        let base = customize(
+            Scenario::named("clients-poisson-100k").expect("catalog"),
+            &cfg,
+        );
+        let spec = build_spec(base, &cfg);
+        assert_eq!(spec.len(), 2, "1 clients × 2 shapes");
+        let cells = spec.cells();
+        assert!(cells.iter().all(|c| c.scenario.clients == 200_000));
+        assert!(cells[0].name.contains("/clients=200000/shape=poisson("));
+        assert!(cells[1].name.contains("/shape=periodic("));
+        // Without the flags, the preset's own client setup rules.
+        let cfg = Config::parse(vec!["--quick".into()]);
+        let base = customize(
+            Scenario::named("clients-poisson-100k").expect("catalog"),
+            &cfg,
+        );
+        assert_eq!(base.clients, 100_000, "quick must not shrink clients");
+        assert_eq!(base.arrival_shape, ArrivalShape::Poisson { rate: 50.0 });
         let spec = build_spec(base, &cfg);
         assert_eq!(spec.len(), 1);
     }

@@ -26,6 +26,8 @@
 //! | `--telemetry` | `DLZ_TELEMETRY=1` | `scenarios`: per-interval snapshots in each report (100ms default) |
 //! | `--telemetry-interval-ms N` | `DLZ_TELEMETRY_MS` | snapshot interval; implies `--telemetry` |
 //! | `--faults SPEC` | `DLZ_FAULTS` | `scenarios`: inject a fault plan (`panic:1@200;slow:3:5..20`) |
+//! | `--clients N[,M]` | `DLZ_CLIENTS` | simulated-client population axis (`0` = plain per-worker driver) |
+//! | `--arrival-shape a,b` | `DLZ_ARRIVAL_SHAPE` | per-client arrival shapes (`poisson:50,diurnal:20:200,...`) |
 //!
 //! The `Dist` grammar for `--keys`/`--prios`: `uniform:N`, `zipf:N:THETA`
 //! (or `zipf:THETA` with the default 65536-key space), `fixed:V`,
@@ -38,7 +40,7 @@
 use std::time::Duration;
 
 use dlz_core::PolicyCfg;
-use dlz_workload::{Dist, FaultPlan, OpMix};
+use dlz_workload::{ArrivalShape, Dist, FaultPlan, OpMix};
 
 /// Default key space for `--zipf` and `zipf:THETA` shorthands.
 pub const DEFAULT_DIST_N: u64 = 1 << 16;
@@ -95,6 +97,15 @@ pub struct Config {
     /// (`--faults 'panic:1@200;slow:3:5..20'`). Malformed specs are
     /// usage errors at parse time, not mid-sweep panics.
     pub faults: Option<FaultPlan>,
+    /// Simulated-client population values (`--clients 100000`): each
+    /// selected scenario runs with this many open-loop clients driven
+    /// over the worker pool; more than one value becomes a sweep axis.
+    /// `0` means the plain per-worker driver.
+    pub clients: Vec<usize>,
+    /// Per-client arrival shapes (`--arrival-shape poisson:50`); more
+    /// than one value becomes a sweep axis. Only meaningful together
+    /// with a non-zero client population.
+    pub arrival_shapes: Vec<ArrivalShape>,
     /// Names of flags/envs explicitly set (so binaries can distinguish
     /// "defaulted" from "requested").
     set_flags: Vec<String>,
@@ -132,6 +143,8 @@ impl Default for Config {
             telemetry: false,
             telemetry_interval: Duration::from_millis(100),
             faults: None,
+            clients: Vec::new(),
+            arrival_shapes: Vec::new(),
             set_flags: Vec::new(),
         }
     }
@@ -212,6 +225,14 @@ impl Config {
         if let Ok(v) = std::env::var("DLZ_FAULTS") {
             cfg.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("DLZ_FAULTS: {e}"))?);
             cfg.set_flags.push("faults".into());
+        }
+        if let Ok(v) = std::env::var("DLZ_CLIENTS") {
+            cfg.clients = parse_list(&v, "DLZ_CLIENTS", "a client count")?;
+            cfg.set_flags.push("clients".into());
+        }
+        if let Ok(v) = std::env::var("DLZ_ARRIVAL_SHAPE") {
+            cfg.arrival_shapes = parse_shapes(&v, "DLZ_ARRIVAL_SHAPE")?;
+            cfg.set_flags.push("arrival-shape".into());
         }
         if let Ok(v) = std::env::var("DLZ_TELEMETRY_MS") {
             if let Ok(ms) = v.parse::<u64>() {
@@ -299,6 +320,16 @@ impl Config {
                     let v = need(&mut it, "--faults")?;
                     cfg.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?);
                     cfg.set_flags.push("faults".into());
+                }
+                "--clients" => {
+                    let v = need(&mut it, "--clients")?;
+                    cfg.clients = parse_list(&v, "--clients", "a client count")?;
+                    cfg.set_flags.push("clients".into());
+                }
+                "--arrival-shape" => {
+                    let v = need(&mut it, "--arrival-shape")?;
+                    cfg.arrival_shapes = parse_shapes(&v, "--arrival-shape")?;
+                    cfg.set_flags.push("arrival-shape".into());
                 }
                 "--telemetry" => cfg.telemetry = true,
                 "--telemetry-interval-ms" => {
@@ -486,6 +517,21 @@ fn parse_thetas(s: &str) -> Result<Vec<f64>, String> {
     let out = out?;
     if out.is_empty() {
         return Err("--zipf needs at least one theta".into());
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated arrival-shape list
+/// (`poisson:50,periodic:100,bursty:320:64,diurnal:20:200,flash:5:20:50:50`).
+fn parse_shapes(s: &str, flag: &str) -> Result<Vec<ArrivalShape>, String> {
+    let out: Result<Vec<ArrivalShape>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| ArrivalShape::parse(p).map_err(|e| format!("{flag}: {e}")))
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one shape"));
     }
     Ok(out)
 }
@@ -722,6 +768,39 @@ mod tests {
     }
 
     #[test]
+    fn client_flags_parse_and_survive_quick() {
+        let c = Config::parse(vec![]);
+        assert!(c.clients.is_empty());
+        assert!(c.arrival_shapes.is_empty());
+        // Quick mode must not shrink the client population: the whole
+        // point of the frontend is many clients over few workers.
+        let c = Config::parse(vec![
+            "--quick".into(),
+            "--clients".into(),
+            "100000".into(),
+            "--arrival-shape".into(),
+            "poisson:50,diurnal:20:200".into(),
+        ]);
+        assert_eq!(c.clients, vec![100_000]);
+        assert_eq!(
+            c.arrival_shapes,
+            vec![
+                ArrivalShape::Poisson { rate: 50.0 },
+                ArrivalShape::Diurnal {
+                    rate: 20.0,
+                    period_ms: 200
+                },
+            ]
+        );
+        assert!(c.was_set("clients") && c.was_set("arrival-shape"));
+        let e = Config::try_parse(vec!["--clients".into(), "many".into()]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+        let e = Config::try_parse(vec!["--arrival-shape".into(), "warp:9".into()]).unwrap_err();
+        assert!(e.contains("--arrival-shape"), "{e}");
+        assert!(e.contains("warp"), "{e}");
+    }
+
+    #[test]
     fn empty_backend_filter_selects_all() {
         let c = Config::parse(vec![]);
         assert!(c.backend_selected("anything"));
@@ -765,6 +844,8 @@ mod tests {
             "--export-histories",
             "--telemetry-interval-ms",
             "--faults",
+            "--clients",
+            "--arrival-shape",
             "--json",
         ] {
             let e = Config::try_parse(vec![flag.into()]).unwrap_err();

@@ -407,15 +407,28 @@ const ADAPTIVE_REARM: u32 = 8;
 /// [`TwoChoice`] and re-arms after a short streak of consecutive
 /// uncontended operations, so it can recover from a contention burst.
 ///
-/// `s` never exceeds the configured `s_max`, so the rank envelope
-/// O(s_max·m) always holds a priori;
+/// The **insert side adapts independently**: inserts have no
+/// generation measurement (nothing is read back), so their camp length
+/// `s_insert` is driven purely by the try-lock failure rate — a failed
+/// insert lock halves `s_insert`, and every [`ADAPTIVE_REARM`]
+/// consecutive uncontended inserts double it. A dequeue-side congestion
+/// collapse therefore does not shrink insert camps (and vice versa),
+/// which matters under asymmetric load where one kind dominates.
+/// [`current`](Self::current) reports the dequeue-side `s` (the one the
+/// rank envelope cares about and the `adaptive_s` gauge exports);
+/// [`current_insert`](Self::current_insert) reports the insert side.
+///
+/// Neither `s` ever exceeds the configured `s_max`, so the rank
+/// envelope O(s_max·m) always holds a priori;
 /// [`envelope_factor`](ChoicePolicy::envelope_factor) reports the
-/// widest `s` the policy actually reached, giving the tighter
+/// widest `s` either side actually reached, giving the tighter
 /// observed-s envelope for the run.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptiveSticky {
     s_max: usize,
     s: usize,
+    /// Insert-side camp length, adapted from try-lock failures alone.
+    s_insert: usize,
     observed_max: usize,
     insert: Camp,
     dequeue: Camp,
@@ -427,11 +440,16 @@ pub struct AdaptiveSticky {
     camp_ops: u64,
     /// Consecutive uncontended successes while `s == 1`.
     quiet_streak: u32,
+    /// Consecutive uncontended insert successes (insert-side widening
+    /// signal — inserts have no generation measurement to consume).
+    insert_quiet: u32,
     /// Fresh camps started since the last telemetry flush.
     camp_switches: u64,
-    /// `s`-doubling transitions since the last telemetry flush.
+    /// `s`-doubling transitions since the last telemetry flush (both
+    /// sides).
     widens: u64,
-    /// `s`-halving transitions since the last telemetry flush.
+    /// `s`-halving transitions since the last telemetry flush (both
+    /// sides).
     narrows: u64,
 }
 
@@ -446,6 +464,7 @@ impl AdaptiveSticky {
         AdaptiveSticky {
             s_max,
             s,
+            s_insert: s,
             observed_max: s,
             insert: Camp::default(),
             dequeue: Camp::default(),
@@ -453,6 +472,7 @@ impl AdaptiveSticky {
             camp_gen: None,
             camp_ops: 0,
             quiet_streak: 0,
+            insert_quiet: 0,
             camp_switches: 0,
             widens: 0,
             narrows: 0,
@@ -464,12 +484,18 @@ impl AdaptiveSticky {
         self.s_max
     }
 
-    /// The current camp length.
+    /// The current dequeue-side camp length (the `adaptive_s` gauge).
     pub fn current(&self) -> usize {
         self.s
     }
 
-    /// The widest camp length the policy has used so far.
+    /// The current insert-side camp length, adapted independently from
+    /// the insert try-lock failure rate.
+    pub fn current_insert(&self) -> usize {
+        self.s_insert
+    }
+
+    /// The widest camp length the policy has used so far (either side).
     pub fn observed_max(&self) -> usize {
         self.observed_max
     }
@@ -488,6 +514,24 @@ impl AdaptiveSticky {
         self.s = (self.s / 2).max(1);
         self.quiet_streak = 0;
         if self.s != before {
+            self.narrows += 1;
+        }
+    }
+
+    fn widen_insert(&mut self) {
+        let before = self.s_insert;
+        self.s_insert = (self.s_insert * 2).clamp(1, self.s_max);
+        self.observed_max = self.observed_max.max(self.s_insert);
+        if self.s_insert != before {
+            self.widens += 1;
+        }
+    }
+
+    fn narrow_insert(&mut self) {
+        let before = self.s_insert;
+        self.s_insert = (self.s_insert / 2).max(1);
+        self.insert_quiet = 0;
+        if self.s_insert != before {
             self.narrows += 1;
         }
     }
@@ -524,9 +568,9 @@ impl ChoicePolicy for AdaptiveSticky {
         let q = rng.bounded(view.num_queues() as u64) as usize;
         self.insert = Camp {
             queue: q,
-            left: self.s - 1,
+            left: self.s_insert - 1,
         };
-        if self.s > 1 {
+        if self.s_insert > 1 {
             self.camp_switches += 1;
         }
         q
@@ -545,7 +589,16 @@ impl ChoicePolicy for AdaptiveSticky {
 
     fn on_success(&mut self, op: ChoiceOp, queue: usize, view: &impl QueueView) {
         match op {
-            ChoiceOp::Insert => {}
+            ChoiceOp::Insert => {
+                // Inserts have no generation measurement: the only
+                // signal is the try-lock failure rate, so a streak of
+                // uncontended inserts is the widening condition.
+                self.insert_quiet += 1;
+                if self.insert_quiet >= ADAPTIVE_REARM {
+                    self.insert_quiet = 0;
+                    self.widen_insert();
+                }
+            }
             ChoiceOp::Dequeue if self.dequeue_was_fresh => {
                 if self.s > 1 {
                     self.dequeue = Camp {
@@ -573,16 +626,22 @@ impl ChoicePolicy for AdaptiveSticky {
     }
 
     fn on_contention(&mut self, op: ChoiceOp, _queue: usize) {
+        // Each kind narrows only its own side: an insert-lock pile-up
+        // says nothing about dequeue congestion (and vice versa), so
+        // under asymmetric load the two camp lengths diverge.
         match op {
-            ChoiceOp::Insert => self.insert.left = 0,
+            ChoiceOp::Insert => {
+                self.insert.left = 0;
+                self.narrow_insert();
+            }
             ChoiceOp::Dequeue => {
                 self.dequeue.left = 0;
                 // The measurement is void: the camp ended abnormally.
                 self.camp_gen = None;
                 self.camp_ops = 0;
+                self.narrow();
             }
         }
-        self.narrow();
     }
 
     fn on_poisoned(&mut self, _op: ChoiceOp, queue: usize) {
@@ -1047,6 +1106,37 @@ mod tests {
             p.on_success(ChoiceOp::Dequeue, q, &view);
         }
         assert!(p.current() > 1, "policy failed to re-arm");
+    }
+
+    #[test]
+    fn insert_and_dequeue_stickiness_diverge_under_asymmetric_load() {
+        let view = FakeView::new(vec![0, 1, 2, 3]);
+        let mut rng = Xoshiro256::new(14);
+        let mut p = AdaptiveSticky::new(32);
+        assert_eq!(p.current(), p.current_insert(), "both sides start equal");
+        // Asymmetric load, phase 1: every insert try-lock fails while
+        // dequeues run quiet (static generations = no foreign traffic).
+        for _ in 0..300 {
+            let q = p.choose_insert(&mut rng, &view);
+            p.on_contention(ChoiceOp::Insert, q);
+            let q = p.choose_dequeue(&mut rng, &view).unwrap();
+            p.on_success(ChoiceOp::Dequeue, q, &view);
+        }
+        assert_eq!(p.current_insert(), 1, "contended insert side must collapse");
+        assert_eq!(p.current(), 32, "quiet dequeue side must widen to s_max");
+        // Phase 2, roles reversed: quiet inserts re-widen their side via
+        // the uncontended streak while dequeue contention collapses only
+        // the dequeue camp length.
+        for _ in 0..300 {
+            let q = p.choose_insert(&mut rng, &view);
+            p.on_success(ChoiceOp::Insert, q, &view);
+            let q = p.choose_dequeue(&mut rng, &view).unwrap();
+            p.on_contention(ChoiceOp::Dequeue, q);
+        }
+        assert_eq!(p.current_insert(), 32, "quiet insert side must re-widen");
+        assert_eq!(p.current(), 1, "contended dequeue side must collapse");
+        // The envelope covers the widest camp either side reached.
+        assert_eq!(p.envelope_factor(), 32.0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`potential`] — the potential functions Φ, Ψ, Γ of the analysis
 //!   and the constants (β, ε, α) the paper derives.
 //! * [`bins`], [`stats`], [`fenwick`] — shared substrate.
+//! * [`wheel`] — a hierarchical timer wheel (the binning idiom applied
+//!   to virtual time) scheduling the workload layer's simulated-client
+//!   arrivals deterministically.
 
 #![warn(missing_docs)]
 
@@ -35,6 +38,7 @@ pub mod potential;
 pub mod process;
 pub mod queue_process;
 pub mod stats;
+pub mod wheel;
 
 pub use adversary::{AsyncTwoChoice, AsyncWeightedTwoChoice, Schedule};
 pub use bins::BinState;
@@ -44,3 +48,4 @@ pub use potential::{PaperConstants, PotentialTrace};
 pub use process::{BallsProcess, DChoice, OnePlusBeta, SingleChoice, TwoChoice, WeightedTwoChoice};
 pub use queue_process::QueueProcess;
 pub use stats::{RunningStats, Summary};
+pub use wheel::TimerWheel;

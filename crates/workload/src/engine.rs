@@ -5,9 +5,18 @@
 //! draw operations from the scenario's mix/distributions, execute them
 //! against the backend, and record latencies into private metric
 //! shards. Fixed-op budgets are fully deterministic given the seed;
-//! timed budgets run against a stop flag. Open-loop arrivals measure
-//! latency from the *scheduled* arrival time, so queueing delay is
-//! captured rather than hidden (no coordinated omission).
+//! timed budgets run against a stop flag.
+//!
+//! Two drivers share that skeleton. The plain closed loop
+//! (`clients == 0`, `Arrival::Closed`) issues ops back-to-back with no
+//! pacing clock. Everything else — simulated-client scenarios
+//! (`clients > 0`) **and** the legacy `Arrival::Open`/`Arrival::Bursty`
+//! paths (one client per worker) — runs through the timer-wheel client
+//! driver ([`clients`](crate::clients)): arrivals are scheduled at
+//! seeded *intended* times, latency is measured from the intended time
+//! (never from op issue, so queueing delay is captured rather than
+//! hidden — no coordinated omission), and the queueing/service split is
+//! recorded per worker.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -19,6 +28,7 @@ use std::time::{Duration, Instant};
 use dlz_core::rng::{Rng64, Xoshiro256};
 
 use crate::backend::{Backend, Worker, WorkerCfg};
+use crate::clients::{ArrivalShape, ClientReport, ClientSet, ClientStats};
 use crate::dist::{Arrival, Sampler};
 use crate::faults::WorkerFaults;
 use crate::metrics::{IntervalSnapshot, LatencySummary, TelemetrySeries, WorkerMetrics};
@@ -84,15 +94,6 @@ impl OpSampler {
             weight,
         }
     }
-
-    /// Exponential inter-arrival gap for a Poisson process at `rate`
-    /// arrivals per second (capped at 1s so a mis-set rate cannot hang
-    /// a run).
-    fn interarrival(&mut self, rate: f64) -> Duration {
-        let u = self.rng.uniform_f64();
-        let secs = (-(1.0 - u).ln()) / rate.max(1e-3);
-        Duration::from_secs_f64(secs.min(1.0))
-    }
 }
 
 #[inline]
@@ -103,16 +104,17 @@ fn budget_done(budget: &Budget, issued: u64, stop: &AtomicBool) -> bool {
     }
 }
 
-/// Waits until `deadline`; returns `false` if the stop flag fired first
-/// (timed budgets only — fixed-op budgets always complete their ops).
-fn wait_until(deadline: Instant, stop: &AtomicBool, stoppable: bool) -> bool {
+/// Waits until `deadline`; returns the clock reading that crossed it,
+/// or `None` if the stop flag fired first (timed budgets only —
+/// fixed-op budgets always complete their ops).
+fn wait_until(deadline: Instant, stop: &AtomicBool, stoppable: bool) -> Option<Instant> {
     loop {
         let now = Instant::now();
         if now >= deadline {
-            return true;
+            return Some(now);
         }
         if stoppable && stop.load(Ordering::Relaxed) {
-            return false;
+            return None;
         }
         let remaining = deadline - now;
         if remaining > Duration::from_millis(1) {
@@ -128,11 +130,10 @@ fn step(
     worker: &mut dyn Worker,
     sampler: &mut OpSampler,
     metrics: &mut WorkerMetrics,
-    scheduled: Option<Instant>,
     timed: bool,
 ) {
     let op = sampler.draw();
-    if !timed && scheduled.is_none() {
+    if !timed {
         // Latency-sampling mode: count the op, skip the clock reads.
         let completed = worker.execute(&op);
         metrics.record_untimed(op.kind, completed);
@@ -141,11 +142,7 @@ fn step(
     let t0 = Instant::now();
     let completed = worker.execute(&op);
     let end = Instant::now();
-    let latency = match scheduled {
-        Some(s) => end.saturating_duration_since(s),
-        None => end.saturating_duration_since(t0),
-    };
-    metrics.record(op.kind, completed, latency);
+    metrics.record(op.kind, completed, end.saturating_duration_since(t0));
 }
 
 /// Best-effort rendering of a panic payload (panics carry `&str` or
@@ -288,10 +285,136 @@ impl<'m> IntervalTracker<'m> {
     }
 }
 
-/// The worker's op loop. `metrics` and `tracker` are owned by the
-/// caller, which runs this inside a panic-tolerant harness: whatever
+/// The client-driver mode a scenario runs in: `None` keeps the plain
+/// closed loop; `Some((population, shape))` routes the worker through
+/// the timer wheel. The legacy open/bursty arrivals map to one client
+/// per worker (population == thread count, contiguous sharding gives
+/// each worker exactly one), which is what fixed their latency
+/// accounting: intended arrival times now come from the wheel.
+fn client_mode(scenario: &Scenario) -> Option<(usize, ArrivalShape)> {
+    match (scenario.clients, scenario.arrival) {
+        (0, Arrival::Closed) => None,
+        (0, Arrival::Open { rate_per_worker }) => Some((
+            scenario.threads,
+            ArrivalShape::Poisson {
+                rate: rate_per_worker,
+            },
+        )),
+        (0, Arrival::Bursty { burst, pause }) => {
+            let b = burst.max(1);
+            // Same long-run shape: bursts of `burst` ops spaced `pause`
+            // apart ⇒ per-client rate burst/pause (burst-start gap in
+            // the shape is burst/rate == pause).
+            Some((
+                scenario.threads,
+                ArrivalShape::Bursty {
+                    rate: b as f64 / pause.as_secs_f64().max(1e-6),
+                    burst: b,
+                },
+            ))
+        }
+        (n, _) => Some((n, scenario.arrival_shape)),
+    }
+}
+
+/// The client-driven op loop: pops intended arrivals off the worker's
+/// shard of the population, paces to them, executes the client's op,
+/// and records the queueing/service split (total latency — intended to
+/// completion — feeds the main histogram). Per-op order matches the
+/// closed loop exactly (chaos gate → op → tick), so fault arithmetic
+/// and watchdog semantics carry over unchanged.
+#[allow(clippy::too_many_arguments)]
+fn drive_clients(
+    worker: &mut dyn Worker,
+    sampler: &mut OpSampler,
+    scenario: &Scenario,
+    stop: &AtomicBool,
+    chaos: &mut Option<Chaos<'_>>,
+    metrics: &mut WorkerMetrics,
+    tracker: &mut Option<IntervalTracker<'_>>,
+    id: usize,
+    begin: Instant,
+    total: usize,
+    shape: ArrivalShape,
+    cstats: &mut ClientStats,
+) {
+    let mut set = ClientSet::new(shape, total, id, scenario.threads, scenario.seed, cstats);
+    let budget = &scenario.budget;
+    let stoppable = matches!(budget, Budget::Timed(_));
+    let mix_total = scenario.mix.total() as u64;
+    let latency_every = scenario.latency_every.max(1) as u64;
+    // Backlog sampling walks the wheel's due slots — keep it off the
+    // per-op path.
+    const BACKLOG_EVERY: u64 = 1024;
+    let mut issued = 0u64;
+    // Monotone lower bound on "now": the last clock reading. When an
+    // arrival's intended time is already at or below it, the deadline
+    // is provably past and the pacing clock read can be skipped — the
+    // backlogged regime (self-paced clients included) then costs the
+    // same number of clock reads per op as the closed loop.
+    let mut last_now = begin;
+    while !budget_done(budget, issued, stop) {
+        if !chaos_gate(chaos, issued) {
+            return;
+        }
+        let Some((at_ns, client)) = set.pop(cstats) else {
+            break; // a worker with an empty client shard has no work
+        };
+        let scheduled = begin + Duration::from_nanos(at_ns);
+        let timed = issued.is_multiple_of(latency_every);
+        // `issue` is the moment pacing ended: exact on timed ops (fresh
+        // read), possibly a hair early on skipped reads (bounded by one
+        // op's work since `last_now`).
+        let issue = if !timed && scheduled <= last_now {
+            last_now
+        } else {
+            match wait_until(scheduled, stop, stoppable) {
+                Some(now) => now,
+                None => break,
+            }
+        };
+        last_now = issue;
+        let kind = scenario.mix.pick(set.kind_draw(client, mix_total));
+        let op = sampler.draw_kind(kind);
+        if timed {
+            let completed = worker.execute(&op);
+            let end = Instant::now();
+            last_now = end;
+            // Total latency from the *intended* arrival — queueing
+            // delay is part of the number, not silently omitted.
+            metrics.record(op.kind, completed, end.saturating_duration_since(scheduled));
+            cstats
+                .queueing
+                .record_duration(issue.saturating_duration_since(scheduled));
+            cstats
+                .service
+                .record_duration(end.saturating_duration_since(issue));
+        } else {
+            // Latency-sampling mode (same convention as the closed
+            // loop): count the op, skip the completion clock read.
+            let completed = worker.execute(&op);
+            metrics.record_untimed(op.kind, completed);
+        }
+        issued += 1;
+        if let Some(t) = tracker.as_mut() {
+            t.tick(metrics, worker);
+        }
+        let now_ns = last_now
+            .saturating_duration_since(begin)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        set.reschedule(client, at_ns, now_ns, cstats);
+        if issued.is_multiple_of(BACKLOG_EVERY) {
+            cstats.backlog_max = cstats.backlog_max.max(set.backlog(now_ns));
+        }
+    }
+}
+
+/// The worker's op loop. `metrics`, `tracker` and `cstats` are owned by
+/// the caller, which runs this inside a panic-tolerant harness: whatever
 /// accumulated before an injected (or genuine) panic survives and is
 /// salvaged into the report.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     worker: &mut dyn Worker,
     sampler: &mut OpSampler,
@@ -300,62 +423,32 @@ fn drive(
     chaos: &mut Option<Chaos<'_>>,
     metrics: &mut WorkerMetrics,
     tracker: &mut Option<IntervalTracker<'_>>,
+    id: usize,
+    begin: Instant,
+    cstats: &mut Option<ClientStats>,
 ) {
+    if let Some((total, shape)) = client_mode(scenario) {
+        let stats = cstats.get_or_insert_with(ClientStats::default);
+        drive_clients(
+            worker, sampler, scenario, stop, chaos, metrics, tracker, id, begin, total, shape,
+            stats,
+        );
+        return;
+    }
+    // The plain closed loop: self-paced ops, no wheel, and (in
+    // latency-sampling mode) no per-op clock reads.
     let mut issued = 0u64;
     let budget = &scenario.budget;
-    let stoppable = matches!(budget, Budget::Timed(_));
     let latency_every = scenario.latency_every.max(1) as u64;
-    match scenario.arrival {
-        Arrival::Closed => {
-            while !budget_done(budget, issued, stop) {
-                if !chaos_gate(chaos, issued) {
-                    return;
-                }
-                let timed = issued.is_multiple_of(latency_every);
-                step(worker, sampler, metrics, None, timed);
-                issued += 1;
-                if let Some(t) = tracker.as_mut() {
-                    t.tick(metrics, worker);
-                }
-            }
+    while !budget_done(budget, issued, stop) {
+        if !chaos_gate(chaos, issued) {
+            return;
         }
-        Arrival::Open { rate_per_worker } => {
-            let mut next = Instant::now();
-            while !budget_done(budget, issued, stop) {
-                if !chaos_gate(chaos, issued) {
-                    return;
-                }
-                next += sampler.interarrival(rate_per_worker);
-                if !wait_until(next, stop, stoppable) {
-                    break;
-                }
-                step(worker, sampler, metrics, Some(next), true);
-                issued += 1;
-                if let Some(t) = tracker.as_mut() {
-                    t.tick(metrics, worker);
-                }
-            }
-        }
-        Arrival::Bursty { burst, pause } => {
-            'outer: while !budget_done(budget, issued, stop) {
-                for _ in 0..burst.max(1) {
-                    if budget_done(budget, issued, stop) {
-                        break 'outer;
-                    }
-                    if !chaos_gate(chaos, issued) {
-                        return;
-                    }
-                    let timed = issued.is_multiple_of(latency_every);
-                    step(worker, sampler, metrics, None, timed);
-                    issued += 1;
-                    if let Some(t) = tracker.as_mut() {
-                        t.tick(metrics, worker);
-                    }
-                }
-                if !wait_until(Instant::now() + pause, stop, stoppable) {
-                    break;
-                }
-            }
+        let timed = issued.is_multiple_of(latency_every);
+        step(worker, sampler, metrics, timed);
+        issued += 1;
+        if let Some(t) = tracker.as_mut() {
+            t.tick(metrics, worker);
         }
     }
 }
@@ -498,7 +591,7 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
         (0..threads).map(|_| Mutex::new(None)).collect();
     let watchdog_done = AtomicBool::new(false);
 
-    let (mut merged, telemetry, elapsed, outcomes) = std::thread::scope(|s| {
+    let (mut merged, telemetry, client_stats, elapsed, outcomes) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|id| {
                 let cfg = WorkerCfg {
@@ -523,12 +616,14 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
                     barrier.wait();
                     let begin = Instant::now();
                     let mut metrics = WorkerMetrics::default();
+                    let mut cstats: Option<ClientStats> = None;
                     let mut tracker = scenario
                         .telemetry_interval
                         .map(|i| IntervalTracker::new(i, Some(mirror)));
                     // The harness: a worker panic (injected or genuine)
-                    // ends this worker only; metrics and telemetry
-                    // accumulated so far survive in the outer locals.
+                    // ends this worker only; metrics, telemetry and
+                    // client stats accumulated so far survive in the
+                    // outer locals.
                     let caught = catch_unwind(AssertUnwindSafe(|| {
                         drive(
                             worker.as_mut(),
@@ -538,6 +633,9 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
                             &mut chaos,
                             &mut metrics,
                             &mut tracker,
+                            id,
+                            begin,
+                            &mut cstats,
                         )
                     }));
                     let end = Instant::now();
@@ -570,7 +668,7 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
                     // partial state (buffered ops, history logs) in
                     // their worker's Drop instead.
                     drop(worker);
-                    (outcome, metrics, snaps, begin, end)
+                    (outcome, metrics, snaps, cstats, begin, end)
                 })
             })
             .collect();
@@ -635,11 +733,12 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
         let mut telemetry = scenario
             .telemetry_interval
             .map(|i| TelemetrySeries::new(i.as_millis().max(1) as u64));
+        let mut client_stats: Option<ClientStats> = None;
         let mut begin: Option<Instant> = None;
         let mut end: Option<Instant> = None;
         let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(threads);
         for (id, h) in handles.into_iter().enumerate() {
-            let (outcome, metrics, snaps, b, e) = h.join().unwrap_or_else(|payload| {
+            let (outcome, metrics, snaps, cstats, b, e) = h.join().unwrap_or_else(|payload| {
                 // The in-thread harness catches drive panics, so a dead
                 // thread means the worker escaped it in finish()/Drop —
                 // an engine invariant breach. Name the worker and its
@@ -663,6 +762,13 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
             if let Some(series) = telemetry.as_mut() {
                 series.merge_worker(&snaps);
             }
+            if let Some(cs) = cstats {
+                // Workers join in id order, so the folded digest is
+                // deterministic.
+                client_stats
+                    .get_or_insert_with(ClientStats::default)
+                    .merge(&cs);
+            }
             begin = Some(begin.map_or(b, |x| x.min(b)));
             end = Some(end.map_or(e, |x| x.max(e)));
             outcomes.push(outcome);
@@ -675,7 +781,7 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
             (Some(b), Some(e)) => e.saturating_duration_since(b),
             _ => Duration::ZERO,
         };
-        (merged, telemetry, elapsed, outcomes)
+        (merged, telemetry, client_stats, elapsed, outcomes)
     });
     merged.counts.merge(&prefill_counts);
 
@@ -695,6 +801,15 @@ fn run_inner(scenario: &Scenario, backend: &dyn Backend) -> RunReport {
             workers,
         }
     });
+    // The clients section is reported only for explicit client
+    // scenarios: the legacy open/bursty paths run through the same
+    // driver (their headline latency is measured from intended arrival)
+    // but keep their original report schema.
+    if scenario.clients > 0 {
+        report.clients = client_stats.as_ref().map(|cs| {
+            ClientReport::from_stats(scenario.clients as u64, &scenario.arrival_shape, cs)
+        });
+    }
     report.telemetry = telemetry;
     report.elapsed = elapsed;
     report.counts = merged.counts;
@@ -844,6 +959,160 @@ mod tests {
         let attempts =
             r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
         assert_eq!(attempts, 2_000);
+    }
+
+    #[test]
+    fn overloaded_open_rate_reports_queueing_delay() {
+        // Regression for the coordinated-omission fix: at an absurd
+        // open rate every op's *intended* arrival is ~t=0, so op i's
+        // latency is ~its completion offset and the mean must be on the
+        // order of half the run — not the per-op service time the old
+        // issue-time accounting reported.
+        let s = small("t-open-overload", Family::Counter)
+            .mix(OpMix::new(100, 0, 0))
+            .budget(Budget::OpsPerWorker(5_000))
+            .arrival(Arrival::Open {
+                rate_per_worker: 1e9,
+            })
+            .build();
+        let r = run(&s, &CounterBackend::exact());
+        assert!(r.verified());
+        assert_eq!(r.total_ops(), 10_000);
+        let elapsed_ns = r.elapsed.as_nanos() as f64;
+        assert!(
+            r.latency.mean_ns >= elapsed_ns / 8.0,
+            "mean {} ns vs elapsed {} ns: queueing delay went missing",
+            r.latency.mean_ns,
+            elapsed_ns
+        );
+        // No clients were configured, so the report schema is legacy.
+        assert!(r.clients.is_none());
+        assert!(!r.to_json().contains("\"clients\":"));
+    }
+
+    #[test]
+    fn bursty_latency_is_measured_from_burst_start() {
+        // One burst covers the whole budget: every op shares the burst's
+        // intended instant, so latencies ramp with queue position and
+        // the mean lands around half the busy span.
+        let s = small("t-burst-intent", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(4_000))
+            .arrival(Arrival::Bursty {
+                burst: 4_096,
+                pause: Duration::from_micros(50),
+            })
+            .prefill(2_000)
+            .build();
+        let r = run(&s, &MultiQueueBackend::heap(4, DeleteMode::TryLock));
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let attempts =
+            r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+        assert_eq!(attempts, 8_000);
+        let elapsed_ns = r.elapsed.as_nanos() as f64;
+        assert!(
+            r.latency.mean_ns >= elapsed_ns / 8.0,
+            "mean {} ns vs elapsed {} ns: burst queueing went missing",
+            r.latency.mean_ns,
+            elapsed_ns
+        );
+    }
+
+    #[test]
+    fn client_runs_are_deterministic_with_identical_digests() {
+        let build = || {
+            small("t-clients-det", Family::Queue)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(3_000))
+                .clients(10_000)
+                .arrival_shape(ArrivalShape::Poisson { rate: 500.0 })
+                .prefill(500)
+                .build()
+        };
+        let r1 = run(&build(), &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        let r2 = run(&build(), &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        for r in [&r1, &r2] {
+            assert!(r.verified(), "{:?}", r.verify_error);
+            assert_eq!(r.total_ops() + r.counts.removes_empty, 6_000);
+        }
+        // Same seed + same population → bit-identical arrival schedules
+        // and per-run op counts.
+        assert_eq!(r1.counts.updates, r2.counts.updates);
+        assert_eq!(
+            r1.counts.removes + r1.residual,
+            r2.counts.removes + r2.residual
+        );
+        let (c1, c2) = (
+            r1.clients.as_ref().expect("clients section"),
+            r2.clients.as_ref().expect("clients section"),
+        );
+        assert_eq!(c1.arrival_digest, c2.arrival_digest);
+        assert_eq!(c1.arrivals, c2.arrivals);
+        assert_eq!(c1.active, c2.active);
+        assert_eq!(c1.arrivals, 6_000, "one arrival per issued op");
+        assert!(c1.active > 0 && c1.active <= 10_000);
+        assert_eq!(c1.clients, 10_000);
+        assert_eq!(c1.shape, "poisson(500/s)");
+        // The queueing/service split made it into the JSON.
+        let j = r1.to_json();
+        assert!(j.contains("\"clients\":{"), "{j}");
+        assert!(j.contains("\"queueing_ns\":{"), "{j}");
+        assert!(j.contains("\"service_ns\":{"), "{j}");
+        assert!(c1.service_ns.max_ns > 0, "service latencies recorded");
+    }
+
+    #[test]
+    fn self_paced_clients_generalize_the_closed_loop() {
+        let s = small("t-clients-selfpaced", Family::Queue)
+            .mix(OpMix::new(50, 50, 0))
+            .clients(2)
+            .arrival_shape(ArrivalShape::SelfPaced)
+            .prefill(200)
+            .build();
+        let r = run(&s, &MultiQueueBackend::heap(4, DeleteMode::Strict));
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let attempts =
+            r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+        assert_eq!(attempts, 4_000, "full budget through the client driver");
+        let c = r.clients.as_ref().expect("clients section");
+        assert_eq!(c.active, 2, "one self-paced client per worker");
+    }
+
+    #[test]
+    fn client_driver_conserves_under_faults_and_telemetry() {
+        let s = small("t-clients-chaos", Family::Queue)
+            .threads(4)
+            .mix(OpMix::new(50, 50, 0))
+            .budget(Budget::OpsPerWorker(600))
+            .clients(8_000)
+            .arrival_shape(ArrivalShape::Poisson { rate: 500.0 })
+            .prefill(300)
+            .telemetry_interval(Duration::from_millis(25))
+            .faults_spec("panic:1@200")
+            .build();
+        let r = run(&s, &MultiQueueBackend::heap(8, DeleteMode::Strict));
+        // Conservation closes even though worker 1 (serving ~2k
+        // clients) died mid-run.
+        assert!(r.verified(), "{:?}", r.verify_error);
+        let f = r.faults.as_ref().expect("faults section");
+        assert!(
+            matches!(&f.workers[1], WorkerOutcome::Panicked(d) if d.contains("injected fault")),
+            "worker 1 was {:?}",
+            f.workers[1]
+        );
+        let attempts =
+            r.counts.updates + r.counts.removes + r.counts.removes_empty + r.counts.reads;
+        assert_eq!(attempts, 3 * 600 + 200);
+        // The victim's partial client stats were salvaged: one arrival
+        // per issued op across the whole run.
+        let c = r.clients.as_ref().expect("clients section");
+        assert_eq!(c.arrivals, 3 * 600 + 200);
+        // Interval telemetry still conserves exactly under the driver.
+        let t = r.telemetry.as_ref().expect("telemetry series");
+        let totals = t.totals();
+        assert_eq!(totals.updates, r.counts.updates);
+        assert_eq!(totals.removes, r.counts.removes);
+        assert_eq!(totals.removes_empty, r.counts.removes_empty);
     }
 
     #[test]

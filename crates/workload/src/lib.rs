@@ -23,6 +23,12 @@
 //!   one grid-tagged [`RunReport`] per (cell × backend).
 //! * [`metrics`] — log-bucketed latency histogram (p50/p99/p999 at ~3%
 //!   resolution) merged from per-worker shards.
+//! * [`clients`] — the simulated-client traffic frontend: a
+//!   hierarchical timer wheel schedules 100k–1M open-loop clients over
+//!   the worker pool, each with its own seeded [`ArrivalShape`]
+//!   (Poisson, periodic, bursty, diurnal, flash crowd) and op-mix
+//!   stream; latency is measured from *intended* arrival and split
+//!   into queueing + service, defeating coordinated omission.
 //! * Quality wiring — counter backends sample read deviation against
 //!   the exact sum (Lemma 6.8's metric); queue backends either record a
 //!   stamped history and replay it through the
@@ -55,6 +61,7 @@
 
 pub mod backend;
 pub mod backends;
+pub mod clients;
 pub mod dist;
 pub mod driver;
 pub mod engine;
@@ -68,6 +75,7 @@ pub mod sweep;
 pub mod telemetry;
 
 pub use backend::{Backend, QualityReport, QualitySummary, Worker, WorkerCfg};
+pub use clients::{ArrivalShape, ClientReport, ClientStats};
 pub use dist::{Arrival, Dist, Sampler};
 pub use driver::{count_until_stopped, run_throughput, Throughput};
 pub use engine::{run, run_sweep, run_sweep_shared};

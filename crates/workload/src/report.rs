@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::backend::QualityReport;
+use crate::clients::ClientReport;
 use crate::dist::Arrival;
 use crate::json::JsonObject;
 use crate::metrics::{LatencySummary, TelemetrySeries};
@@ -113,6 +114,11 @@ pub struct RunReport {
     /// on non-history runs. `None` when the run recorded no history or
     /// the proxy drew no (or only zero) samples.
     pub rank_proxy_calibration: Option<f64>,
+    /// Simulated-client accounting when the scenario set
+    /// [`clients`](crate::Scenario::clients) > 0: active clients,
+    /// arrival backlog, and the queueing/service latency split (see
+    /// [`ClientReport`]). `None` on legacy thread-per-worker runs.
+    pub clients: Option<ClientReport>,
     /// Time-resolved telemetry: the merged, index-aligned per-interval
     /// series when the scenario set
     /// [`telemetry_interval`](crate::Scenario::telemetry_interval);
@@ -234,6 +240,28 @@ impl RunReport {
         if let Some(c) = self.rank_proxy_calibration {
             o.f64("rank_proxy_calibration", c);
         }
+        if let Some(c) = &self.clients {
+            o.obj("clients", |co| {
+                co.u64("count", c.clients)
+                    .str("shape", &c.shape)
+                    .u64("active", c.active)
+                    .u64("arrivals", c.arrivals)
+                    .u64("backlog_max", c.backlog_max)
+                    .str("arrival_digest", &format!("{:016x}", c.arrival_digest));
+                for (name, l) in [
+                    ("queueing_ns", &c.queueing_ns),
+                    ("service_ns", &c.service_ns),
+                ] {
+                    co.obj(name, |lo| {
+                        lo.f64("mean", l.mean_ns)
+                            .u64("p50", l.p50_ns)
+                            .u64("p99", l.p99_ns)
+                            .u64("p999", l.p999_ns)
+                            .u64("max", l.max_ns);
+                    });
+                }
+            });
+        }
         if let Some(t) = &self.telemetry {
             let rows: Vec<String> = t
                 .intervals
@@ -328,6 +356,7 @@ pub(crate) fn skeleton(scenario: &Scenario, backend_name: String) -> RunReport {
         cell: None,
         grid: Vec::new(),
         rank_proxy_calibration: None,
+        clients: None,
         telemetry: None,
         faults: None,
         export_errors: Vec::new(),
@@ -365,6 +394,41 @@ mod tests {
         // Not a sweep run: no cell/grid keys.
         assert!(!j.contains("\"cell\":"));
         assert!(!j.contains("\"grid\":"));
+        // Not a client-driven run: no clients section.
+        assert!(!j.contains("\"clients\":"));
+    }
+
+    #[test]
+    fn clients_section_renders_with_latency_split() {
+        let s = Scenario::builder("t", Family::Queue).build();
+        let mut r = skeleton(&s, "b".into());
+        let mut queueing = crate::metrics::LogHistogram::new();
+        let mut service = crate::metrics::LogHistogram::new();
+        queueing.record(5_000);
+        service.record(150);
+        r.clients = Some(ClientReport {
+            clients: 100_000,
+            shape: "poisson(50/s)".into(),
+            active: 12_345,
+            arrivals: 40_000,
+            backlog_max: 777,
+            queueing_ns: crate::metrics::LatencySummary::from(&queueing),
+            service_ns: crate::metrics::LatencySummary::from(&service),
+            arrival_digest: 0xdead_beef_cafe_f00d,
+        });
+        let j = r.to_json();
+        for needle in [
+            "\"clients\":{\"count\":100000",
+            "\"shape\":\"poisson(50/s)\"",
+            "\"active\":12345",
+            "\"arrivals\":40000",
+            "\"backlog_max\":777",
+            "\"arrival_digest\":\"deadbeefcafef00d\"",
+            "\"queueing_ns\":{",
+            "\"service_ns\":{",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
     }
 
     #[test]

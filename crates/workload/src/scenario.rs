@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use dlz_core::PolicyCfg;
 
+use crate::clients::ArrivalShape;
 use crate::dist::{Arrival, Dist};
 use crate::faults::FaultPlan;
 use crate::op::OpMix;
@@ -72,6 +73,19 @@ pub struct Scenario {
     pub weights: Dist,
     /// Arrival process.
     pub arrival: Arrival,
+    /// Simulated-client population. `0` (the default) keeps the legacy
+    /// thread-per-worker driver; any positive count routes the run
+    /// through the timer-wheel client driver
+    /// ([`clients`](crate::clients)): the population is sharded across
+    /// workers, each client follows its own seeded
+    /// [`arrival_shape`](Scenario::arrival_shape) and op-mix stream,
+    /// and the report gains a `clients` section with the
+    /// queueing/service latency split.
+    pub clients: usize,
+    /// Per-client arrival process when [`clients`](Scenario::clients)
+    /// is positive (ignored otherwise — the legacy
+    /// [`arrival`](Scenario::arrival) field governs the 0-client path).
+    pub arrival_shape: ArrivalShape,
     /// Items inserted sequentially before the measured run.
     pub prefill: u64,
     /// Base RNG seed; every worker derives its streams from this.
@@ -140,6 +154,8 @@ impl Scenario {
                 priorities: Dist::Monotonic,
                 weights: Dist::Fixed(1),
                 arrival: Arrival::Closed,
+                clients: 0,
+                arrival_shape: ArrivalShape::SelfPaced,
                 prefill: 0,
                 seed: 0xd15f1e1d,
                 record_history: false,
@@ -286,6 +302,41 @@ impl Scenario {
                     rate_per_worker: 50_000.0,
                 })
                 .build(),
+            Scenario::builder("clients-poisson-100k", Family::Queue)
+                .about("100k Poisson clients over 4 workers at a deliberately overloaded aggregate rate — queueing delay visible in the clients section")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(25_000))
+                .clients(100_000)
+                .arrival_shape(ArrivalShape::Poisson { rate: 50.0 })
+                .prefill(10_000)
+                .build(),
+            Scenario::builder("clients-diurnal", Family::Queue)
+                .about("50k clients on a sinusoidal diurnal curve (5 cycles/s) — load swings 0.2×–1.8× of the base rate")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(10_000))
+                .clients(50_000)
+                .arrival_shape(ArrivalShape::Diurnal {
+                    rate: 20.0,
+                    period_ms: 200,
+                })
+                .prefill(5_000)
+                .build(),
+            Scenario::builder("clients-flash-crowd", Family::Queue)
+                .about("50k background-rate clients with a 20× flash crowd in the 50–100ms window — backlog spike and recovery")
+                .threads(4)
+                .mix(OpMix::new(50, 50, 0))
+                .budget(Budget::OpsPerWorker(10_000))
+                .clients(50_000)
+                .arrival_shape(ArrivalShape::Flash {
+                    rate: 5.0,
+                    factor: 20.0,
+                    at_ms: 50,
+                    len_ms: 50,
+                })
+                .prefill(5_000)
+                .build(),
             Scenario::builder("chaos-stall-audit", Family::Queue)
                 .about("history-audited run with an injected panic, a bounded stall and a slow straggler — the surviving workers' history must still replay linearizable")
                 .threads(4)
@@ -370,6 +421,19 @@ impl ScenarioBuilder {
     /// Arrival process.
     pub fn arrival(mut self, a: Arrival) -> Self {
         self.s.arrival = a;
+        self
+    }
+
+    /// Simulated-client population (0 = legacy thread-per-worker
+    /// driver; see [`Scenario::clients`]).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.s.clients = n;
+        self
+    }
+
+    /// Per-client arrival shape (used when `clients > 0`).
+    pub fn arrival_shape(mut self, shape: ArrivalShape) -> Self {
+        self.s.arrival_shape = shape;
         self
     }
 
@@ -533,6 +597,36 @@ mod tests {
         assert_eq!(s.family, Family::Counter);
         assert!(s.record_history);
         assert!(matches!(s.budget, Budget::OpsPerWorker(_)));
+    }
+
+    #[test]
+    fn client_presets_shard_a_big_population_over_few_workers() {
+        let cat = Scenario::catalog();
+        let clients: Vec<&Scenario> = cat
+            .iter()
+            .filter(|s| s.name.starts_with("clients-"))
+            .collect();
+        assert!(clients.len() >= 3, "client presets missing");
+        for s in &clients {
+            assert!(s.clients >= 50_000, "{}: population too small", s.name);
+            assert!(
+                s.threads <= 8,
+                "{}: client presets stay laptop-scale",
+                s.name
+            );
+            assert!(
+                matches!(s.budget, Budget::OpsPerWorker(_)),
+                "{}: fixed-op budgets keep CI deterministic",
+                s.name
+            );
+            assert_ne!(s.arrival_shape, ArrivalShape::SelfPaced, "{}", s.name);
+        }
+        let big = Scenario::named("clients-poisson-100k").expect("exists");
+        assert!(big.clients >= 100_000 && big.threads == 4);
+        // Legacy presets stay on the thread-per-worker driver.
+        let plain = Scenario::named("queue-balanced").expect("exists");
+        assert_eq!(plain.clients, 0);
+        assert_eq!(plain.arrival_shape, ArrivalShape::SelfPaced);
     }
 
     #[test]

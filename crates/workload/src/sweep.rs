@@ -35,16 +35,17 @@
 
 use dlz_core::PolicyCfg;
 
+use crate::clients::ArrivalShape;
 use crate::dist::{Arrival, Dist};
 use crate::op::OpMix;
 use crate::scenario::Scenario;
 
 /// Display (and grid-key) order of the axes. Expansion nests in a
-/// fixed outer→inner order (seed, arrival, keys, priorities, mix,
-/// batch, policy, threads — threads varies fastest), but cell names
-/// and grid coordinates always list axes in this order.
-const AXIS_ORDER: [&str; 8] = [
-    "t", "policy", "mix", "keys", "prio", "batch", "arrival", "seed",
+/// fixed outer→inner order (seed, shape, clients, arrival, keys,
+/// priorities, mix, batch, policy, threads — threads varies fastest),
+/// but cell names and grid coordinates always list axes in this order.
+const AXIS_ORDER: [&str; 10] = [
+    "t", "policy", "mix", "keys", "prio", "batch", "arrival", "clients", "shape", "seed",
 ];
 
 /// A base scenario plus the axes to sweep. Empty axes do not vary.
@@ -58,6 +59,8 @@ pub struct SweepSpec {
     priorities: Vec<Dist>,
     batches: Vec<usize>,
     arrivals: Vec<Arrival>,
+    clients: Vec<usize>,
+    shapes: Vec<ArrivalShape>,
     seeds: Vec<u64>,
 }
 
@@ -69,7 +72,8 @@ pub struct SweepCell {
     pub name: String,
     /// The swept coordinates as `(axis, value-label)` pairs, in the
     /// fixed display order (`t`, `policy`, `mix`, `keys`, `prio`,
-    /// `batch`, `arrival`, `seed`); empty for a 1×1 grid.
+    /// `batch`, `arrival`, `clients`, `shape`, `seed`); empty for a
+    /// 1×1 grid.
     pub coords: Vec<(String, String)>,
     /// The fully concrete scenario for this cell (base values with the
     /// cell's coordinates applied; the name stays the base name).
@@ -88,6 +92,8 @@ impl SweepSpec {
             priorities: Vec::new(),
             batches: Vec::new(),
             arrivals: Vec::new(),
+            clients: Vec::new(),
+            shapes: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -154,6 +160,20 @@ impl SweepSpec {
         self
     }
 
+    /// Sweep the simulated-client population (`clients=` coordinate).
+    /// `0` means the plain per-worker driver (no client frontend).
+    pub fn clients(mut self, values: &[usize]) -> Self {
+        self.clients = values.to_vec();
+        self
+    }
+
+    /// Sweep the per-client arrival shape (`shape=` coordinate; only
+    /// meaningful for cells with `clients > 0`).
+    pub fn arrival_shapes(mut self, values: &[ArrivalShape]) -> Self {
+        self.shapes = values.to_vec();
+        self
+    }
+
     /// Sweep the base RNG seed (`seed=` coordinate — repetitions or
     /// accumulating checkpoints).
     pub fn seeds(mut self, values: &[u64]) -> Self {
@@ -171,6 +191,8 @@ impl SweepSpec {
             self.priorities.len(),
             self.batches.len(),
             self.arrivals.len(),
+            self.clients.len(),
+            self.shapes.len(),
             self.seeds.len(),
         ]
         .iter()
@@ -187,10 +209,10 @@ impl SweepSpec {
 
     /// Expands the cartesian grid into concrete cells.
     ///
-    /// Nesting order (outer→inner): seed, arrival, keys, priorities,
-    /// mix, batch, policy, threads — so the threads axis varies fastest
-    /// and a `keys × threads` sweep groups naturally by skew. The
-    /// expansion is fully deterministic.
+    /// Nesting order (outer→inner): seed, shape, clients, arrival,
+    /// keys, priorities, mix, batch, policy, threads — so the threads
+    /// axis varies fastest and a `keys × threads` sweep groups
+    /// naturally by skew. The expansion is fully deterministic.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = vec![SweepCell {
             name: String::new(),
@@ -202,6 +224,20 @@ impl SweepSpec {
             &self.seeds,
             "seed",
             |s, &v| s.seed = v,
+            |v| v.to_string(),
+        );
+        cells = apply_axis(
+            cells,
+            &self.shapes,
+            "shape",
+            |s, &v| s.arrival_shape = v,
+            |v| v.label(),
+        );
+        cells = apply_axis(
+            cells,
+            &self.clients,
+            "clients",
+            |s, &v| s.clients = v,
             |v| v.to_string(),
         );
         cells = apply_axis(
@@ -386,6 +422,38 @@ mod tests {
         assert!(cells
             .iter()
             .any(|c| matches!(c.scenario.keys, Dist::Zipf { .. })));
+    }
+
+    #[test]
+    fn client_and_shape_axes_expand_between_arrival_and_seed() {
+        let spec = SweepSpec::new(base())
+            .clients(&[0, 100_000])
+            .arrival_shapes(&[
+                ArrivalShape::Poisson { rate: 50.0 },
+                ArrivalShape::Periodic { rate: 50.0 },
+            ])
+            .seeds(&[1]);
+        assert_eq!(spec.len(), 4);
+        let cells = spec.cells();
+        assert_eq!(
+            cells[0].name,
+            "sweep-base/clients=0/shape=poisson(50/s)/seed=1"
+        );
+        assert_eq!(
+            cells[3].name,
+            "sweep-base/clients=100000/shape=periodic(50/s)/seed=1"
+        );
+        assert_eq!(cells[3].scenario.clients, 100_000);
+        assert_eq!(
+            cells[3].scenario.arrival_shape,
+            ArrivalShape::Periodic { rate: 50.0 }
+        );
+        // Shape is outer to clients in expansion order.
+        assert_eq!(cells[1].scenario.clients, 100_000);
+        assert_eq!(
+            cells[1].scenario.arrival_shape,
+            ArrivalShape::Poisson { rate: 50.0 }
+        );
     }
 
     #[test]
