@@ -18,6 +18,7 @@
 //! | `--json FILE` | | `scenarios`: also write the JSON to FILE |
 //! | `--sweep` | `DLZ_SWEEP=1` | `scenarios`: expand the full sweep grid |
 //! | `--policies a,b` | `DLZ_POLICIES` | choice-policy axis (`two-choice,sticky=16,...`) |
+//! | `--substrates a,b` | `DLZ_SUBSTRATES` | per-queue substrate axis (`locked,lockfree,combining`) |
 //! | `--mixes a,b` | `DLZ_MIXES` | op-mix axis (`50/50/0,90/0/10,...`) |
 //! | `--keys a,b` | | key-distribution axis (`uniform:1024,zipf:16384:0.9,...`) |
 //! | `--prios a,b` | | priority-distribution axis (same grammar) |
@@ -39,7 +40,7 @@
 
 use std::time::Duration;
 
-use dlz_core::PolicyCfg;
+use dlz_core::{PolicyCfg, SubstrateCfg};
 use dlz_workload::{ArrivalShape, Dist, FaultPlan, OpMix};
 
 /// Default key space for `--zipf` and `zipf:THETA` shorthands.
@@ -73,6 +74,9 @@ pub struct Config {
     pub sweep: bool,
     /// Choice-policy axis values (`--policies two-choice,sticky=16`).
     pub policies: Vec<PolicyCfg>,
+    /// Per-queue substrate axis values
+    /// (`--substrates locked,lockfree,combining`).
+    pub substrates: Vec<SubstrateCfg>,
     /// Op-mix axis values (`--mixes 50/50/0,90/0/10`).
     pub mixes: Vec<OpMix>,
     /// Key-distribution axis values (`--keys uniform:1024,zipf:16384:0.9`).
@@ -135,6 +139,7 @@ impl Default for Config {
             json: None,
             sweep: false,
             policies: Vec::new(),
+            substrates: Vec::new(),
             mixes: Vec::new(),
             keys: Vec::new(),
             prios: Vec::new(),
@@ -215,6 +220,10 @@ impl Config {
             cfg.policies = parse_policies(&v)?;
             cfg.set_flags.push("policies".into());
         }
+        if let Ok(v) = std::env::var("DLZ_SUBSTRATES") {
+            cfg.substrates = parse_substrates(&v, "DLZ_SUBSTRATES")?;
+            cfg.set_flags.push("substrates".into());
+        }
         if let Ok(v) = std::env::var("DLZ_MIXES") {
             cfg.mixes = parse_mixes(&v)?;
             cfg.set_flags.push("mixes".into());
@@ -291,6 +300,11 @@ impl Config {
                     let v = need(&mut it, "--policies")?;
                     cfg.policies = parse_policies(&v)?;
                     cfg.set_flags.push("policies".into());
+                }
+                "--substrates" | "--substrate" => {
+                    let v = need(&mut it, "--substrates")?;
+                    cfg.substrates = parse_substrates(&v, "--substrates")?;
+                    cfg.set_flags.push("substrates".into());
                 }
                 "--mixes" => {
                     let v = need(&mut it, "--mixes")?;
@@ -430,6 +444,25 @@ fn parse_policies(s: &str) -> Result<Vec<PolicyCfg>, String> {
     let out = out?;
     if out.is_empty() {
         return Err("--policies needs at least one policy".into());
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated substrate list
+/// (`locked,lockfree,combining`).
+fn parse_substrates(s: &str, flag: &str) -> Result<Vec<SubstrateCfg>, String> {
+    let out: Result<Vec<SubstrateCfg>, String> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| {
+            SubstrateCfg::parse(p).ok_or_else(|| {
+                format!("{flag}: unknown substrate '{p}' (expected locked, lockfree or combining)")
+            })
+        })
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one substrate"));
     }
     Ok(out)
 }
@@ -660,6 +693,33 @@ mod tests {
     }
 
     #[test]
+    fn substrate_axis_parses_with_aliases_and_rejects_unknown() {
+        let c = Config::parse(vec![]);
+        assert!(c.substrates.is_empty());
+        let c = Config::parse(vec![
+            "--substrates".into(),
+            "locked,lock-free,combining".into(),
+        ]);
+        assert_eq!(
+            c.substrates,
+            vec![
+                SubstrateCfg::Locked,
+                SubstrateCfg::LockFree,
+                SubstrateCfg::Combining,
+            ]
+        );
+        assert!(c.was_set("substrates"));
+        // The singular spelling is an alias.
+        let c = Config::parse(vec!["--substrate".into(), "lockfree".into()]);
+        assert_eq!(c.substrates, vec![SubstrateCfg::LockFree]);
+        let e = Config::try_parse(vec!["--substrates".into(), "quantum".into()]).unwrap_err();
+        assert!(e.contains("quantum"), "{e}");
+        assert!(e.contains("lockfree"), "{e}");
+        let e = Config::try_parse(vec!["--substrates".into(), ",".into()]).unwrap_err();
+        assert!(e.contains("at least one"), "{e}");
+    }
+
+    #[test]
     fn dist_grammar_parses_compact_forms() {
         let c = Config::parse(vec![
             "--keys".into(),
@@ -837,6 +897,7 @@ mod tests {
             "--scenario",
             "--backends",
             "--policies",
+            "--substrates",
             "--mixes",
             "--keys",
             "--prios",

@@ -65,7 +65,8 @@ use std::time::{Duration, Instant};
 
 use dlz_pq::locked::EMPTY_HINT;
 use dlz_pq::{
-    Backoff, BinaryHeap, ConcurrentPq, ContentionStats, LockedPq, Poisoned, SeqPriorityQueue,
+    Backoff, BatchPop, BatchPush, BinaryHeap, ConcurrentPq, ContentionStats, DequeueOutcome,
+    InsertOutcome, SeqPriorityQueue, Substrate, SubstrateCfg,
 };
 
 use crate::padded::Padded;
@@ -109,10 +110,14 @@ where
     Q: SeqPriorityQueue<u64, V> + Send,
     V: Send,
 {
-    /// Each `LockedPq` is 128-byte aligned (its hot slot is cache
-    /// padded), so adjacent queues in this array never false-share.
-    queues: Box<[LockedPq<V, Q>]>,
+    /// Each per-queue substrate keeps its hot words cache padded, so
+    /// adjacent queues in this array never false-share.
+    queues: Box<[Substrate<V, Q>]>,
     mode: DeleteMode,
+    /// Which substrate every queue runs on (uniform across the
+    /// structure; mixing substrates within one MultiQueue would make
+    /// the rank envelope unattributable).
+    substrate: SubstrateCfg,
     /// Default choice policy; every [`handle`](Self::handle) builds its
     /// own per-handle instance from this config.
     policy: PolicyCfg,
@@ -170,13 +175,6 @@ impl std::error::Error for MqOpTimeout {}
 /// stops trusting the policy and linear-scans for a healthy queue.
 const POISON_RECHOOSE_LIMIT: u32 = 4;
 
-/// Draws a stamp inside the caller's critical section, or 0 when the
-/// operation runs unstamped.
-#[inline]
-fn stamp_of(stamper: Option<&AtomicU64>) -> u64 {
-    stamper.map_or(0, |s| s.fetch_add(1, Ordering::AcqRel))
-}
-
 impl<V: Send> MultiQueue<V> {
     /// Starts building a binary-heap-backed MultiQueue.
     pub fn builder() -> MultiQueueBuilder {
@@ -203,18 +201,34 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     }
 
     /// Builds from explicit sequential queues, mode and default choice
-    /// policy.
+    /// policy, on the default (packed-lock) substrate.
     ///
     /// # Panics
     /// If `queues` is empty.
     pub fn with_config(queues: Vec<Q>, mode: DeleteMode, policy: PolicyCfg) -> Self {
+        Self::with_substrate(queues, mode, policy, SubstrateCfg::Locked)
+    }
+
+    /// Builds from explicit sequential queues, mode, default choice
+    /// policy and per-queue substrate.
+    ///
+    /// # Panics
+    /// If `queues` is empty.
+    pub fn with_substrate(
+        queues: Vec<Q>,
+        mode: DeleteMode,
+        policy: PolicyCfg,
+        substrate: SubstrateCfg,
+    ) -> Self {
         assert!(!queues.is_empty(), "MultiQueue needs at least one queue");
-        let queues: Box<[LockedPq<V, Q>]> = queues.into_iter().map(LockedPq::new).collect();
+        let queues: Box<[Substrate<V, Q>]> =
+            queues.into_iter().map(|q| substrate.wrap(q)).collect();
         let size: i64 = queues.iter().map(|q| q.approx_len() as i64).sum();
         let quarantined = (0..queues.len()).map(|_| AtomicBool::new(false)).collect();
         MultiQueue {
             queues,
             mode,
+            substrate,
             policy,
             size: Padded::new(AtomicI64::new(size)),
             quarantined,
@@ -229,6 +243,18 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     /// The configured delete mode.
     pub fn mode(&self) -> DeleteMode {
         self.mode
+    }
+
+    /// The per-queue substrate every queue runs on.
+    pub fn substrate(&self) -> SubstrateCfg {
+        self.substrate
+    }
+
+    /// Whether a contended operation blocks on its chosen queue
+    /// (strict mode) or reports back for a redraw (try-lock mode).
+    #[inline]
+    fn blocking(&self) -> bool {
+        matches!(self.mode, DeleteMode::Strict)
     }
 
     /// The structure's default choice policy (what [`handle`](Self::handle)
@@ -438,6 +464,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         stats: &mut ContentionStats,
     ) -> u64 {
         let mut poisoned_hits = 0u32;
+        let mut entry = (priority, value);
         loop {
             // After enough consecutive poisoned choices, stop trusting
             // the policy's draw and take any healthy queue directly —
@@ -450,26 +477,20 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             } else {
                 policy.choose_insert(rng, self)
             };
-            // Ok(None) = contended (TryLock mode); Err = quarantined.
-            let acquired = match self.mode {
-                DeleteMode::Strict => self.queues[i]
-                    .checked_lock_with_stats(&mut *stats)
-                    .map(Some),
-                DeleteMode::TryLock => self.queues[i].checked_try_lock_with_stats(&mut *stats),
-            };
-            match acquired {
-                Ok(Some(mut g)) => {
-                    g.add(priority, value);
-                    let stamp = stamp_of(stamper);
-                    drop(g);
+            match self.queues[i].insert(entry.0, entry.1, self.blocking(), stamper, stats) {
+                InsertOutcome::Done(stamp) => {
                     self.note_inserted(1);
                     policy.on_success(ChoiceOp::Insert, i, self);
                     return stamp;
                 }
                 // Contention voids any camp; the next choice draws
                 // elsewhere (redraw is this mode's point).
-                Ok(None) => policy.on_contention(ChoiceOp::Insert, i),
-                Err(Poisoned) => {
+                InsertOutcome::Contended(p, v) => {
+                    entry = (p, v);
+                    policy.on_contention(ChoiceOp::Insert, i);
+                }
+                InsertOutcome::Poisoned(p, v) => {
+                    entry = (p, v);
                     self.quarantine(i);
                     policy.on_poisoned(ChoiceOp::Insert, i);
                     poisoned_hits += 1;
@@ -498,41 +519,27 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 backoff.snooze();
                 continue;
             };
-            // Ok(Some(Some(out))) = served; Ok(Some(None)) = stale hint
-            // (locked an empty queue); Ok(None) = contended lock
-            // (TryLock mode); Err = quarantined.
-            let attempt =
-                match self.mode {
-                    DeleteMode::Strict => self.queues[k]
-                        .checked_lock_with_stats(&mut *stats)
-                        .map(|mut g| Some(g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))),
-                    DeleteMode::TryLock => self.queues[k]
-                        .checked_try_lock_with_stats(&mut *stats)
-                        .map(|og| {
-                            og.map(|mut g| g.delete_min().map(|(p, v)| (p, v, stamp_of(stamper))))
-                        }),
-                };
-            match attempt {
-                Ok(Some(Some(out))) => {
+            match self.queues[k].dequeue(self.blocking(), stamper, stats) {
+                DequeueOutcome::Served(p, v, s) => {
                     self.note_removed(1);
                     policy.on_success(ChoiceOp::Dequeue, k, self);
-                    return Some(out);
+                    return Some((p, v, s));
                 }
                 // Poison is not contention: evict any camp on the dead
                 // queue and re-choose immediately (the poisoned queue
                 // publishes the empty hint, so fresh samples steer
                 // clear — no snooze needed and none recorded).
-                Err(Poisoned) => {
+                DequeueOutcome::Poisoned => {
                     self.quarantine(k);
                     policy.on_poisoned(ChoiceOp::Dequeue, k);
                 }
-                // Stale hint / drained camp (`Ok(Some(None))`) or a
-                // contended lock (`Ok(None)`): void any camp and back
+                // Stale hint / drained camp (`Empty`) or a contended
+                // acquisition (`Contended`): void any camp and back
                 // off rather than hammering the hint lines — the snooze
                 // is near-free at first and escalates to yielding under
                 // sustained contention so lock holders get CPU (vital
                 // when oversubscribed).
-                _ => {
+                DequeueOutcome::Empty | DequeueOutcome::Contended => {
                     policy.on_contention(ChoiceOp::Dequeue, k);
                     stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
@@ -553,10 +560,10 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     ) -> usize {
         let mut backoff = Backoff::new();
         let mut poisoned_hits = 0u32;
-        // The whole critical section lives inside the acquisition loop:
-        // the guard (which borrows `stats` for republish accounting)
-        // must not outlive one iteration, or the contention arm could
-        // not record its own events.
+        // The iterator round-trips through the substrate: a contended
+        // or poisoned attempt hands `items` back unconsumed, so the
+        // retry loop rebinds it and redraws a queue.
+        let mut items = items;
         loop {
             let i = if poisoned_hits >= POISON_RECHOOSE_LIMIT {
                 self.any_healthy_queue()
@@ -564,44 +571,26 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             } else {
                 policy.choose_insert(rng, self)
             };
-            // Ok(None) = contended (TryLock mode); Err = quarantined.
-            let guard = match self.mode {
-                DeleteMode::Strict => self.queues[i]
-                    .checked_lock_with_stats(&mut *stats)
-                    .map(Some),
-                DeleteMode::TryLock => self.queues[i].checked_try_lock_with_stats(&mut *stats),
-            };
-            match guard {
-                Ok(Some(mut g)) => {
-                    let mut n = 0usize;
-                    for (p, v) in items {
-                        g.add(p, v);
-                        if let Some((stamper, stamps)) = stamped.as_mut() {
-                            stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
-                        }
-                        n += 1;
-                    }
-                    drop(g); // publishes hint + count once
+            let relend = stamped.as_mut().map(|(s, v)| (*s, &mut **v));
+            match self.queues[i].insert_batch(items, self.blocking(), relend, stats) {
+                BatchPush::Done(n) => {
                     self.note_inserted(n);
                     if n > 0 {
                         policy.on_success(ChoiceOp::Insert, i, self);
                     }
                     return n;
                 }
-                // Catch-all binds the guard-free result so dropping it
-                // releases the `stats` borrow before the accounting.
-                other => {
-                    let poisoned = other.is_err();
-                    drop(other);
-                    if poisoned {
-                        self.quarantine(i);
-                        policy.on_poisoned(ChoiceOp::Insert, i);
-                        poisoned_hits += 1;
-                    } else {
-                        policy.on_contention(ChoiceOp::Insert, i);
-                        stats.note_snooze(backoff.is_yielding());
-                        backoff.snooze();
-                    }
+                BatchPush::Contended(back) => {
+                    items = back;
+                    policy.on_contention(ChoiceOp::Insert, i);
+                    stats.note_snooze(backoff.is_yielding());
+                    backoff.snooze();
+                }
+                BatchPush::Poisoned(back) => {
+                    items = back;
+                    self.quarantine(i);
+                    policy.on_poisoned(ChoiceOp::Insert, i);
+                    poisoned_hits += 1;
                 }
             }
         }
@@ -632,51 +621,24 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 backoff.snooze();
                 continue;
             };
-            // Ok(None) = contended (TryLock mode); Err = quarantined.
-            let guard = match self.mode {
-                DeleteMode::Strict => self.queues[k]
-                    .checked_lock_with_stats(&mut *stats)
-                    .map(Some),
-                DeleteMode::TryLock => self.queues[k].checked_try_lock_with_stats(&mut *stats),
-            };
-            if !matches!(guard, Ok(Some(_))) {
-                // Full move of the guard-free result releases the
-                // `stats` borrow before the accounting below.
-                let poisoned = guard.is_err();
-                drop(guard);
-                if poisoned {
+            match self.queues[k].dequeue_batch(max, self.blocking(), stamper, &mut sink, stats) {
+                BatchPop::Served(n) => {
+                    self.note_removed(n);
+                    policy.on_success(ChoiceOp::Dequeue, k, self);
+                    return n;
+                }
+                BatchPop::Poisoned => {
                     self.quarantine(k);
                     policy.on_poisoned(ChoiceOp::Dequeue, k);
-                } else {
+                }
+                // Stale hint (acquired an empty queue) or a contended
+                // acquisition: back off before redrawing.
+                BatchPop::Empty | BatchPop::Contended => {
                     policy.on_contention(ChoiceOp::Dequeue, k);
                     stats.note_snooze(backoff.is_yielding());
-                    backoff.snooze(); // contended lock
-                }
-                continue;
-            }
-            // Full move out of the Result (rather than a pattern's
-            // partial move) so no residual drop can pin the `stats`
-            // borrow past this iteration.
-            let mut g = guard.expect("checked above").expect("checked above");
-            let mut n = 0usize;
-            while n < max {
-                match g.delete_min() {
-                    Some((p, v)) => {
-                        sink(p, v, stamp_of(stamper));
-                        n += 1;
-                    }
-                    None => break,
+                    backoff.snooze();
                 }
             }
-            drop(g); // single hint publish for the whole batch
-            if n > 0 {
-                self.note_removed(n);
-                policy.on_success(ChoiceOp::Dequeue, k, self);
-                return n;
-            }
-            policy.on_contention(ChoiceOp::Dequeue, k);
-            stats.note_snooze(backoff.is_yielding());
-            backoff.snooze(); // stale hint
         }
     }
 
@@ -711,11 +673,11 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
             // through the normal counted insert path, so the stale
             // count must be gone from `size` first.
             self.quarantine(i);
-            let mut g = q.salvage_lock();
-            while let Some(e) = g.delete_min() {
-                recovered.push(e);
-            }
-            drop(g); // recount (now 0), republish hint, clear poison
+            // The substrate drains everything still consistently served
+            // (including a lock-free queue's unclaimed pending stack)
+            // and releases under a fresh generation with the poison bit
+            // cleared.
+            q.salvage_into(&mut recovered);
             self.quarantined[i].store(false, Ordering::Release);
             out.queues_salvaged += 1;
         }
@@ -747,33 +709,32 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
         stats: &mut ContentionStats,
     ) -> Result<(), ()> {
         let mut backoff = Backoff::new();
-        let mut value = Some(value);
+        let mut entry = (priority, value);
         loop {
             if Instant::now() >= deadline {
                 return Err(());
             }
             let i = policy.choose_insert(rng, self);
-            let acquired = self.queues[i].checked_try_lock_with_stats(&mut *stats);
-            if !matches!(acquired, Ok(Some(_))) {
-                // Full move releases the `stats` borrow first.
-                let poisoned = acquired.is_err();
-                drop(acquired);
-                if poisoned {
-                    self.quarantine(i);
-                    policy.on_poisoned(ChoiceOp::Insert, i);
-                } else {
+            // Non-blocking regardless of mode: the point is to never
+            // wait on an acquisition a stalled thread may hold.
+            match self.queues[i].insert(entry.0, entry.1, false, None, stats) {
+                InsertOutcome::Done(_) => {
+                    self.note_inserted(1);
+                    policy.on_success(ChoiceOp::Insert, i, self);
+                    return Ok(());
+                }
+                InsertOutcome::Contended(p, v) => {
+                    entry = (p, v);
                     policy.on_contention(ChoiceOp::Insert, i);
                     stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
                 }
-                continue;
+                InsertOutcome::Poisoned(p, v) => {
+                    entry = (p, v);
+                    self.quarantine(i);
+                    policy.on_poisoned(ChoiceOp::Insert, i);
+                }
             }
-            let mut g = acquired.expect("checked above").expect("checked above");
-            g.add(priority, value.take().expect("value still pending"));
-            drop(g);
-            self.note_inserted(1);
-            policy.on_success(ChoiceOp::Insert, i, self);
-            return Ok(());
         }
     }
 
@@ -802,20 +763,18 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
                 backoff.snooze();
                 continue;
             };
-            let attempt = self.queues[k]
-                .checked_try_lock_with_stats(&mut *stats)
-                .map(|og| og.map(|mut g| g.delete_min()));
-            match attempt {
-                Ok(Some(Some(out))) => {
+            // Non-blocking regardless of mode, like `insert_one_for`.
+            match self.queues[k].dequeue(false, None, stats) {
+                DequeueOutcome::Served(p, v, _) => {
                     self.note_removed(1);
                     policy.on_success(ChoiceOp::Dequeue, k, self);
-                    return Ok(Some(out));
+                    return Ok(Some((p, v)));
                 }
-                Err(Poisoned) => {
+                DequeueOutcome::Poisoned => {
                     self.quarantine(k);
                     policy.on_poisoned(ChoiceOp::Dequeue, k);
                 }
-                _ => {
+                DequeueOutcome::Empty | DequeueOutcome::Contended => {
                     policy.on_contention(ChoiceOp::Dequeue, k);
                     stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
@@ -828,11 +787,7 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> MultiQueue<V, Q> {
     pub fn drain_sorted(&self) -> Vec<(u64, V)> {
         let mut out = Vec::new();
         for q in self.queues.iter() {
-            q.with_locked(|inner| {
-                while let Some(e) = inner.delete_min() {
-                    out.push(e);
-                }
-            });
+            q.salvage_into(&mut out);
         }
         self.note_removed(out.len());
         out.sort_by_key(|(p, _)| *p);
@@ -896,6 +851,7 @@ pub struct MultiQueueBuilder {
     threads: Option<usize>,
     mode: DeleteMode,
     policy: PolicyCfg,
+    substrate: SubstrateCfg,
     seed: Option<u64>,
 }
 
@@ -933,6 +889,13 @@ impl MultiQueueBuilder {
         self
     }
 
+    /// Sets the per-queue substrate (default [`SubstrateCfg::Locked`],
+    /// the packed-lock heap).
+    pub fn substrate(mut self, substrate: SubstrateCfg) -> Self {
+        self.substrate = substrate;
+        self
+    }
+
     /// Reseeds the calling thread's convenience RNG (see
     /// [`MultiCounterBuilder::seed`](crate::counter::MultiCounterBuilder::seed)).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -953,10 +916,11 @@ impl MultiQueueBuilder {
         if let Some(seed) = self.seed {
             crate::rng::reseed_thread_rng(seed);
         }
-        MultiQueue::with_config(
+        MultiQueue::with_substrate(
             (0..m).map(|_| BinaryHeap::new()).collect(),
             self.mode,
             self.policy,
+            self.substrate,
         )
     }
 }
@@ -1955,7 +1919,10 @@ mod tests {
     /// leaving the queue poisoned with its entries intact.
     fn poison_queue(mq: &MultiQueue<u64>, i: usize) {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            mq.queues[i].with_locked(|_| -> () { panic!("injected fault") })
+            mq.queues[i]
+                .as_locked()
+                .expect("default substrate is the packed lock")
+                .with_locked(|_| -> () { panic!("injected fault") })
         }));
         assert!(r.is_err(), "the injected panic must propagate");
         assert!(mq.queues[i].is_poisoned(), "queue {i} should be poisoned");
@@ -2040,8 +2007,8 @@ mod tests {
         let mut h = mq.handle(33);
         h.insert(5, 5);
         // Emulate stalled lock holders: both locks held indefinitely.
-        let g0 = mq.queues[0].lock();
-        let g1 = mq.queues[1].lock();
+        let g0 = mq.queues[0].as_locked().unwrap().lock();
+        let g1 = mq.queues[1].as_locked().unwrap().lock();
         let short = Duration::from_millis(20);
         assert_eq!(
             h.try_dequeue_for(short),
@@ -2125,5 +2092,192 @@ mod tests {
         let mq: MultiQueue<u64> = MultiQueue::with_queues(vec![a, b], DeleteMode::Strict);
         assert_eq!(mq.approx_size(), 3);
         assert_eq!(mq.len(), 3);
+    }
+
+    /// A MultiQueue over every substrate, for the cross-substrate tests.
+    fn mq_on(substrate: SubstrateCfg, m: usize, mode: DeleteMode) -> MultiQueue<u64> {
+        MultiQueue::with_substrate(
+            (0..m).map(|_| BinaryHeap::new()).collect(),
+            mode,
+            PolicyCfg::TwoChoice,
+            substrate,
+        )
+    }
+
+    #[test]
+    fn builder_selects_the_substrate() {
+        for cfg in SubstrateCfg::all() {
+            let mq: MultiQueue<u64> = MultiQueueBuilder::default()
+                .queues(4)
+                .substrate(cfg)
+                .build();
+            assert_eq!(mq.substrate(), cfg);
+            let mut h = mq.handle(7);
+            h.insert(3, 30);
+            assert_eq!(h.dequeue(), Some((3, 30)));
+        }
+    }
+
+    #[test]
+    fn every_substrate_conserves_under_concurrency() {
+        for cfg in SubstrateCfg::all() {
+            for mode in [DeleteMode::Strict, DeleteMode::TryLock] {
+                let mq = Arc::new(mq_on(cfg, 4, mode));
+                let threads = 4usize;
+                let per = 2_000u64;
+                let popped: u64 = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let mq = Arc::clone(&mq);
+                            s.spawn(move || {
+                                let mut h = mq.handle(t as u64 + 1);
+                                let mut got = 0u64;
+                                for i in 0..per {
+                                    h.insert(i, i);
+                                    if i % 3 == 0 && h.dequeue().is_some() {
+                                        got += 1;
+                                    }
+                                }
+                                got
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                let left = mq.drain_sorted().len() as u64;
+                assert_eq!(
+                    popped + left,
+                    threads as u64 * per,
+                    "lost or duplicated entries on {cfg} / {mode:?}"
+                );
+                assert!(mq.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_runs_on_every_substrate() {
+        let policies = [
+            PolicyCfg::TwoChoice,
+            PolicyCfg::DChoice { d: 4 },
+            PolicyCfg::Sticky { ops: 4 },
+            PolicyCfg::AdaptiveSticky { s_max: 8 },
+        ];
+        for cfg in SubstrateCfg::all() {
+            for policy in policies {
+                let mq: MultiQueue<u64> = MultiQueue::with_substrate(
+                    (0..4).map(|_| BinaryHeap::new()).collect(),
+                    DeleteMode::Strict,
+                    policy,
+                    cfg,
+                );
+                let mut h = mq.handle(9);
+                for p in 0..500u64 {
+                    h.insert(p, p);
+                }
+                let mut n = 0usize;
+                while h.dequeue().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 500, "policy {policy:?} on {cfg} lost entries");
+            }
+        }
+    }
+
+    #[test]
+    fn stamps_are_unique_and_complete_on_every_substrate() {
+        use std::collections::BTreeSet;
+        for cfg in SubstrateCfg::all() {
+            let mq = Arc::new(mq_on(cfg, 4, DeleteMode::Strict));
+            let stamper = AtomicU64::new(0);
+            let threads = 4usize;
+            let per = 500u64;
+            let mut all: Vec<(u64, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let mq = Arc::clone(&mq);
+                        let stamper = &stamper;
+                        s.spawn(move || {
+                            let mut h = mq.handle(t as u64 + 11);
+                            let mut st = h.stamped(stamper);
+                            let mut out = Vec::new();
+                            for i in 0..per {
+                                let ins = st.insert(i, i);
+                                out.push((ins, 0));
+                                if let Some((_, _, deq)) = st.dequeue() {
+                                    out.push((deq, 1));
+                                }
+                            }
+                            while let Some((_, _, deq)) = st.dequeue() {
+                                out.push((deq, 1));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let inserts = all.iter().filter(|(_, k)| *k == 0).count() as u64;
+            let dequeues = all.iter().filter(|(_, k)| *k == 1).count() as u64;
+            assert_eq!(
+                inserts,
+                threads as u64 * per,
+                "all inserts stamped on {cfg}"
+            );
+            assert_eq!(dequeues, inserts, "drain served everything on {cfg}");
+            all.sort_unstable();
+            let stamps: BTreeSet<u64> = all.iter().map(|(s, _)| *s).collect();
+            assert_eq!(stamps.len(), all.len(), "duplicate stamps issued on {cfg}");
+        }
+    }
+
+    /// Poisons queue `i` of `mq` through the substrate-appropriate
+    /// guard (panic inside the critical section / drain window).
+    fn poison_substrate_queue(mq: &MultiQueue<u64>, i: usize) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &mq.queues[i] {
+            dlz_pq::Substrate::Locked(q) => q.with_locked(|_| -> () { panic!("injected fault") }),
+            dlz_pq::Substrate::LockFree(q) => {
+                let mut stats = ContentionStats::new();
+                let _g = q
+                    .drain_lock(true, &mut stats)
+                    .expect("not yet poisoned")
+                    .expect("blocking acquire");
+                panic!("injected fault")
+            }
+            dlz_pq::Substrate::Combining(q) => {
+                let _g = q.core().lock();
+                panic!("injected fault")
+            }
+        }));
+        assert!(r.is_err(), "the injected panic must propagate");
+        assert!(mq.queues[i].is_poisoned(), "queue {i} should be poisoned");
+    }
+
+    #[test]
+    fn salvage_recovers_poisoned_queues_on_every_substrate() {
+        for cfg in SubstrateCfg::all() {
+            let mq = mq_on(cfg, 4, DeleteMode::Strict);
+            let mut h = mq.handle(21);
+            for p in 0..200u64 {
+                h.insert(p, p);
+            }
+            poison_substrate_queue(&mq, 0);
+            poison_substrate_queue(&mq, 2);
+            let outcome = mq.salvage();
+            assert_eq!(outcome.queues_salvaged, 2, "on {cfg}");
+            assert!(!mq.queues[0].is_poisoned());
+            assert!(!mq.queues[2].is_poisoned());
+            // Every entry survives: the panics were injected before any
+            // mutation, so salvage re-homes the full contents.
+            let mut n = 0usize;
+            while h.dequeue().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 200, "entries lost through salvage on {cfg}");
+            assert!(mq.is_empty());
+        }
     }
 }

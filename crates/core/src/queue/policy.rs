@@ -410,7 +410,7 @@ const ADAPTIVE_REARM: u32 = 8;
 /// The **insert side adapts independently**: inserts have no
 /// generation measurement (nothing is read back), so their camp length
 /// `s_insert` is driven purely by the try-lock failure rate — a failed
-/// insert lock halves `s_insert`, and every [`ADAPTIVE_REARM`]
+/// insert lock halves `s_insert`, and every `ADAPTIVE_REARM`
 /// consecutive uncontended inserts double it. A dequeue-side congestion
 /// collapse therefore does not shrink insert camps (and vice versa),
 /// which matters under asymmetric load where one kind dominates.

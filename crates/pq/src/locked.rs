@@ -471,6 +471,20 @@ impl<V, Q: SeqPriorityQueue<u64, V>> LockedPq<V, Q> {
             Some(header::generation(word))
         }
     }
+
+    /// Lock-free read of the published minimum hint (Algorithm 2's
+    /// `ReadMin`); [`EMPTY_HINT`] when the queue is believed empty.
+    #[inline]
+    pub fn min_hint(&self) -> u64 {
+        self.hot.top.load(Ordering::Acquire)
+    }
+
+    /// The packed entry count from the header word (exact between
+    /// critical sections, stale while one is running).
+    #[inline]
+    pub fn approx_len(&self) -> usize {
+        header::count(self.hot.header.load(Ordering::Acquire)) as usize
+    }
 }
 
 impl<V, Q: SeqPriorityQueue<u64, V>> std::fmt::Debug for LockedPq<V, Q> {
@@ -504,12 +518,12 @@ impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for LockedPq<V
 
     #[inline]
     fn min_hint(&self) -> u64 {
-        self.hot.top.load(Ordering::Acquire)
+        LockedPq::min_hint(self)
     }
 
     #[inline]
     fn approx_len(&self) -> usize {
-        header::count(self.hot.header.load(Ordering::Acquire)) as usize
+        LockedPq::approx_len(self)
     }
 }
 
@@ -525,6 +539,17 @@ pub struct PqGuard<'a, V, Q: SeqPriorityQueue<u64, V>> {
     /// Counter sink for the release protocol (hint republishes); `None`
     /// from the uninstrumented entry points.
     stats: Option<&'a mut ContentionStats>,
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> PqGuard<'_, V, Q> {
+    /// The counter sink this guard was acquired with, if any — lets a
+    /// layered substrate (the flat combiner) record events that happen
+    /// inside the critical section while the guard holds the exclusive
+    /// borrow of the stats.
+    #[inline]
+    pub(crate) fn stats_mut(&mut self) -> Option<&mut ContentionStats> {
+        self.stats.as_deref_mut()
+    }
 }
 
 impl<V, Q: SeqPriorityQueue<u64, V>> std::ops::Deref for PqGuard<'_, V, Q> {

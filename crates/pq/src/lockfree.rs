@@ -1,0 +1,902 @@
+//! A lock-free-insert priority queue built on the *claim pattern*.
+//!
+//! [`LockFreePq`] keeps the packed-header discipline of
+//! [`LockedPq`](crate::LockedPq) (lock bit, poison bit, generation,
+//! count in one `AtomicU64`, cache-padded with the published min hint)
+//! but moves inserts off the lock entirely: an insert allocates a node
+//! and publishes it with a single CAS push onto an atomic Treiber-style
+//! `pending` stack, bumps the packed count with one `fetch_add`, and
+//! CAS-mins the published hint only when it actually lowers it. A
+//! contended insert retries the push CAS — it never spins on, or even
+//! reads, the lock bit.
+//!
+//! Dequeues are the sequential side of the claim pattern: the dequeuer
+//! takes the header lock (drainer exclusivity), *claims* the whole
+//! pending stack with one `swap`, drains the claimed batch into the
+//! queue-local sequential heap, and serves `delete_min` from the heap.
+//! Heap rebalancing is thereby amortized over the claimed batch, and
+//! there is no ABA or reclamation problem: a swap transfers ownership
+//! of every claimed node to exactly one drainer, and nodes are only
+//! freed by the drainer that claimed them.
+//!
+//! # Hint and count discipline
+//!
+//! The published hint must never read [`EMPTY_HINT`] while an item is
+//! reachable, or choice policies would skip a non-empty queue forever.
+//! Two rules maintain that:
+//!
+//! * every insert CAS-mins the hint with its own priority after the
+//!   push, and
+//! * the drainer's release walks the (re-grown) pending stack, publishes
+//!   `min(heap min, pending min)`, and re-checks the stack head
+//!   afterwards, redoing the walk if a push raced it. These operations
+//!   use `SeqCst` so the pusher-vs-drainer race has a total order:
+//!   either the drainer's re-check sees the push, or the pusher's
+//!   CAS-min sees the drainer's store.
+//!
+//! The packed count moves only by deltas (`fetch_add` on insert,
+//! `fetch_sub` on serve), so it never under-counts; a drainer that
+//! finds everything empty CAS-resets it to zero, which also heals the
+//! overcount a panic-lost item would otherwise leave behind.
+//!
+//! # Fault semantics
+//!
+//! There is no critical section on the insert path, so inserts cannot
+//! poison the queue. A drainer that panics mid-drain runs a two-layer
+//! panic-guarded drop: the claimed-batch guard pushes every not-yet
+//! drained node back onto the pending stack (so the batch survives),
+//! and the drain guard publishes [`EMPTY_HINT`], sets the poison bit
+//! and releases the lock without touching the possibly-inconsistent
+//! heap — the quarantine-and-[`salvage`](LockFreePq::salvage_into)
+//! protocol of the locked substrate then applies unchanged. At most the
+//! single item that was mid-move into the heap can be lost, exactly as
+//! with [`LockedPq`](crate::LockedPq).
+//!
+//! [`EMPTY_HINT`]: crate::locked::EMPTY_HINT
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use crate::binary_heap::BinaryHeap;
+use crate::locked::{header, Poisoned, EMPTY_HINT};
+use crate::padded::CachePadded;
+use crate::spinlock::Backoff;
+use crate::stats::ContentionStats;
+use crate::traits::{ConcurrentPq, SeqPriorityQueue};
+
+/// One pending insert, published by a single CAS.
+struct Node<V> {
+    priority: u64,
+    value: V,
+    next: *mut Node<V>,
+}
+
+/// The cache-padded hot slot: packed header plus published min hint
+/// (same two words, same discipline as the locked substrate).
+#[derive(Debug)]
+struct Hot {
+    header: AtomicU64,
+    top: AtomicU64,
+}
+
+/// A relaxed-friendly concurrent priority queue whose inserts are
+/// lock-free single-CAS pushes and whose dequeues drain the pending
+/// stack into a queue-local sequential heap under the packed-header
+/// lock (the claim pattern).
+///
+/// # Example
+/// ```
+/// use dlz_pq::{LockFreePq, BinaryHeap, ConcurrentPq};
+/// let q: LockFreePq<&str> = LockFreePq::new(BinaryHeap::new());
+/// q.insert(4, "four");
+/// q.insert(2, "two");
+/// assert_eq!(q.min_hint(), 2);
+/// assert_eq!(q.remove_min(), Some((2, "two")));
+/// ```
+// repr(C): hot slot first, pending head on its own padded line, queue
+// data after — pushers and hint readers never share a line with the
+// drainer's heap.
+#[repr(C)]
+pub struct LockFreePq<V, Q = BinaryHeap<u64, V>>
+where
+    Q: SeqPriorityQueue<u64, V>,
+{
+    hot: CachePadded<Hot>,
+    /// Treiber-style stack head of not-yet-drained inserts.
+    pending: CachePadded<AtomicPtr<Node<V>>>,
+    /// The drainer-local sequential heap; exclusive access is granted
+    /// by the header word's lock bit.
+    inner: UnsafeCell<Q>,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+// SAFETY: the header's lock bit grants exclusive access to `inner`;
+// the pending stack hands each claimed node to exactly one drainer.
+// `V: Send` + `Q: Send` suffice — no `&V` is ever shared.
+unsafe impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> Sync for LockFreePq<V, Q> {}
+unsafe impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> Send for LockFreePq<V, Q> {}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> LockFreePq<V, Q> {
+    /// Wraps a sequential queue. Any pre-existing entries are reflected
+    /// in the hint and count.
+    pub fn new(queue: Q) -> Self {
+        let top = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        let count = queue.len() as u64;
+        LockFreePq {
+            hot: CachePadded::new(Hot {
+                header: AtomicU64::new(header::pack(false, 0, count)),
+                top: AtomicU64::new(top),
+            }),
+            pending: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            inner: UnsafeCell::new(queue),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Lock-free insert: one CAS push onto the pending stack, one
+    /// `fetch_add` on the packed count, and a CAS-min on the hint only
+    /// when this priority lowers it. Never reads the lock bit.
+    ///
+    /// Returns the entry when the queue is poisoned (a drainer panicked
+    /// and the queue awaits salvage), so the caller can re-route it.
+    pub fn push(
+        &self,
+        priority: u64,
+        value: V,
+        stats: &mut ContentionStats,
+    ) -> Result<(), (u64, V)> {
+        if self.is_poisoned() {
+            return Err((priority, value));
+        }
+        let node = Box::into_raw(Box::new(Node {
+            priority,
+            value,
+            next: ptr::null_mut(),
+        }));
+        self.push_chain(node, node, 1, stats);
+        self.hint_min(priority);
+        Ok(())
+    }
+
+    /// Lock-free batch insert: links the items into a chain and
+    /// publishes the whole chain with a *single* CAS, so a batch costs
+    /// one push no matter its length. Items are stamped (and linked)
+    /// in iteration order; the chain is pushed so that iteration order
+    /// is preserved LIFO-deepest — irrelevant for a priority queue,
+    /// where the heap re-orders on drain anyway.
+    ///
+    /// Returns the items untouched when the queue is poisoned.
+    pub fn push_batch<I>(&self, items: I, stats: &mut ContentionStats) -> Result<usize, I>
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        if self.is_poisoned() {
+            return Err(items);
+        }
+        Ok(self.push_batch_always(items, stats))
+    }
+
+    /// [`push_batch`](Self::push_batch) without the poison courtesy
+    /// check. A chain that lands on a poisoned queue is *not* lost —
+    /// the salvage sweep drains the pending stack exactly — so callers
+    /// that already steered around poison (the substrate layer) use
+    /// this to avoid a TOCTOU window between their check and the
+    /// publish.
+    pub(crate) fn push_batch_always<I>(&self, items: I, stats: &mut ContentionStats) -> usize
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        let mut first: *mut Node<V> = ptr::null_mut();
+        let mut last: *mut Node<V> = ptr::null_mut();
+        let mut n = 0u64;
+        let mut min_p = EMPTY_HINT;
+        for (priority, value) in items {
+            let node = Box::into_raw(Box::new(Node {
+                priority,
+                value,
+                next: first,
+            }));
+            if first.is_null() {
+                last = node;
+            }
+            first = node;
+            n += 1;
+            min_p = min_p.min(priority);
+        }
+        if n == 0 {
+            return 0;
+        }
+        self.push_chain(first, last, n, stats);
+        self.hint_min(min_p);
+        n as usize
+    }
+
+    /// Publishes a pre-linked chain (`first` → … → `last`) with one CAS
+    /// and bumps the packed count by `n`. CAS losses against concurrent
+    /// pushers are counted as `cas_retries`.
+    fn push_chain(
+        &self,
+        first: *mut Node<V>,
+        last: *mut Node<V>,
+        n: u64,
+        stats: &mut ContentionStats,
+    ) {
+        let mut cur = self.pending.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: until the CAS succeeds the chain is exclusively
+            // ours; `last` is a node we just allocated.
+            unsafe { (*last).next = cur };
+            match self
+                .pending
+                .compare_exchange_weak(cur, first, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => {
+                    stats.cas_retries += 1;
+                    cur = now;
+                }
+            }
+        }
+        // Count moves by deltas only (the release never overwrites it),
+        // so concurrent pushers cannot lose each other's increments.
+        self.hot.header.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// CAS-min on the published hint: publish only when `p` lowers it
+    /// (the "published only on change" discipline, pusher-side half).
+    fn hint_min(&self, p: u64) {
+        let mut cur = self.hot.top.load(Ordering::SeqCst);
+        while p < cur {
+            match self
+                .hot
+                .top
+                .compare_exchange_weak(cur, p, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Acquires the drain lock. `block = false` fails fast with
+    /// `Ok(None)` (counted as a try-lock failure); poison reports
+    /// without acquiring, like the locked substrate.
+    pub fn drain_lock<'g>(
+        &'g self,
+        block: bool,
+        stats: &'g mut ContentionStats,
+    ) -> Result<Option<DrainGuard<'g, V, Q>>, Poisoned> {
+        let mut backoff = Backoff::new();
+        let mut cur = self.hot.header.load(Ordering::Relaxed);
+        loop {
+            if header::is_poisoned(cur) {
+                return Err(Poisoned);
+            }
+            if header::is_locked(cur) {
+                if !block {
+                    stats.try_lock_failures += 1;
+                    return Ok(None);
+                }
+                stats.note_snooze(backoff.is_yielding());
+                backoff.snooze();
+                cur = self.hot.header.load(Ordering::Relaxed);
+                continue;
+            }
+            match self.hot.header.compare_exchange_weak(
+                cur,
+                cur | header::LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(Some(DrainGuard {
+                        pq: self,
+                        stats: Some(stats),
+                    }))
+                }
+                Err(now) => {
+                    stats.cas_retries += 1;
+                    cur = now;
+                }
+            }
+        }
+    }
+
+    /// Acquires the drain lock *despite* poison, for recovery: spins
+    /// past contention, keeps poison visible for the duration, and the
+    /// guard's drop clears the poison bit and republishes the real
+    /// hint, returning the queue to service.
+    pub fn salvage_lock(&self) -> DrainGuard<'_, V, Q> {
+        let mut backoff = Backoff::new();
+        let mut cur = self.hot.header.load(Ordering::Relaxed);
+        loop {
+            if header::is_locked(cur) {
+                backoff.snooze();
+                cur = self.hot.header.load(Ordering::Relaxed);
+                continue;
+            }
+            match self.hot.header.compare_exchange_weak(
+                cur,
+                cur | header::LOCK_BIT,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return DrainGuard {
+                        pq: self,
+                        stats: None,
+                    }
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Drains everything (pending stack *and* heap) into `out`, for the
+    /// quarantine-salvage protocol. The heap drain is best-effort via
+    /// `delete_min` — a panicked drain may have left it inconsistent —
+    /// while the pending-stack recovery is exact by construction.
+    pub fn salvage_into(&self, out: &mut Vec<(u64, V)>) {
+        let mut guard = self.salvage_lock();
+        let before = out.len();
+        let mut claimed = Claimed {
+            head: guard.pq.pending.swap(ptr::null_mut(), Ordering::SeqCst),
+            pending: &guard.pq.pending,
+        };
+        while let Some((p, v)) = claimed.pop() {
+            out.push((p, v));
+        }
+        while let Some((p, v)) = guard.heap().delete_min() {
+            out.push((p, v));
+        }
+        let removed = (out.len() - before) as u64;
+        if removed > 0 {
+            guard.pq.hot.header.fetch_sub(removed, Ordering::AcqRel);
+        }
+    }
+
+    /// `true` if the drain lock is currently held. Snapshot only.
+    pub fn is_locked(&self) -> bool {
+        header::is_locked(self.hot.header.load(Ordering::Relaxed))
+    }
+
+    /// `true` if a drainer panicked and the queue awaits salvage.
+    /// Snapshot only.
+    pub fn is_poisoned(&self) -> bool {
+        header::is_poisoned(self.hot.header.load(Ordering::Relaxed))
+    }
+
+    /// The header's generation, or `None` while the drain lock is held
+    /// (seqlock discipline, as the locked substrate).
+    pub fn generation(&self) -> Option<u64> {
+        let word = self.hot.header.load(Ordering::Acquire);
+        if header::is_locked(word) {
+            None
+        } else {
+            Some(header::generation(word))
+        }
+    }
+
+    /// Lock-free read of the published min hint (Algorithm 2's
+    /// `ReadMin`); [`EMPTY_HINT`] when the queue is believed empty.
+    #[inline]
+    pub fn min_hint(&self) -> u64 {
+        self.hot.top.load(Ordering::Acquire)
+    }
+
+    /// The packed entry count (pending stack + heap together). May
+    /// transiently over-count around a quiescent-heal race, never
+    /// under-counts.
+    #[inline]
+    pub fn approx_len(&self) -> usize {
+        header::count(self.hot.header.load(Ordering::Acquire)) as usize
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> std::fmt::Debug for LockFreePq<V, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let word = self.hot.header.load(Ordering::Relaxed);
+        f.debug_struct("LockFreePq")
+            .field("locked", &header::is_locked(word))
+            .field("poisoned", &header::is_poisoned(word))
+            .field("generation", &header::generation(word))
+            .field("count", &header::count(word))
+            .field("top", &self.hot.top.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V> + Default> Default for LockFreePq<V, Q> {
+    fn default() -> Self {
+        Self::new(Q::default())
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> Drop for LockFreePq<V, Q> {
+    fn drop(&mut self) {
+        // Free any never-claimed pending nodes; `&mut self` proves no
+        // concurrent pusher exists.
+        let mut head = *self.pending.get_mut();
+        while !head.is_null() {
+            // SAFETY: exclusive ownership via `&mut self`.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+        }
+    }
+}
+
+impl<V: Send, Q: SeqPriorityQueue<u64, V> + Send> ConcurrentPq<V> for LockFreePq<V, Q> {
+    fn insert(&self, priority: u64, value: V) {
+        let mut stats = ContentionStats::new();
+        self.push(priority, value, &mut stats)
+            .unwrap_or_else(|_| panic!("queue poisoned"));
+    }
+
+    fn remove_min(&self) -> Option<(u64, V)> {
+        let mut stats = ContentionStats::new();
+        let mut guard = self
+            .drain_lock(true, &mut stats)
+            .expect("queue poisoned")
+            .expect("blocking acquire");
+        guard.drain_pending();
+        guard.delete_min()
+    }
+
+    #[inline]
+    fn min_hint(&self) -> u64 {
+        LockFreePq::min_hint(self)
+    }
+
+    #[inline]
+    fn approx_len(&self) -> usize {
+        LockFreePq::approx_len(self)
+    }
+}
+
+/// A claimed chain mid-drain. Normally consumed to exhaustion; if the
+/// drain panics, `Drop` pushes every remaining node back onto the
+/// pending stack so only the single mid-move item can be lost.
+struct Claimed<'a, V> {
+    head: *mut Node<V>,
+    pending: &'a AtomicPtr<Node<V>>,
+}
+
+impl<V> Claimed<'_, V> {
+    fn pop(&mut self) -> Option<(u64, V)> {
+        if self.head.is_null() {
+            return None;
+        }
+        // SAFETY: the claim swap transferred exclusive ownership of the
+        // whole chain to this drainer.
+        let node = unsafe { Box::from_raw(self.head) };
+        self.head = node.next;
+        Some((node.priority, node.value))
+    }
+}
+
+impl<V> Drop for Claimed<'_, V> {
+    fn drop(&mut self) {
+        if self.head.is_null() {
+            return;
+        }
+        // Panic path: re-publish the unconsumed remainder so salvage
+        // recovers it. Walk to the tail, then one CAS loop.
+        let first = self.head;
+        let mut last = first;
+        // SAFETY: we own the chain until the CAS below re-publishes it.
+        unsafe {
+            while !(*last).next.is_null() {
+                last = (*last).next;
+            }
+        }
+        let mut cur = self.pending.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: chain still exclusively ours pre-CAS.
+            unsafe { (*last).next = cur };
+            match self
+                .pending
+                .compare_exchange_weak(cur, first, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// RAII guard over a [`LockFreePq`]'s drain lock.
+///
+/// Dropping it runs the release protocol: republish the hint as
+/// `min(heap min, pending-stack walk)` with a re-check loop against
+/// racing pushers, heal the packed count to zero when everything is
+/// verifiably empty, then release with a generation bump (clearing
+/// poison — which makes a completed [`salvage_lock`] critical section
+/// return the queue to service) — or, when dropped during a panic,
+/// publish [`EMPTY_HINT`] and set poison without touching the heap.
+///
+/// [`salvage_lock`]: LockFreePq::salvage_lock
+pub struct DrainGuard<'a, V, Q: SeqPriorityQueue<u64, V>> {
+    pq: &'a LockFreePq<V, Q>,
+    stats: Option<&'a mut ContentionStats>,
+}
+
+impl<'a, V, Q: SeqPriorityQueue<u64, V>> DrainGuard<'a, V, Q> {
+    fn heap(&mut self) -> &mut Q {
+        // SAFETY: the guard proves exclusive ownership of the lock bit.
+        unsafe { &mut *self.pq.inner.get() }
+    }
+
+    /// Claims the whole pending stack with one swap and drains it into
+    /// the queue-local heap, amortizing rebalancing over the batch.
+    /// Records `claim_swaps` and the `drain_len` gauge. Returns the
+    /// number of drained entries.
+    pub fn drain_pending(&mut self) -> u64 {
+        let head = self.pq.pending.swap(ptr::null_mut(), Ordering::SeqCst);
+        if head.is_null() {
+            return 0;
+        }
+        let mut claimed = Claimed {
+            head,
+            pending: &self.pq.pending,
+        };
+        let mut n = 0u64;
+        // SAFETY-of-accounting: items move pending → heap, so the
+        // packed count is untouched here.
+        // A panic inside `add` drops `claimed`, which re-publishes the
+        // unconsumed remainder (see `Claimed::drop`).
+        let heap = unsafe { &mut *self.pq.inner.get() };
+        while let Some((p, v)) = claimed.pop() {
+            heap.add(p, v);
+            n += 1;
+        }
+        if let Some(s) = self.stats.as_deref_mut() {
+            s.note_claim(n);
+        }
+        n
+    }
+
+    /// Serves the minimum from the queue-local heap, decrementing the
+    /// packed count. Call [`drain_pending`](Self::drain_pending) first
+    /// or freshly pushed entries are invisible.
+    pub fn delete_min(&mut self) -> Option<(u64, V)> {
+        let out = self.heap().delete_min();
+        if out.is_some() {
+            self.pq.hot.header.fetch_sub(1, Ordering::AcqRel);
+        }
+        out
+    }
+
+    /// Heap length (excludes whatever is still pending).
+    pub fn heap_len(&mut self) -> usize {
+        self.heap().len()
+    }
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> Drop for DrainGuard<'_, V, Q> {
+    fn drop(&mut self) {
+        let hot = &self.pq.hot;
+        if std::thread::panicking() {
+            // Do NOT touch the heap (it may be inconsistent). Publish
+            // the empty hint so policies stop sampling this queue, set
+            // poison, bump the generation, release — count preserved by
+            // the delta release (pushers may be bumping it right now).
+            hot.top.store(EMPTY_HINT, Ordering::SeqCst);
+            release(hot, true);
+            return;
+        }
+        // Hint protocol: min over heap and a walk of the (re-grown)
+        // pending stack; re-check the head afterwards so a push that
+        // raced the walk is either included or fixes the hint itself
+        // via its own CAS-min (SeqCst gives the race a total order).
+        // SAFETY: the guard proves exclusive ownership of the lock bit.
+        let queue: &Q = unsafe { &*self.pq.inner.get() };
+        let heap_min = queue.read_min().map(|(p, _)| *p).unwrap_or(EMPTY_HINT);
+        let mut pending_len;
+        loop {
+            let head = self.pq.pending.load(Ordering::SeqCst);
+            let mut min = heap_min;
+            pending_len = 0u64;
+            let mut node = head;
+            while !node.is_null() {
+                // SAFETY: nodes are only freed by a claiming drainer,
+                // and we hold the drain lock; pushers only prepend.
+                let n = unsafe { &*node };
+                min = min.min(n.priority);
+                pending_len += 1;
+                node = n.next;
+            }
+            if hot.top.load(Ordering::SeqCst) != min {
+                hot.top.store(min, Ordering::SeqCst);
+                if let Some(s) = self.stats.as_deref_mut() {
+                    s.hint_republishes += 1;
+                }
+            }
+            if self.pq.pending.load(Ordering::SeqCst) == head {
+                break;
+            }
+        }
+        let cur = hot.header.load(Ordering::Relaxed);
+        if queue.is_empty() && pending_len == 0 && header::count(cur) != 0 {
+            // Verifiably empty: CAS the count to exactly zero, healing
+            // any overcount a panic-lost item left. Safe against the
+            // push-then-fetch_add insert order: a racing pusher whose
+            // node we'd have missed has already changed the header (CAS
+            // fails) or will re-add its increment after us.
+            let healed = header::pack(false, header::generation(cur).wrapping_add(1), 0);
+            if hot
+                .header
+                .compare_exchange(cur, healed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        release(hot, false);
+    }
+}
+
+/// One generation step in the packed header.
+const GEN_ONE: u64 = 1 << header::GEN_SHIFT;
+
+/// Releases the drain lock: clear the lock bit, bump the generation,
+/// leave poison in the `poison_out` state — all *without* disturbing
+/// concurrent count `fetch_add`s, so the common case is one
+/// `fetch_add` of a composite delta. The generation field would carry
+/// into the poison bit on wrap, so the wrap case (once per 2^22
+/// releases) goes through a CAS loop that preserves the count bits
+/// verbatim. The generation cannot move under us (we hold the lock;
+/// pushers only touch count bits), so the load-then-add split is safe.
+fn release(hot: &Hot, poison_out: bool) {
+    let cur = hot.header.load(Ordering::Relaxed);
+    let gen_max = header::GEN_MASK >> header::GEN_SHIFT;
+    if header::generation(cur) < gen_max {
+        let mut delta = GEN_ONE.wrapping_sub(header::LOCK_BIT);
+        if poison_out && !header::is_poisoned(cur) {
+            delta = delta.wrapping_add(header::POISON_BIT);
+        } else if !poison_out && header::is_poisoned(cur) {
+            delta = delta.wrapping_sub(header::POISON_BIT);
+        }
+        hot.header.fetch_add(delta, Ordering::AcqRel);
+        return;
+    }
+    let mut cur = cur;
+    loop {
+        // Generation wraps to 0; count bits pass through verbatim.
+        let mut new = cur & header::COUNT_MASK;
+        if poison_out {
+            new |= header::POISON_BIT;
+        }
+        match hot
+            .header
+            .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    fn stats() -> ContentionStats {
+        ContentionStats::new()
+    }
+
+    #[test]
+    fn push_then_drain_serves_in_priority_order() {
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        for p in [5u64, 1, 9, 3] {
+            q.push(p, p * 10, &mut s).expect("not poisoned");
+        }
+        assert_eq!(q.approx_len(), 4);
+        assert_eq!(q.min_hint(), 1);
+        let mut g = q.drain_lock(true, &mut s).expect("ok").expect("acquired");
+        assert_eq!(g.drain_pending(), 4);
+        assert_eq!(g.delete_min(), Some((1, 10)));
+        assert_eq!(g.delete_min(), Some((3, 30)));
+        drop(g);
+        assert_eq!(s.claim_swaps, 1);
+        assert_eq!(s.drain_len, 4);
+        assert_eq!(q.approx_len(), 2);
+        assert_eq!(q.min_hint(), 5);
+    }
+
+    #[test]
+    fn empty_drain_publishes_empty_hint_and_zero_count() {
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        q.push(7, 7, &mut s).unwrap();
+        let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+        g.drain_pending();
+        assert_eq!(g.delete_min(), Some((7, 7)));
+        assert_eq!(g.delete_min(), None);
+        drop(g);
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+        assert_eq!(q.approx_len(), 0);
+        assert!(q.generation().is_some());
+    }
+
+    #[test]
+    fn hint_tracks_pending_items_across_release() {
+        // A release must account for items pushed while the drainer
+        // held the lock, or choice policies would starve the queue.
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        let mut s2 = stats();
+        q.push(50, 50, &mut s).unwrap();
+        let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+        g.drain_pending();
+        assert_eq!(g.delete_min(), Some((50, 50)));
+        // Pushed mid-drain: lands on the fresh pending stack.
+        q.push(20, 20, &mut s2).unwrap();
+        drop(g);
+        assert_eq!(q.min_hint(), 20, "release must walk the pending stack");
+        assert_eq!(q.approx_len(), 1);
+    }
+
+    #[test]
+    fn try_drain_fails_fast_when_locked() {
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s1 = stats();
+        let g = q.drain_lock(true, &mut s1).unwrap().unwrap();
+        let mut s2 = stats();
+        assert!(q.drain_lock(false, &mut s2).unwrap().is_none());
+        assert_eq!(s2.try_lock_failures, 1);
+        // Inserts, by contrast, go straight through the held lock.
+        let mut s3 = stats();
+        q.push(1, 1, &mut s3).unwrap();
+        assert_eq!(
+            s3.try_lock_failures + s3.backoff_spins + s3.backoff_yields,
+            0
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn panicked_drain_poisons_and_salvage_recovers_pending() {
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        for p in 0..8u64 {
+            q.push(p, p, &mut s).unwrap();
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut s = stats();
+            let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+            g.drain_pending();
+            let _ = g.delete_min();
+            panic!("injected mid-drain");
+        }));
+        assert!(err.is_err());
+        assert!(q.is_poisoned());
+        assert!(!q.is_locked());
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+        // Poisoned inserts bounce so the caller can re-route them.
+        assert!(q.push(99, 99, &mut stats()).is_err());
+        let mut out = Vec::new();
+        q.salvage_into(&mut out);
+        assert!(!q.is_poisoned());
+        assert_eq!(out.len(), 7, "everything but the served item");
+        assert_eq!(q.approx_len(), 0);
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn panic_mid_claim_republishes_unconsumed_chain() {
+        // Simulate a panic in the middle of consuming a claimed batch:
+        // the claimed guard's drop must push the remainder back onto
+        // pending, so only already-consumed entries are gone.
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        for p in 0..6u64 {
+            q.push(p, p, &mut s).unwrap();
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut s = stats();
+            let _g = q.drain_lock(true, &mut s).unwrap().unwrap();
+            let mut claimed = Claimed {
+                head: q.pending.swap(ptr::null_mut(), Ordering::SeqCst),
+                pending: &q.pending,
+            };
+            let _ = claimed.pop();
+            let _ = claimed.pop();
+            panic!("mid-claim");
+        }));
+        assert!(err.is_err());
+        assert!(q.is_poisoned());
+        // The two popped entries were consumed; the other four were
+        // re-published onto pending and survive salvage.
+        let mut out = Vec::new();
+        q.salvage_into(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(!q.is_poisoned());
+    }
+
+    #[test]
+    fn concurrent_pushers_and_drainers_conserve() {
+        const PUSHERS: usize = 4;
+        const PER: u64 = 5_000;
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let removed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..PUSHERS {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut s = stats();
+                    for i in 0..PER {
+                        q.push(t as u64 * PER + i, i, &mut s).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = &q;
+                let removed = &removed;
+                scope.spawn(move || {
+                    let mut s = stats();
+                    let mut got = 0usize;
+                    let mut idle = 0;
+                    while idle < 1_000 {
+                        match q.drain_lock(false, &mut s) {
+                            Ok(Some(mut g)) => {
+                                g.drain_pending();
+                                if g.delete_min().is_some() {
+                                    got += 1;
+                                    idle = 0;
+                                } else {
+                                    idle += 1;
+                                }
+                            }
+                            _ => idle += 1,
+                        }
+                        std::hint::spin_loop();
+                    }
+                    removed.fetch_add(got, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut s = stats();
+        let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+        g.drain_pending();
+        let mut rest = 0usize;
+        while g.delete_min().is_some() {
+            rest += 1;
+        }
+        drop(g);
+        assert_eq!(
+            removed.load(Ordering::Relaxed) + rest,
+            PUSHERS * PER as usize,
+            "no item lost or duplicated"
+        );
+        assert_eq!(q.approx_len(), 0);
+        assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn batch_push_is_one_chain_with_correct_hint() {
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let mut s = stats();
+        let n = q
+            .push_batch([(9u64, 9u64), (2, 2), (5, 5)], &mut s)
+            .expect("not poisoned");
+        assert_eq!(n, 3);
+        assert_eq!(q.approx_len(), 3);
+        assert_eq!(q.min_hint(), 2);
+        let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+        assert_eq!(g.drain_pending(), 3);
+        assert_eq!(g.delete_min(), Some((2, 2)));
+    }
+
+    #[test]
+    fn hot_slot_and_pending_are_padded_apart() {
+        assert_eq!(std::mem::align_of::<CachePadded<Hot>>(), 128);
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let base = &q as *const _ as usize;
+        let pending = &q.pending as *const _ as usize;
+        assert!(pending - base >= 128, "pending shares the hint line");
+    }
+}

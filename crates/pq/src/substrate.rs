@@ -1,0 +1,735 @@
+//! Per-queue substrate selection: one enum, three concurrency
+//! disciplines behind identical whole-operation semantics.
+//!
+//! The MultiQueue's choice loops do not care *how* a queue serializes
+//! its critical section — they care about four outcomes: the operation
+//! happened (and at what stamp), the queue was empty, the queue was
+//! contended, or the queue is poisoned and must be quarantined.
+//! [`Substrate`] packages the three substrates behind exactly that
+//! outcome surface:
+//!
+//! * [`SubstrateCfg::Locked`] — the packed-lock [`LockedPq`] baseline:
+//!   every operation spins (or try-fails) on the lock bit.
+//! * [`SubstrateCfg::LockFree`] — [`LockFreePq`]: inserts are a single
+//!   CAS push and **never contend**; dequeues claim the pending stack
+//!   with one swap and drain into a queue-local heap.
+//! * [`SubstrateCfg::Combining`] — [`CombiningPq`]: contended
+//!   dequeuers deposit requests into publication slots served wholesale
+//!   by the current lock holder.
+//!
+//! # Stamp discipline
+//!
+//! History mode threads a shared `AtomicU64` stamper through every
+//! operation. Lock-based substrates draw the stamp *inside* the
+//! critical section (the operation's linearization point in the
+//! underlying linearizable queue). The lock-free substrate draws
+//! insert stamps **before** the CAS push: the push is the insert's
+//! linearization point, and a dequeue stamps *after* its claim under
+//! the drain lock — drawing the insert stamp pre-push guarantees an
+//! entry's insert stamp is always below any stamp of the dequeue that
+//! serves it. (The reverse window — stamp drawn early, push landing
+//! late — only widens the observed rank slightly, which the
+//! distributional checker's policy envelope absorbs.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::combining::{CombiningPq, InsertFail};
+use crate::locked::LockedPq;
+use crate::lockfree::LockFreePq;
+use crate::stats::ContentionStats;
+use crate::traits::SeqPriorityQueue;
+
+/// Draws the next history stamp, or 0 when no stamper is active
+/// (stamps are ordering keys only; 0 marks "unstamped run").
+#[inline]
+pub fn draw_stamp(stamper: Option<&AtomicU64>) -> u64 {
+    stamper.map_or(0, |s| s.fetch_add(1, Ordering::AcqRel))
+}
+
+/// Which per-queue substrate a MultiQueue builds its queues on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SubstrateCfg {
+    /// Packed-lock baseline ([`LockedPq`]): lock bit + generation +
+    /// count in one word, min-hint republished on change.
+    #[default]
+    Locked,
+    /// Treiber-push / claim-drain ([`LockFreePq`]): contended inserts
+    /// never touch a lock bit.
+    LockFree,
+    /// Claim-based flat combiner ([`CombiningPq`]): the lock holder
+    /// serves deposited dequeues under one acquisition.
+    Combining,
+}
+
+impl SubstrateCfg {
+    /// Stable label used in CLI flags, sweep cell names and backend
+    /// labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            SubstrateCfg::Locked => "locked",
+            SubstrateCfg::LockFree => "lockfree",
+            SubstrateCfg::Combining => "combining",
+        }
+    }
+
+    /// Parses a CLI/env spelling (a few aliases accepted).
+    pub fn parse(s: &str) -> Option<SubstrateCfg> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "locked" | "lock" | "packed" | "packed-lock" => Some(SubstrateCfg::Locked),
+            "lockfree" | "lock-free" | "lf" | "claim" => Some(SubstrateCfg::LockFree),
+            "combining" | "combine" | "fc" | "flat" | "flat-combining" => {
+                Some(SubstrateCfg::Combining)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` for the default (packed-lock) substrate — labels omit it.
+    pub fn is_default(self) -> bool {
+        self == SubstrateCfg::Locked
+    }
+
+    /// All substrates, in comparison order (baseline first).
+    pub fn all() -> [SubstrateCfg; 3] {
+        [
+            SubstrateCfg::Locked,
+            SubstrateCfg::LockFree,
+            SubstrateCfg::Combining,
+        ]
+    }
+
+    /// Wraps a sequential queue in this substrate.
+    pub fn wrap<V, Q: SeqPriorityQueue<u64, V>>(self, queue: Q) -> Substrate<V, Q> {
+        match self {
+            SubstrateCfg::Locked => Substrate::Locked(LockedPq::new(queue)),
+            SubstrateCfg::LockFree => Substrate::LockFree(LockFreePq::new(queue)),
+            SubstrateCfg::Combining => Substrate::Combining(CombiningPq::new(queue)),
+        }
+    }
+}
+
+impl std::fmt::Display for SubstrateCfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SubstrateCfg {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SubstrateCfg::parse(s).ok_or_else(|| {
+            format!("unknown substrate {s:?} (expected locked | lockfree | combining)")
+        })
+    }
+}
+
+/// How a single-entry insert attempt on one queue ended. The failure
+/// variants hand the entry back so the caller can re-route it.
+#[derive(Debug)]
+pub enum InsertOutcome<V> {
+    /// Inserted; carries the history stamp (0 when unstamped).
+    Done(u64),
+    /// Lock contended (try mode); entry returned.
+    Contended(u64, V),
+    /// Queue poisoned; entry returned for quarantine re-routing.
+    Poisoned(u64, V),
+}
+
+/// How a single-entry dequeue attempt on one queue ended.
+#[derive(Debug)]
+pub enum DequeueOutcome<V> {
+    /// Served `(priority, value, stamp)` (stamp 0 when unstamped).
+    Served(u64, V, u64),
+    /// The queue was acquired but empty (a stale hint).
+    Empty,
+    /// Lock contended (try mode), or a deposited request was cancelled.
+    Contended,
+    /// Queue poisoned; quarantine it and re-choose.
+    Poisoned,
+}
+
+/// How a batch-insert attempt ended; failures return the items
+/// iterator **unconsumed**.
+#[derive(Debug)]
+pub enum BatchPush<I> {
+    /// All items inserted; carries the count.
+    Done(usize),
+    /// Lock contended (try mode); items returned.
+    Contended(I),
+    /// Queue poisoned; items returned.
+    Poisoned(I),
+}
+
+/// How a batch-dequeue attempt ended (entries stream into the sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPop {
+    /// At least one entry was served; carries the count.
+    Served(usize),
+    /// Acquired but empty.
+    Empty,
+    /// Lock contended (try mode).
+    Contended,
+    /// Queue poisoned.
+    Poisoned,
+}
+
+/// One per-queue slot of a MultiQueue: a sequential queue behind one of
+/// the three substrate disciplines. All variants expose the same
+/// whole-operation surface; the MultiQueue's loops are substrate-blind.
+#[derive(Debug)]
+pub enum Substrate<V, Q: SeqPriorityQueue<u64, V>> {
+    /// Packed-lock baseline.
+    Locked(LockedPq<V, Q>),
+    /// Treiber-push / claim-drain.
+    LockFree(LockFreePq<V, Q>),
+    /// Claim-based flat combiner.
+    Combining(CombiningPq<V, Q>),
+}
+
+impl<V, Q: SeqPriorityQueue<u64, V>> Substrate<V, Q> {
+    /// Which substrate this queue runs on.
+    pub fn cfg(&self) -> SubstrateCfg {
+        match self {
+            Substrate::Locked(_) => SubstrateCfg::Locked,
+            Substrate::LockFree(_) => SubstrateCfg::LockFree,
+            Substrate::Combining(_) => SubstrateCfg::Combining,
+        }
+    }
+
+    /// The packed-lock queue, when this is the locked substrate (test
+    /// and diagnostic hook).
+    pub fn as_locked(&self) -> Option<&LockedPq<V, Q>> {
+        match self {
+            Substrate::Locked(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The lock-free queue, when this is the lock-free substrate.
+    pub fn as_lockfree(&self) -> Option<&LockFreePq<V, Q>> {
+        match self {
+            Substrate::LockFree(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The combining queue, when this is the combining substrate.
+    pub fn as_combining(&self) -> Option<&CombiningPq<V, Q>> {
+        match self {
+            Substrate::Combining(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// One insert attempt. `block = true` waits out contention (strict
+    /// mode); `block = false` reports [`InsertOutcome::Contended`]
+    /// instead. Lock-free inserts never contend in either mode.
+    pub fn insert(
+        &self,
+        priority: u64,
+        value: V,
+        block: bool,
+        stamper: Option<&AtomicU64>,
+        stats: &mut ContentionStats,
+    ) -> InsertOutcome<V> {
+        match self {
+            Substrate::Locked(q) => {
+                let acquired = if block {
+                    q.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    q.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => {
+                        g.add(priority, value);
+                        let stamp = draw_stamp(stamper);
+                        drop(g);
+                        InsertOutcome::Done(stamp)
+                    }
+                    Ok(None) => InsertOutcome::Contended(priority, value),
+                    Err(_) => InsertOutcome::Poisoned(priority, value),
+                }
+            }
+            Substrate::LockFree(q) => {
+                // Stamp *before* the push: see the module docs.
+                let stamp = draw_stamp(stamper);
+                match q.push(priority, value, stats) {
+                    Ok(()) => InsertOutcome::Done(stamp),
+                    Err((p, v)) => InsertOutcome::Poisoned(p, v),
+                }
+            }
+            Substrate::Combining(q) => match q.insert(priority, value, block, stamper, stats) {
+                Ok(stamp) => InsertOutcome::Done(stamp),
+                Err(InsertFail::Contended(p, v)) => InsertOutcome::Contended(p, v),
+                Err(InsertFail::Poisoned(p, v)) => InsertOutcome::Poisoned(p, v),
+            },
+        }
+    }
+
+    /// One dequeue attempt. `block` gates the lock acquisition only —
+    /// an acquired-but-empty queue reports [`DequeueOutcome::Empty`]
+    /// immediately in both modes (the MultiQueue re-chooses).
+    pub fn dequeue(
+        &self,
+        block: bool,
+        stamper: Option<&AtomicU64>,
+        stats: &mut ContentionStats,
+    ) -> DequeueOutcome<V> {
+        match self {
+            Substrate::Locked(q) => {
+                let acquired = if block {
+                    q.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    q.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => match g.delete_min() {
+                        Some((p, v)) => {
+                            let stamp = draw_stamp(stamper);
+                            drop(g);
+                            DequeueOutcome::Served(p, v, stamp)
+                        }
+                        None => DequeueOutcome::Empty,
+                    },
+                    Ok(None) => DequeueOutcome::Contended,
+                    Err(_) => DequeueOutcome::Poisoned,
+                }
+            }
+            Substrate::LockFree(q) => match q.drain_lock(block, stats) {
+                Ok(Some(mut g)) => {
+                    g.drain_pending();
+                    match g.delete_min() {
+                        Some((p, v)) => DequeueOutcome::Served(p, v, draw_stamp(stamper)),
+                        None => DequeueOutcome::Empty,
+                    }
+                }
+                Ok(None) => DequeueOutcome::Contended,
+                Err(_) => DequeueOutcome::Poisoned,
+            },
+            Substrate::Combining(q) => q.dequeue(block, stamper, stats),
+        }
+    }
+
+    /// One batch-insert attempt: a single acquisition (or a single
+    /// chain publish) covers the whole batch. Per-item stamps land in
+    /// `stamped.1` in insertion order.
+    pub fn insert_batch<I>(
+        &self,
+        items: I,
+        block: bool,
+        mut stamped: Option<(&AtomicU64, &mut Vec<u64>)>,
+        stats: &mut ContentionStats,
+    ) -> BatchPush<I>
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        match self {
+            Substrate::Locked(q) => {
+                let acquired = if block {
+                    q.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    q.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => {
+                        let mut n = 0usize;
+                        for (p, v) in items {
+                            g.add(p, v);
+                            if let Some((stamper, stamps)) = stamped.as_mut() {
+                                stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
+                            }
+                            n += 1;
+                        }
+                        drop(g); // one hint publish for the whole batch
+                        BatchPush::Done(n)
+                    }
+                    Ok(None) => BatchPush::Contended(items),
+                    Err(_) => BatchPush::Poisoned(items),
+                }
+            }
+            Substrate::LockFree(q) => {
+                if q.is_poisoned() {
+                    return BatchPush::Poisoned(items);
+                }
+                // The chain is built first and published with one CAS,
+                // so stamps drawn while building are all pre-publish. A
+                // poison race after the check above is benign: the
+                // published chain is recovered exactly by salvage.
+                let n = match stamped.as_mut() {
+                    Some((stamper, stamps)) => q.push_batch_always(
+                        items.into_iter().map(|(p, v)| {
+                            stamps.push(stamper.fetch_add(1, Ordering::AcqRel));
+                            (p, v)
+                        }),
+                        stats,
+                    ),
+                    None => q.push_batch_always(items, stats),
+                };
+                BatchPush::Done(n)
+            }
+            Substrate::Combining(q) => {
+                let core = q.core();
+                let acquired = if block {
+                    core.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    core.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => {
+                        let mut n = 0usize;
+                        let mut stamper = None;
+                        for (p, v) in items {
+                            g.add(p, v);
+                            if let Some((s, stamps)) = stamped.as_mut() {
+                                stamps.push(s.fetch_add(1, Ordering::AcqRel));
+                                stamper = Some(*s);
+                            }
+                            n += 1;
+                        }
+                        q.combine(&mut g, stamper);
+                        drop(g);
+                        BatchPush::Done(n)
+                    }
+                    Ok(None) => BatchPush::Contended(items),
+                    Err(_) => BatchPush::Poisoned(items),
+                }
+            }
+        }
+    }
+
+    /// One batch-dequeue attempt: up to `max` entries stream into
+    /// `sink` as `(priority, value, stamp)` under a single acquisition.
+    pub fn dequeue_batch(
+        &self,
+        max: usize,
+        block: bool,
+        stamper: Option<&AtomicU64>,
+        sink: &mut impl FnMut(u64, V, u64),
+        stats: &mut ContentionStats,
+    ) -> BatchPop {
+        match self {
+            Substrate::Locked(q) => {
+                let acquired = if block {
+                    q.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    q.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => {
+                        let mut n = 0usize;
+                        while n < max {
+                            match g.delete_min() {
+                                Some((p, v)) => {
+                                    sink(p, v, draw_stamp(stamper));
+                                    n += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        drop(g); // single hint publish for the batch
+                        if n > 0 {
+                            BatchPop::Served(n)
+                        } else {
+                            BatchPop::Empty
+                        }
+                    }
+                    Ok(None) => BatchPop::Contended,
+                    Err(_) => BatchPop::Poisoned,
+                }
+            }
+            Substrate::LockFree(q) => match q.drain_lock(block, stats) {
+                Ok(Some(mut g)) => {
+                    g.drain_pending();
+                    let mut n = 0usize;
+                    while n < max {
+                        match g.delete_min() {
+                            Some((p, v)) => {
+                                sink(p, v, draw_stamp(stamper));
+                                n += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if n > 0 {
+                        BatchPop::Served(n)
+                    } else {
+                        BatchPop::Empty
+                    }
+                }
+                Ok(None) => BatchPop::Contended,
+                Err(_) => BatchPop::Poisoned,
+            },
+            Substrate::Combining(q) => {
+                let core = q.core();
+                let acquired = if block {
+                    core.checked_lock_with_stats(stats).map(Some)
+                } else {
+                    core.checked_try_lock_with_stats(stats)
+                };
+                match acquired {
+                    Ok(Some(mut g)) => {
+                        let mut n = 0usize;
+                        while n < max {
+                            match g.delete_min() {
+                                Some((p, v)) => {
+                                    sink(p, v, draw_stamp(stamper));
+                                    n += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        q.combine(&mut g, stamper);
+                        drop(g);
+                        if n > 0 {
+                            BatchPop::Served(n)
+                        } else {
+                            BatchPop::Empty
+                        }
+                    }
+                    Ok(None) => BatchPop::Contended,
+                    Err(_) => BatchPop::Poisoned,
+                }
+            }
+        }
+    }
+
+    /// The published min hint (lock-free read in every substrate).
+    #[inline]
+    pub fn min_hint(&self) -> u64 {
+        match self {
+            Substrate::Locked(q) => q.min_hint(),
+            Substrate::LockFree(q) => q.min_hint(),
+            Substrate::Combining(q) => q.core().min_hint(),
+        }
+    }
+
+    /// The packed entry count (approximate around in-flight ops).
+    #[inline]
+    pub fn approx_len(&self) -> usize {
+        match self {
+            Substrate::Locked(q) => q.approx_len(),
+            Substrate::LockFree(q) => q.approx_len(),
+            Substrate::Combining(q) => q.core().approx_len(),
+        }
+    }
+
+    /// The header generation, `None` while the (drain) lock is held.
+    #[inline]
+    pub fn generation(&self) -> Option<u64> {
+        match self {
+            Substrate::Locked(q) => q.generation(),
+            Substrate::LockFree(q) => q.generation(),
+            Substrate::Combining(q) => q.core().generation(),
+        }
+    }
+
+    /// `true` if a panicked critical section left this queue awaiting
+    /// salvage.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        match self {
+            Substrate::Locked(q) => q.is_poisoned(),
+            Substrate::LockFree(q) => q.is_poisoned(),
+            Substrate::Combining(q) => q.core().is_poisoned(),
+        }
+    }
+
+    /// `true` while the lock (or drain lock) is held. Snapshot only.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        match self {
+            Substrate::Locked(q) => q.is_locked(),
+            Substrate::LockFree(q) => q.is_locked(),
+            Substrate::Combining(q) => q.core().is_locked(),
+        }
+    }
+
+    /// Salvages a poisoned queue: drains every recoverable entry into
+    /// `out` and returns the queue to service with the poison cleared
+    /// (the lock-free substrate additionally recovers its pending stack
+    /// exactly). Also usable on healthy queues as a blocking drain.
+    pub fn salvage_into(&self, out: &mut Vec<(u64, V)>) {
+        match self {
+            Substrate::Locked(q) => {
+                let mut g = q.salvage_lock();
+                while let Some(e) = g.delete_min() {
+                    out.push(e);
+                }
+                // Guard drop recounts (now 0), republishes the hint and
+                // clears the poison bit.
+            }
+            Substrate::LockFree(q) => q.salvage_into(out),
+            Substrate::Combining(q) => q.salvage_into(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary_heap::BinaryHeap;
+
+    fn each_substrate() -> Vec<Substrate<u64, BinaryHeap<u64, u64>>> {
+        SubstrateCfg::all()
+            .into_iter()
+            .map(|cfg| cfg.wrap(BinaryHeap::new()))
+            .collect()
+    }
+
+    #[test]
+    fn labels_and_parsing_round_trip() {
+        for cfg in SubstrateCfg::all() {
+            assert_eq!(SubstrateCfg::parse(cfg.label()), Some(cfg));
+            assert_eq!(cfg.label().parse::<SubstrateCfg>().unwrap(), cfg);
+        }
+        assert_eq!(
+            SubstrateCfg::parse("lock-free"),
+            Some(SubstrateCfg::LockFree)
+        );
+        assert_eq!(SubstrateCfg::parse("fc"), Some(SubstrateCfg::Combining));
+        assert_eq!(SubstrateCfg::parse("bogus"), None);
+        assert!(SubstrateCfg::Locked.is_default());
+        assert!(!SubstrateCfg::LockFree.is_default());
+    }
+
+    #[test]
+    fn whole_op_surface_agrees_across_substrates() {
+        for sub in each_substrate() {
+            let mut stats = ContentionStats::new();
+            let cfg = sub.cfg();
+            assert!(matches!(
+                sub.insert(5, 50, true, None, &mut stats),
+                InsertOutcome::Done(0)
+            ));
+            assert!(matches!(
+                sub.insert(3, 30, false, None, &mut stats),
+                InsertOutcome::Done(0)
+            ));
+            assert_eq!(sub.min_hint(), 3, "{cfg}");
+            assert_eq!(sub.approx_len(), 2, "{cfg}");
+            match sub.dequeue(true, None, &mut stats) {
+                DequeueOutcome::Served(3, 30, 0) => {}
+                other => panic!("{cfg}: expected Served(3, 30, 0), got {other:?}"),
+            }
+            match sub.dequeue(false, None, &mut stats) {
+                DequeueOutcome::Served(5, 50, 0) => {}
+                other => panic!("{cfg}: expected Served(5, 50, 0), got {other:?}"),
+            }
+            assert!(matches!(
+                sub.dequeue(true, None, &mut stats),
+                DequeueOutcome::Empty
+            ));
+            assert_eq!(sub.approx_len(), 0, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn batch_ops_agree_across_substrates() {
+        for sub in each_substrate() {
+            let mut stats = ContentionStats::new();
+            let cfg = sub.cfg();
+            match sub.insert_batch(vec![(4, 40u64), (1, 10), (9, 90)], true, None, &mut stats) {
+                BatchPush::Done(3) => {}
+                other => panic!("{cfg}: expected Done(3), got {other:?}"),
+            }
+            assert_eq!(sub.approx_len(), 3, "{cfg}");
+            let mut got = Vec::new();
+            let served =
+                sub.dequeue_batch(2, true, None, &mut |p, v, _| got.push((p, v)), &mut stats);
+            assert_eq!(served, BatchPop::Served(2), "{cfg}");
+            assert_eq!(got, vec![(1, 10), (4, 40)], "{cfg}");
+            let served = sub.dequeue_batch(8, true, None, &mut |_, _, _| {}, &mut stats);
+            assert_eq!(served, BatchPop::Served(1), "{cfg}");
+            let served = sub.dequeue_batch(8, true, None, &mut |_, _, _| {}, &mut stats);
+            assert_eq!(served, BatchPop::Empty, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn stamps_are_monotone_within_each_substrate() {
+        for sub in each_substrate() {
+            let cfg = sub.cfg();
+            let stamper = AtomicU64::new(1);
+            let mut stats = ContentionStats::new();
+            let mut stamps = Vec::new();
+            match sub.insert(7, 70, true, Some(&stamper), &mut stats) {
+                InsertOutcome::Done(s) => stamps.push(s),
+                other => panic!("{cfg}: {other:?}"),
+            }
+            let mut batch_stamps = Vec::new();
+            match sub.insert_batch(
+                vec![(2, 20u64), (8, 80)],
+                true,
+                Some((&stamper, &mut batch_stamps)),
+                &mut stats,
+            ) {
+                BatchPush::Done(2) => stamps.extend(batch_stamps),
+                other => panic!("{cfg}: {other:?}"),
+            }
+            match sub.dequeue(true, Some(&stamper), &mut stats) {
+                DequeueOutcome::Served(2, 20, s) => stamps.push(s),
+                other => panic!("{cfg}: {other:?}"),
+            }
+            let mut prev = 0;
+            for s in &stamps {
+                assert!(
+                    *s > prev,
+                    "{cfg}: stamps {stamps:?} not strictly increasing"
+                );
+                prev = *s;
+            }
+            // The insert that produced entry (2, 20) must be stamped
+            // below the dequeue that served it.
+            assert!(
+                stamps[1] < stamps[3],
+                "{cfg}: insert stamped after its dequeue"
+            );
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_and_clears_poison_on_every_substrate() {
+        for sub in each_substrate() {
+            let mut stats = ContentionStats::new();
+            let cfg = sub.cfg();
+            for p in [6u64, 2, 4] {
+                match sub.insert(p, p * 10, true, None, &mut stats) {
+                    InsertOutcome::Done(_) => {}
+                    other => panic!("{cfg}: {other:?}"),
+                }
+            }
+            // Poison via a panicking critical section.
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &sub {
+                Substrate::Locked(q) => {
+                    let _g = q.lock();
+                    panic!("injected");
+                }
+                Substrate::LockFree(q) => {
+                    let mut s = ContentionStats::new();
+                    let _g = q.drain_lock(true, &mut s).unwrap().unwrap();
+                    panic!("injected");
+                }
+                Substrate::Combining(q) => {
+                    let _g = q.core().lock();
+                    panic!("injected");
+                }
+            }));
+            assert!(err.is_err());
+            assert!(sub.is_poisoned(), "{cfg}");
+            assert!(matches!(
+                sub.insert(1, 1, false, None, &mut stats),
+                InsertOutcome::Poisoned(1, 1)
+            ));
+            assert!(matches!(
+                sub.dequeue(false, None, &mut stats),
+                DequeueOutcome::Poisoned
+            ));
+            let mut out = Vec::new();
+            sub.salvage_into(&mut out);
+            assert!(!sub.is_poisoned(), "{cfg}");
+            out.sort_unstable();
+            assert_eq!(out, vec![(2, 20), (4, 40), (6, 60)], "{cfg}");
+            assert_eq!(sub.approx_len(), 0, "{cfg}");
+        }
+    }
+}

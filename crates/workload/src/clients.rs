@@ -10,7 +10,7 @@
 //!
 //! * Each worker owns a contiguous shard of the client population and
 //!   schedules their arrivals through a hierarchical
-//!   [`TimerWheel`](dlz_sim::TimerWheel) — O(1) per event, pop order a
+//!   [`dlz_sim::TimerWheel`] — O(1) per event, pop order a
 //!   pure function of the seeded schedule, so fixed-op client runs are
 //!   bit-reproducible.
 //! * Each client carries its own session state (event counter), its own
@@ -46,11 +46,12 @@ const WHEEL_SLOT_NS: u64 = 65_536;
 ///
 /// Rates are per client, in arrivals per second. Interarrival gaps are
 /// capped at 1 s so a mis-set rate cannot hang a fixed-op run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ArrivalShape {
     /// Closed loop: the next arrival is intended at the moment the
     /// previous op completes (queueing delay is identically zero).
     /// This is the legacy closed-loop engine as a degenerate shape.
+    #[default]
     SelfPaced,
     /// Memoryless arrivals at `rate` per second.
     Poisson {
@@ -93,12 +94,6 @@ pub enum ArrivalShape {
         /// Window length in milliseconds.
         len_ms: u64,
     },
-}
-
-impl Default for ArrivalShape {
-    fn default() -> Self {
-        ArrivalShape::SelfPaced
-    }
 }
 
 /// A uniform draw in `[0, 1)` from 64 hash bits.

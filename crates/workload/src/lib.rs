@@ -61,6 +61,7 @@
 
 pub mod backend;
 pub mod backends;
+pub mod calibration;
 pub mod clients;
 pub mod dist;
 pub mod driver;
