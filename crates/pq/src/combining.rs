@@ -28,6 +28,10 @@
 //! its `LOCKED→DONE` window. The combiner CAS-claims `PENDING→LOCKED`
 //! *before* touching the result, so a waiter can always tell an
 //! in-progress serve (`LOCKED`) from an unserved request (`PENDING`).
+//! A fifth state, `FAILED`, sits outside the happy path: a salvager
+//! sweeps orphaned `PENDING`/`LOCKED` slots there (see the fault
+//! section below), and only the owning depositor moves it back to
+//! `EMPTY`.
 //!
 //! # Fault semantics: fail loudly, never hang
 //!
@@ -43,8 +47,19 @@
 //! * `DONE` — the result was completed before the panic; it is
 //!   delivered normally.
 //!
+//! A waiter can also sleep through the entire poison window: combiner
+//! dies, a salvager runs, poison clears — and the waiter wakes to a
+//! `LOCKED` slot nothing will ever serve (combiners only claim
+//! `PENDING`). To close that hole, [`salvage_into`] sweeps every
+//! still-deposited slot (`PENDING` or `LOCKED`) to a terminal `FAILED`
+//! state *before* its guard drop clears the poison bit; the waiter
+//! reclaims a `FAILED` slot and reports `Poisoned` no matter when it
+//! wakes.
+//!
 //! No state leaves a waiter spinning on a dead combiner, which is the
 //! "fail deposited requests loudly" guarantee the chaos plans assert.
+//!
+//! [`salvage_into`]: CombiningPq::salvage_into
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -68,6 +83,10 @@ const EMPTY: u32 = 0;
 const PENDING: u32 = 1;
 const LOCKED: u32 = 2;
 const DONE: u32 = 3;
+/// Swept by a salvager: the combiner serving (or due to serve) this
+/// request died. Terminal for the combiner side; the depositor hands
+/// the slot back and reports `Poisoned`.
+const FAILED: u32 = 4;
 
 /// One publication slot: the state word and the combiner-written
 /// result, padded onto their own cache line so a waiting depositor
@@ -208,7 +227,14 @@ impl<V, Q: SeqPriorityQueue<u64, V>> CombiningPq<V, Q> {
     }
 
     /// Spin-waits on a deposited request. Never hangs: every exit path
-    /// is a delivered result, a detected-dead combiner, or a cancel.
+    /// is a delivered result, a detected-dead combiner (poison or a
+    /// salvager's `FAILED` sweep), or a cancel. With `block = false`
+    /// the `PENDING` wait is bounded: once backoff escalates past pure
+    /// spinning the request is withdrawn and reported as a cancel, so
+    /// deadline-driven callers never wait out a stalled lock holder.
+    /// (A slot already claimed `LOCKED` cannot be withdrawn — the
+    /// combiner may have removed an item for us — but that window is
+    /// one `delete_min` plus a result store, not a whole hold.)
     fn wait_on(
         &self,
         slot: &CachePadded<Slot<V>>,
@@ -272,9 +298,38 @@ impl<V, Q: SeqPriorityQueue<u64, V>> CombiningPq<V, Q> {
                             Err(_) => continue,
                         }
                     }
-                    let _ = block;
+                    if !block && backoff.is_yielding() {
+                        // Try mode must not wait out a stalled or
+                        // descheduled lock holder (MqOpTimeout
+                        // contract): withdraw the request so the
+                        // caller's deadline loop regains control.
+                        match slot.state.compare_exchange(
+                            PENDING,
+                            EMPTY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => return WaitOutcome::Cancelled,
+                            // A combiner claimed it; take the result.
+                            Err(_) => continue,
+                        }
+                    }
                     stats.note_snooze(backoff.is_yielding());
                     backoff.snooze();
+                }
+                FAILED => {
+                    // A salvager swept the slot: the combiner that was
+                    // serving (or should have served) this request
+                    // died, and poison may already be cleared. Drop
+                    // whatever the dead combiner half-wrote (that item
+                    // is the same lossy-quarantine loss as the locked
+                    // substrate's), hand the slot back, fail loudly.
+                    // SAFETY: the sweep happened-before the FAILED load
+                    // above, and the combiner that owned the cell is
+                    // dead — the depositor owns the slot again.
+                    unsafe { (*slot.result.get()).take() };
+                    slot.state.store(EMPTY, Ordering::Release);
+                    return WaitOutcome::Poisoned;
                 }
                 _ => unreachable!("slot state machine"),
             }
@@ -316,10 +371,28 @@ impl<V, Q: SeqPriorityQueue<u64, V>> CombiningPq<V, Q> {
 
     /// Drains the core for the quarantine-salvage protocol (best-effort
     /// `delete_min`, like the locked substrate); completing it clears
-    /// the poison bit, and any still-waiting depositors will have
-    /// bailed out via the poison checks already.
+    /// the poison bit.
+    ///
+    /// Before poison clears, every still-deposited slot (`PENDING` or
+    /// `LOCKED`) is swept to `FAILED`: a depositor that was descheduled
+    /// through the whole poison window would otherwise wake to a
+    /// `LOCKED` slot with poison already gone and spin forever, since
+    /// combiners only ever claim `PENDING`. The sweep runs under the
+    /// salvage lock, so no *live* combiner can hold a slot `LOCKED`
+    /// here — any such slot belongs to the dead one.
     pub fn salvage_into(&self, out: &mut Vec<(u64, V)>) {
         let mut guard = self.core.salvage_lock();
+        for slot in self.slots.iter() {
+            for orphaned in [PENDING, LOCKED] {
+                if slot
+                    .state
+                    .compare_exchange(orphaned, FAILED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
         while let Some((p, v)) = guard.delete_min() {
             out.push((p, v));
         }
@@ -570,6 +643,104 @@ mod tests {
         for slot in held {
             slot.state.store(EMPTY, Ordering::Release);
         }
+    }
+
+    #[test]
+    fn try_dequeue_deposits_then_cancels_under_a_stalled_holder() {
+        // Regression: wait_on used to ignore `block`, so a non-blocking
+        // dequeue that deposited would spin for as long as the lock
+        // stayed held — breaking deadline-bounded callers. The holder
+        // here never releases while the waiter runs.
+        let q: CombiningPq<u64> = CombiningPq::new(BinaryHeap::new());
+        let mut s = stats();
+        q.insert(1, 10, true, None, &mut s).expect("insert");
+        let guard = q.core.lock();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut s = stats();
+                q.dequeue(false, None, &mut s)
+            });
+            match waiter.join().expect("waiter thread") {
+                DequeueOutcome::Contended => {}
+                other => panic!("expected Contended, got {other:?}"),
+            }
+        });
+        drop(guard);
+        // The withdrawn deposit handed its slot back.
+        for slot in q.slots.iter() {
+            assert_eq!(slot.state.load(Ordering::Acquire), EMPTY);
+        }
+    }
+
+    #[test]
+    fn salvage_sweeps_orphaned_slots_so_late_waiters_fail_loudly() {
+        // Regression: a waiter descheduled through the whole poison
+        // window (combiner dies, salvage runs, poison clears) used to
+        // wake to a LOCKED slot nothing would ever serve. The sweep
+        // must fail such slots before poison clears.
+        let q: CombiningPq<u64> = CombiningPq::new(BinaryHeap::new());
+        let mut s = stats();
+        q.insert(5, 50, true, None, &mut s).expect("insert");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = q.core.lock();
+            panic!("injected combiner death");
+        }));
+        assert!(err.is_err());
+        assert!(q.core.is_poisoned());
+        // Orphan two deposits: one never picked up (PENDING), one the
+        // dead combiner had claimed mid-serve (LOCKED).
+        let pending_slot = q.claim_slot().expect("free slot");
+        let locked_slot = q.claim_slot().expect("free slot");
+        locked_slot.state.store(LOCKED, Ordering::Release);
+        let mut out = Vec::new();
+        q.salvage_into(&mut out);
+        assert!(!q.core.is_poisoned());
+        assert_eq!(out, vec![(5, 50)]);
+        assert_eq!(pending_slot.state.load(Ordering::Acquire), FAILED);
+        assert_eq!(locked_slot.state.load(Ordering::Acquire), FAILED);
+        // The late waiter reclaims its slot and reports Poisoned even
+        // though the poison bit is long gone.
+        for slot in [pending_slot, locked_slot] {
+            match q.wait_on(slot, true, &mut s) {
+                WaitOutcome::Poisoned => {}
+                WaitOutcome::Result(_) => panic!("nothing should serve a swept slot"),
+                WaitOutcome::Cancelled => panic!("swept slots fail loudly, not quietly"),
+            }
+            assert_eq!(slot.state.load(Ordering::Acquire), EMPTY);
+        }
+    }
+
+    #[test]
+    fn empty_stamped_batch_combine_draws_real_stamps() {
+        // Regression: the substrate's Combining batch-insert derived
+        // the stamper inside the item loop, so an empty stamped batch
+        // combined with stamper=None and served deposits at stamp 0.
+        use crate::substrate::{BatchPush, Substrate};
+        let sub: Substrate<u64, BinaryHeap<u64, u64>> =
+            Substrate::Combining(CombiningPq::new(BinaryHeap::new()));
+        let q = sub.as_combining().unwrap();
+        let mut s = stats();
+        q.insert(7, 70, true, None, &mut s).expect("insert");
+        let slot = q.claim_slot().expect("free slot");
+        let stamper = AtomicU64::new(1);
+        let mut stamps = Vec::new();
+        match sub.insert_batch(
+            std::iter::empty::<(u64, u64)>(),
+            true,
+            Some((&stamper, &mut stamps)),
+            &mut s,
+        ) {
+            BatchPush::Done(n) => assert_eq!(n, 0),
+            _ => panic!("empty batch must succeed"),
+        }
+        assert!(stamps.is_empty());
+        assert_eq!(slot.state.load(Ordering::Acquire), DONE);
+        let res = unsafe { (*slot.result.get()).take() };
+        slot.state.store(EMPTY, Ordering::Release);
+        let (p, v, stamp) = res.expect("deposited dequeue served");
+        assert_eq!((p, v), (7, 70));
+        assert_ne!(stamp, 0, "deposits served under a live stamper get real stamps");
+        assert_eq!(stamper.load(Ordering::Relaxed), 2, "exactly one stamp drawn");
     }
 
     #[test]

@@ -616,13 +616,30 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Drop for DrainGuard<'_, V, Q> {
                 break;
             }
         }
-        let cur = hot.header.load(Ordering::Relaxed);
-        if queue.is_empty() && pending_len == 0 && header::count(cur) != 0 {
+        let cur = hot.header.load(Ordering::SeqCst);
+        if queue.is_empty()
+            && pending_len == 0
+            && header::count(cur) != 0
+            // Re-verify the pending head AFTER loading `cur`. Pushers
+            // publish their node *before* their count `fetch_add`, so
+            // if `cur` already includes a racing pusher's increment,
+            // loading the header synchronized-with that `fetch_add`
+            // and the published node is visible here — and only a
+            // drain-lock holder (us) ever removes pending nodes, so a
+            // non-null head cannot vanish under us. Without this
+            // re-check, a pusher that publishes after the hint walk
+            // but whose increment lands before the `cur` load would
+            // have its count zeroed while its node stays reachable;
+            // serving that node later underflows the count into the
+            // generation/poison bits.
+            && self.pq.pending.load(Ordering::SeqCst).is_null()
+        {
             // Verifiably empty: CAS the count to exactly zero, healing
-            // any overcount a panic-lost item left. Safe against the
-            // push-then-fetch_add insert order: a racing pusher whose
-            // node we'd have missed has already changed the header (CAS
-            // fails) or will re-add its increment after us.
+            // any overcount a panic-lost item left. A pusher whose
+            // publish lands after the re-check above completes its
+            // `fetch_add` either before our CAS (the header changed, so
+            // the CAS fails) or after it (the increment lands on the
+            // healed zero, staying consistent with its reachable node).
             let healed = header::pack(false, header::generation(cur).wrapping_add(1), 0);
             if hot
                 .header
@@ -874,6 +891,81 @@ mod tests {
         );
         assert_eq!(q.approx_len(), 0);
         assert_eq!(q.min_hint(), EMPTY_HINT);
+    }
+
+    #[test]
+    fn empty_heal_race_never_corrupts_header() {
+        // Regression: the release-time count heal must not zero the
+        // count while a racing pusher's node is already reachable on
+        // the pending stack (publish lands after the hint walk, count
+        // increment lands before `cur` is loaded). The queue is kept
+        // near-empty so almost every guard drop runs the heal path;
+        // an underflow would explode `approx_len` toward 2^40 and
+        // scramble the generation/poison bits.
+        const PUSHERS: usize = 3;
+        const PER: u64 = 3_000;
+        let q: LockFreePq<u64> = LockFreePq::new(BinaryHeap::new());
+        let removed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..PUSHERS {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut s = stats();
+                    for i in 0..PER {
+                        q.push(t as u64 * PER + i, i, &mut s).unwrap();
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            let q = &q;
+            let removed = &removed;
+            scope.spawn(move || {
+                let mut s = stats();
+                let mut got = 0usize;
+                let mut idle = 0;
+                while idle < 2_000 {
+                    let Ok(Some(mut g)) = q.drain_lock(false, &mut s) else {
+                        idle += 1;
+                        continue;
+                    };
+                    g.drain_pending();
+                    // Serve everything so the drop takes the
+                    // verifiably-empty heal path as often as possible.
+                    let mut any = false;
+                    while g.delete_min().is_some() {
+                        got += 1;
+                        any = true;
+                    }
+                    drop(g);
+                    if any {
+                        idle = 0;
+                    } else {
+                        idle += 1;
+                    }
+                    assert!(
+                        q.approx_len() <= (PUSHERS as u64 * PER) as usize,
+                        "count underflowed into the generation bits"
+                    );
+                    assert!(!q.is_poisoned(), "count borrow reached the poison bit");
+                }
+                removed.fetch_add(got, Ordering::Relaxed);
+            });
+        });
+        let mut s = stats();
+        let mut g = q.drain_lock(true, &mut s).unwrap().unwrap();
+        g.drain_pending();
+        let mut rest = 0usize;
+        while g.delete_min().is_some() {
+            rest += 1;
+        }
+        drop(g);
+        assert_eq!(
+            removed.load(Ordering::Relaxed) + rest,
+            PUSHERS * PER as usize,
+            "no item lost or duplicated"
+        );
+        assert_eq!(q.approx_len(), 0);
+        assert!(q.generation().is_some());
     }
 
     #[test]

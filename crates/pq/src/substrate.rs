@@ -369,6 +369,10 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Substrate<V, Q> {
             }
             Substrate::Combining(q) => {
                 let core = q.core();
+                // The stamper itself, independent of the item loop:
+                // combine() must draw real stamps for the dequeues it
+                // serves even when the batch is empty.
+                let stamper = stamped.as_ref().map(|(s, _)| *s);
                 let acquired = if block {
                     core.checked_lock_with_stats(stats).map(Some)
                 } else {
@@ -377,12 +381,10 @@ impl<V, Q: SeqPriorityQueue<u64, V>> Substrate<V, Q> {
                 match acquired {
                     Ok(Some(mut g)) => {
                         let mut n = 0usize;
-                        let mut stamper = None;
                         for (p, v) in items {
                             g.add(p, v);
                             if let Some((s, stamps)) = stamped.as_mut() {
                                 stamps.push(s.fetch_add(1, Ordering::AcqRel));
-                                stamper = Some(*s);
                             }
                             n += 1;
                         }
